@@ -1,0 +1,89 @@
+// Ablations over the design choices DESIGN.md calls out:
+//   A. diagonal-FREE elimination (Section 4.8): variable count and solve
+//      time with/without.
+//   B. epsilon budget allowance for two-phase rounding (Section 5.3):
+//      sweep eps and report feasibility and cost of the rounded schedule.
+//   C. rounding-heuristic incumbent injection in branch & bound: solve
+//      time with/without the Checkmate-specific primal heuristic.
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace checkmate;
+
+int main() {
+  const auto scale = bench::get_scale();
+  // Uniform 16-layer chain: wide feasible band between the working-set
+  // floor and checkpoint-all, so every ablation axis has room to move
+  // (VGG-style pyramids at small scale are parameter-dominated and leave a
+  // hair-thin band).
+  auto problem = RematProblem::from_dnn(
+      model::make_training_graph(
+          model::zoo::linear_net(16, scale.batch(64), 48, 56)),
+      model::CostMetric::kProfiledTimeUs);
+  Scheduler sched(problem);
+  auto all = sched.evaluate_schedule(
+      baselines::checkpoint_all_schedule(problem), 0.0);
+  const double floor = problem.memory_floor();
+  const double budget = floor + 0.5 * (all.peak_memory - floor);
+
+  std::printf("Ablations on linear_net(16) (n=%d), budget %.3f GB\n",
+              problem.size(), budget / 1e9);
+
+  // ---- A: diagonal FREE elimination. Run at a gentler budget so the raw
+  // solver (no incumbent seeding here) closes both variants; equality of
+  // the optima is also asserted by the test suite.
+  const double budget_a = floor + 0.8 * (all.peak_memory - floor);
+  std::printf("\nA. diagonal-FREE elimination (Section 4.8), budget %.3f GB\n",
+              budget_a / 1e9);
+  bench::print_rule(70);
+  std::printf("%-22s %12s %12s %10s %10s\n", "variant", "variables",
+              "constraints", "solve(s)", "cost(ms)");
+  for (bool eliminate : {true, false}) {
+    IlpBuildOptions build;
+    build.budget_bytes = budget_a;
+    build.eliminate_diag_free = eliminate;
+    IlpFormulation f(problem, build);
+    milp::MilpOptions mopts;
+    mopts.time_limit_sec = scale.ilp_time_limit_sec;
+    mopts.branch_priority = f.branch_priorities();
+    auto res = milp::solve_milp(f.lp(), mopts);
+    std::printf("%-22s %12d %12d %10.3f %10.3f\n",
+                eliminate ? "eliminated (paper)" : "full FREE matrix",
+                f.lp().num_vars(), f.lp().num_rows(), res.seconds,
+                res.has_solution() ? f.unscale_cost(res.objective) / 1e3
+                                   : -1.0);
+  }
+
+  // ---- B: epsilon sweep for rounding.
+  std::printf("\nB. rounding budget allowance eps (Section 5.3)\n");
+  bench::print_rule(70);
+  std::printf("%-8s %10s %12s %12s\n", "eps", "feasible", "cost(ms)",
+              "peak(GB)");
+  for (double eps : {0.0, 0.05, 0.1, 0.2, 0.3}) {
+    ApproxOptions opts;
+    opts.epsilon = eps;
+    auto res = sched.solve_lp_rounding(budget, opts);
+    std::printf("%-8.2f %10s %12.3f %12.3f\n", eps,
+                res.feasible ? "yes" : "no",
+                res.feasible ? res.cost / 1e3 : -1.0,
+                res.feasible ? res.peak_memory / 1e9 : -1.0);
+  }
+
+  // ---- C: incumbent heuristic on/off.
+  std::printf("\nC. two-phase-rounding incumbent heuristic in B&B\n");
+  bench::print_rule(70);
+  std::printf("%-22s %10s %10s %12s\n", "variant", "solve(s)", "nodes",
+              "cost(ms)");
+  for (bool use_heuristic : {true, false}) {
+    IlpSolveOptions opts;
+    opts.time_limit_sec = scale.ilp_time_limit_sec;
+    opts.use_rounding_heuristic = use_heuristic;
+    auto res = sched.solve_optimal_ilp(budget, opts);
+    std::printf("%-22s %10.3f %10lld %12.3f\n",
+                use_heuristic ? "with heuristic" : "without heuristic",
+                res.seconds, static_cast<long long>(res.nodes),
+                res.feasible ? res.cost / 1e3 : -1.0);
+  }
+  return 0;
+}

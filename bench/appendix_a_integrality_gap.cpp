@@ -1,0 +1,105 @@
+// Appendix A / Section 4.6: why frontier-advancing partitioning matters.
+// On the paper's 8-layer linear network (n = 17 nodes, unit costs and
+// memories, budget 4), we measure for both MILP forms:
+//   - the LP relaxation value and the ILP optimum (integrality gap)
+//   - branch & bound solve time and node count
+// The paper reports the gap dropping from 21.56 to 1.18 and the solve time
+// from 9.4 hours (Gurobi, unpartitioned) to 0.23 seconds.
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace checkmate;
+
+namespace {
+
+struct FormResult {
+  double lp_value = 0.0;
+  double ilp_value = 0.0;
+  double seconds = 0.0;
+  int64_t nodes = 0;
+  bool solved = false;
+};
+
+FormResult solve_form(const RematProblem& p, double budget, bool partitioned,
+                      double time_limit) {
+  IlpBuildOptions build;
+  build.budget_bytes = budget;
+  build.partitioned = partitioned;
+  IlpFormulation f(p, build);
+
+  FormResult out;
+  auto rel = lp::solve_lp(f.lp());
+  if (rel.status == lp::LpStatus::kOptimal)
+    out.lp_value = f.unscale_cost(rel.objective);
+
+  if (partitioned) {
+    // Full Checkmate pipeline: incumbent seeding + rounding heuristic.
+    Scheduler sched(p);
+    IlpSolveOptions opts;
+    opts.time_limit_sec = time_limit;
+    auto res = sched.solve_optimal_ilp(budget, opts);
+    out.seconds = res.seconds;
+    out.nodes = res.nodes;
+    if (res.feasible) {
+      out.ilp_value = res.cost;
+      out.solved = res.milp_status == milp::MilpStatus::kOptimal;
+    }
+    return out;
+  }
+  milp::MilpOptions mopts;
+  mopts.time_limit_sec = time_limit;
+  mopts.branch_priority = f.branch_priorities();
+  auto res = milp::solve_milp(f.lp(), mopts);
+  out.seconds = res.seconds;
+  out.nodes = res.nodes;
+  if (res.has_solution()) {
+    out.ilp_value = f.unscale_cost(res.objective);
+    out.solved = res.status == milp::MilpStatus::kOptimal;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const auto scale = bench::get_scale();
+  const int layers = 8;
+  auto p = RematProblem::unit_training_chain(layers);  // n = 17
+  const double budget = 4.0;
+
+  std::printf("Appendix A: integrality gap & solve time, %d-layer unit "
+              "chain (n = %d), budget %.0f\n",
+              layers, p.size(), budget);
+  bench::print_rule(86);
+  std::printf("%-16s %10s %10s %18s %12s %10s\n", "formulation", "LP relax",
+              "ILP opt", "integrality gap", "solve(s)", "nodes");
+  bench::print_rule(86);
+
+  auto print_row = [](const char* name, const FormResult& r) {
+    if (r.ilp_value > 0.0) {
+      std::printf("%-16s %10.3f %10.3f %18.2f %12.3f %10lld%s\n", name,
+                  r.lp_value, r.ilp_value,
+                  r.ilp_value / std::max(1e-9, r.lp_value), r.seconds,
+                  static_cast<long long>(r.nodes),
+                  r.solved ? "" : "  (time limit; best incumbent)");
+    } else {
+      std::printf("%-16s %10.3f %10s %18s %12.3f %10lld  (no incumbent)\n",
+                  name, r.lp_value, "--", "--", r.seconds,
+                  static_cast<long long>(r.nodes));
+    }
+  };
+  auto part = solve_form(p, budget, /*partitioned=*/true,
+                         std::max(60.0, scale.ilp_time_limit_sec));
+  print_row("partitioned", part);
+
+  auto unpart = solve_form(p, budget, /*partitioned=*/false,
+                           std::max(120.0, scale.ilp_time_limit_sec));
+  print_row("unpartitioned", unpart);
+  bench::print_rule(86);
+  std::printf(
+      "Paper: gap 21.56 -> 1.18; solve 9.4h -> 0.23s. The partitioned LP\n"
+      "relaxation is dramatically tighter, so branch & bound prunes almost\n"
+      "everything.\n");
+  return 0;
+}

@@ -1,0 +1,122 @@
+#include "bench_common.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace checkmate::bench {
+
+BenchScale get_scale() {
+  BenchScale s;
+  const char* env = std::getenv("CHECKMATE_BENCH_SCALE");
+  s.paper_scale = env != nullptr && std::strcmp(env, "paper") == 0;
+  const char* tl = std::getenv("CHECKMATE_BENCH_TIME_LIMIT");
+  if (tl != nullptr) s.ilp_time_limit_sec = std::atof(tl);
+  else if (s.paper_scale) s.ilp_time_limit_sec = 3600.0;
+  return s;
+}
+
+int64_t BenchScale::batch(int64_t paper_batch) const {
+  return paper_scale ? paper_batch : std::max<int64_t>(1, paper_batch / 16);
+}
+
+int64_t BenchScale::resolution(int64_t paper_res) const {
+  if (paper_scale) return paper_res;
+  // Keep resolutions divisible by 32 so pooling stacks stay integral.
+  return std::max<int64_t>(32, paper_res / 4 / 32 * 32);
+}
+
+StrategyPoint best_baseline_at_budget(const Scheduler& scheduler,
+                                      baselines::BaselineKind kind,
+                                      double budget_bytes) {
+  StrategyPoint best;
+  for (const auto& s :
+       baselines::baseline_schedules(scheduler.problem(), kind)) {
+    auto eval = scheduler.evaluate_schedule(s.solution, budget_bytes);
+    if (!eval.feasible) continue;
+    if (!best.feasible || eval.cost < best.cost) {
+      best.feasible = true;
+      best.cost = eval.cost;
+      best.overhead = eval.overhead;
+      best.peak_memory = eval.peak_memory;
+      best.label = s.label;
+    }
+  }
+  return best;
+}
+
+StrategyPoint ilp_at_budget(const Scheduler& scheduler, double budget_bytes,
+                            double time_limit_sec) {
+  IlpSolveOptions opts;
+  opts.time_limit_sec = time_limit_sec;
+  auto res = scheduler.solve_optimal_ilp(budget_bytes, opts);
+  StrategyPoint p;
+  if (res.feasible) {
+    p.feasible = true;
+    p.cost = res.cost;
+    p.overhead = res.overhead;
+    p.peak_memory = res.peak_memory;
+    p.label = milp::to_string(res.milp_status);
+  }
+  return p;
+}
+
+StrategyPoint rounding_at_budget(const Scheduler& scheduler,
+                                 double budget_bytes,
+                                 const ApproxOptions& options) {
+  auto res = scheduler.solve_lp_rounding(budget_bytes, options);
+  StrategyPoint p;
+  if (res.feasible) {
+    p.feasible = true;
+    p.cost = res.cost;
+    p.overhead = res.overhead;
+    p.peak_memory = res.peak_memory;
+  }
+  return p;
+}
+
+std::string overhead_cell(const StrategyPoint& p) {
+  if (!p.feasible) return "   --  ";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%6.3fx", p.overhead);
+  return buf;
+}
+
+std::optional<double> geomean_ratio(const std::vector<StrategyPoint>& strat,
+                                    const std::vector<StrategyPoint>& ilp) {
+  double log_sum = 0.0;
+  int count = 0;
+  for (size_t i = 0; i < strat.size() && i < ilp.size(); ++i) {
+    if (!strat[i].feasible || !ilp[i].feasible) continue;
+    log_sum += std::log(strat[i].cost / ilp[i].cost);
+    ++count;
+  }
+  if (count == 0) return std::nullopt;
+  return std::exp(log_sum / count);
+}
+
+std::vector<double> budget_grid(const Scheduler& scheduler, int points) {
+  auto all = scheduler.evaluate_schedule(
+      baselines::checkpoint_all_schedule(scheduler.problem()), 0.0);
+  const double hi = all.peak_memory;
+  // Interpolate between the structural working-set floor and the
+  // checkpoint-all peak: this is the band where the memory/compute
+  // trade-off actually lives (crucial for models whose parameters dominate
+  // the budget -- a fraction-of-peak grid would be mostly infeasible).
+  const double floor = scheduler.problem().memory_floor();
+  const double lo = floor + 0.05 * (hi - floor);
+  std::vector<double> grid;
+  for (int i = 0; i < points; ++i) {
+    const double frac = static_cast<double>(i) / (points - 1);
+    grid.push_back(lo + frac * (hi - lo));
+  }
+  return grid;
+}
+
+void print_rule(int width) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+}  // namespace checkmate::bench

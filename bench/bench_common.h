@@ -1,0 +1,66 @@
+// Shared harness for the paper-reproduction benchmarks: strategy
+// evaluation over budget sweeps and table printing.
+//
+// Benchmark scale: benchmarks accept a CHECKMATE_BENCH_SCALE environment
+// variable ("small" | "paper"). The default "small" runs every experiment
+// at reduced batch/resolution so the whole suite finishes in minutes on a
+// laptop while preserving every qualitative comparison; "paper" uses the
+// publication batch sizes and resolutions (expect long MILP solves).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "checkmate.h"
+
+namespace checkmate::bench {
+
+struct BenchScale {
+  bool paper_scale = false;
+  double ilp_time_limit_sec = 60.0;
+  // Divisors applied to batch and resolution in small mode.
+  int64_t batch(int64_t paper_batch) const;
+  int64_t resolution(int64_t paper_res) const;
+};
+
+BenchScale get_scale();
+
+// A rematerialization strategy's best result at a given budget.
+struct StrategyPoint {
+  bool feasible = false;
+  double cost = 0.0;
+  double overhead = 0.0;
+  double peak_memory = 0.0;
+  std::string label;  // winning knob setting, if any
+};
+
+// Evaluates the best (lowest-cost) feasible schedule of `kind` at `budget`.
+StrategyPoint best_baseline_at_budget(const Scheduler& scheduler,
+                                      baselines::BaselineKind kind,
+                                      double budget_bytes);
+
+// Evaluates the Checkmate ILP at `budget`.
+StrategyPoint ilp_at_budget(const Scheduler& scheduler, double budget_bytes,
+                            double time_limit_sec);
+
+// Evaluates two-phase LP rounding at `budget`.
+StrategyPoint rounding_at_budget(const Scheduler& scheduler,
+                                 double budget_bytes,
+                                 const ApproxOptions& options = {});
+
+// Formats "1.23x" / "inf" for overhead cells.
+std::string overhead_cell(const StrategyPoint& p);
+
+// Geometric-mean ratio of strategy cost to ILP cost across budgets where
+// both are feasible (Table 2 aggregation). Returns nullopt if no budget is
+// commonly feasible.
+std::optional<double> geomean_ratio(const std::vector<StrategyPoint>& strat,
+                                    const std::vector<StrategyPoint>& ilp);
+
+// Standard budget grid between the feasibility floor and checkpoint-all.
+std::vector<double> budget_grid(const Scheduler& scheduler, int points);
+
+void print_rule(int width = 78);
+
+}  // namespace checkmate::bench

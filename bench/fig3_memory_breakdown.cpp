@@ -1,0 +1,35 @@
+// Figure 3: memory consumed by features vs. parameters (and gradients /
+// workspace) for ten popular architectures, against the memory limit of
+// the GPU each was trained on.
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace checkmate;
+
+int main() {
+  auto stats = model::figure3_model_stats();
+  std::printf("Figure 3: training memory breakdown (GB)\n");
+  bench::print_rule(96);
+  std::printf("%-16s %5s %6s %9s %8s %8s %10s %7s %10s\n", "model", "year",
+              "batch", "features", "params", "grads", "workspace", "total",
+              "gpu-limit");
+  bench::print_rule(96);
+  int features_dominate = 0;
+  int over_half_limit = 0;
+  for (const auto& s : stats) {
+    std::printf("%-16s %5d %6lld %9.2f %8.2f %8.2f %10.2f %7.2f %10.2f\n",
+                s.name.c_str(), s.year, static_cast<long long>(s.batch),
+                s.features_bytes / 1e9, s.param_bytes / 1e9,
+                s.param_grad_bytes / 1e9, s.workspace_bytes / 1e9,
+                s.total_bytes() / 1e9, s.gpu_limit_bytes / 1e9);
+    if (s.features_bytes > s.param_bytes) ++features_dominate;
+    if (s.total_bytes() > s.gpu_limit_bytes / 2) ++over_half_limit;
+  }
+  bench::print_rule(96);
+  std::printf(
+      "features dominate parameters for %d/%zu models; %d/%zu train at\n"
+      ">50%% of their GPU's memory limit (the 'memory wall').\n",
+      features_dominate, stats.size(), over_half_limit, stats.size());
+  return 0;
+}

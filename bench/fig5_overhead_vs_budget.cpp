@@ -1,0 +1,91 @@
+// Figure 5: computational overhead versus memory budget for VGG16 (batch
+// 256), MobileNet (batch 512), and U-Net (batch 32, 416x608), comparing
+// Checkmate's ILP against Chen sqrt(n), Chen greedy, Griewank & Walther,
+// and the AP/linearized generalizations. Overhead is relative to the
+// no-recomputation ideal under the profile-based cost model.
+#include <cstdio>
+#include <functional>
+#include <vector>
+
+#include "bench_common.h"
+
+using namespace checkmate;
+using baselines::BaselineKind;
+
+namespace {
+
+struct ModelCase {
+  const char* title;
+  std::function<model::DnnGraph()> build;
+  std::vector<BaselineKind> strategies;
+};
+
+void run_case(const ModelCase& mc, const bench::BenchScale& scale) {
+  auto problem = RematProblem::from_dnn(model::make_training_graph(mc.build()),
+                                        model::CostMetric::kProfiledTimeUs);
+  Scheduler scheduler(problem);
+  auto budgets = bench::budget_grid(scheduler, 6);
+
+  std::printf("\n%s  (n=%d nodes)\n", mc.title, problem.size());
+  bench::print_rule(96);
+  std::printf("%-12s", "budget(GB)");
+  for (auto kind : mc.strategies)
+    std::printf(" %16s", baselines::to_string(kind));
+  std::printf(" %16s\n", "checkmate_ilp");
+  bench::print_rule(96);
+
+  for (double budget : budgets) {
+    std::printf("%-12.2f", budget / 1e9);
+    for (auto kind : mc.strategies) {
+      auto pt = bench::best_baseline_at_budget(scheduler, kind, budget);
+      std::printf(" %16s", bench::overhead_cell(pt).c_str());
+    }
+    auto ilp =
+        bench::ilp_at_budget(scheduler, budget, scale.ilp_time_limit_sec);
+    std::printf(" %16s\n", bench::overhead_cell(ilp).c_str());
+  }
+}
+
+}  // namespace
+
+int main() {
+  const auto scale = bench::get_scale();
+  std::printf("Figure 5: overhead vs. memory budget (cost model: synthetic "
+              "V100 profile)\n");
+  std::printf("scale: %s\n", scale.paper_scale ? "paper" : "small");
+
+  const std::vector<BaselineKind> linear_strategies = {
+      BaselineKind::kCheckpointAll, BaselineKind::kChenSqrtN,
+      BaselineKind::kChenGreedy, BaselineKind::kGriewankLogN};
+  const std::vector<BaselineKind> general_strategies = {
+      BaselineKind::kCheckpointAll, BaselineKind::kApSqrtN,
+      BaselineKind::kLinearizedSqrtN, BaselineKind::kLinearizedGreedy};
+
+  ModelCase cases[] = {
+      {"VGG16 (batch 256, 224x224)",
+       [&] {
+         return model::zoo::vgg16(scale.batch(256), scale.resolution(224));
+       },
+       linear_strategies},
+      {"MobileNet (batch 512, 224x224)",
+       [&] {
+         return model::zoo::mobilenet_v1(scale.batch(512),
+                                         scale.resolution(224));
+       },
+       linear_strategies},
+      {"U-Net (batch 32, 416x608)",
+       [&] {
+         return model::zoo::unet(scale.batch(32),
+                                 scale.resolution(416),
+                                 scale.resolution(608));
+       },
+       general_strategies},
+  };
+  for (const auto& mc : cases) run_case(mc, scale);
+
+  std::printf(
+      "\nTakeaway (paper): Checkmate is feasible at lower budgets than every\n"
+      "baseline and has the lowest overhead wherever baselines are feasible\n"
+      "(>1.2x faster than the best baseline on U-Net at the V100 budget).\n");
+  return 0;
+}

@@ -1,0 +1,129 @@
+// Figure 6: maximum batch size trainable on a single 16 GB GPU with at most
+// one extra forward pass of recomputation, for U-Net, FCN8, SegNet, VGG19,
+// ResNet50 and MobileNet, under four strategies: checkpoint-all, AP sqrt(n),
+// linearized greedy, and the Checkmate ILP. Costs are measured in FLOPs,
+// exactly as in the paper.
+#include <cstdio>
+#include <functional>
+
+#include "bench_common.h"
+
+using namespace checkmate;
+using baselines::BaselineKind;
+
+namespace {
+
+FeasibilityProbe baseline_probe(BaselineKind kind, double budget,
+                                double cost_cap_factor_fwd = 2.0) {
+  return [kind, budget, cost_cap_factor_fwd](const RematProblem& p) {
+    const double cap =
+        cost_cap_factor_fwd * p.forward_cost() + p.backward_cost();
+    for (const auto& s : baselines::baseline_schedules(p, kind)) {
+      if (!s.solution.check_feasible(p).empty()) continue;
+      if (peak_memory_usage(p, s.solution) > budget) continue;
+      if (s.solution.compute_cost(p) > cap + 1e-6) continue;
+      return true;
+    }
+    return false;
+  };
+}
+
+}  // namespace
+
+int main() {
+  const auto scale = bench::get_scale();
+  // Scaled-down budget in small mode: models shrink by the batch/resolution
+  // divisors, so shrink the device proportionally to keep the comparison
+  // meaningful. Parameter-heavy models (FCN8's 7x7x512x4096 fc6) carry
+  // their constant overhead regardless of batch, so the small-mode device
+  // still must host it: floor the budget at 1.5x the batch-1 footprint.
+  const double base_budget = scale.paper_scale ? 16e9 : 1e9;
+
+  struct Case {
+    const char* name;
+    std::function<RematProblem(int64_t)> factory;
+  };
+  const int64_t seg_h = scale.resolution(416), seg_w = scale.resolution(608);
+  const int64_t cls_r = scale.resolution(224);
+  Case cases[] = {
+      {"U-Net",
+       [&](int64_t b) {
+         return RematProblem::from_dnn(
+             model::make_training_graph(model::zoo::unet(b, seg_h, seg_w)),
+             model::CostMetric::kFlops);
+       }},
+      {"FCN8",
+       [&](int64_t b) {
+         return RematProblem::from_dnn(
+             model::make_training_graph(model::zoo::fcn8(b, seg_h, seg_w)),
+             model::CostMetric::kFlops);
+       }},
+      {"SegNet",
+       [&](int64_t b) {
+         return RematProblem::from_dnn(
+             model::make_training_graph(model::zoo::segnet(b, seg_h, seg_w)),
+             model::CostMetric::kFlops);
+       }},
+      {"VGG19",
+       [&](int64_t b) {
+         return RematProblem::from_dnn(
+             model::make_training_graph(model::zoo::vgg19(b, cls_r)),
+             model::CostMetric::kFlops);
+       }},
+      {"ResNet50",
+       [&](int64_t b) {
+         return RematProblem::from_dnn(
+             model::make_training_graph(model::zoo::resnet(
+                 b, cls_r, scale.paper_scale
+                               ? std::array<int, 4>{3, 4, 6, 3}
+                               : std::array<int, 4>{2, 2, 2, 2})),
+             model::CostMetric::kFlops);
+       }},
+      {"MobileNet",
+       [&](int64_t b) {
+         return RematProblem::from_dnn(
+             model::make_training_graph(model::zoo::mobilenet_v1(b, cls_r)),
+             model::CostMetric::kFlops);
+       }},
+  };
+
+  std::printf("Figure 6: max batch size, cost cap = one extra forward "
+              "pass\n");
+  std::printf("scale: %s\n\n", scale.paper_scale ? "paper" : "small");
+  std::printf("%-10s %10s %14s %10s %12s %10s %14s\n", "model", "budget(GB)",
+              "checkpoint_all", "ap_sqrt_n", "lin_greedy", "checkmate",
+              "vs_ckpt_all");
+  bench::print_rule(88);
+
+  for (const auto& c : cases) {
+    const double budget =
+        std::max(base_budget, 1.5 * c.factory(1).memory_floor());
+    MaxBatchOptions opts;
+    opts.budget_bytes = budget;
+    opts.max_batch = 1 << 14;
+    auto base =
+        max_batch_size(c.factory,
+                       baseline_probe(BaselineKind::kCheckpointAll, budget),
+                       opts);
+    auto ap = max_batch_size(
+        c.factory, baseline_probe(BaselineKind::kApSqrtN, budget), opts);
+    auto lin = max_batch_size(
+        c.factory, baseline_probe(BaselineKind::kLinearizedGreedy, budget),
+        opts);
+    auto ours = max_batch_size(
+        c.factory, make_ilp_probe(budget, scale.ilp_time_limit_sec), opts);
+    std::printf("%-10s %10.2f %14lld %10lld %12lld %10lld %13.2fx\n", c.name,
+                budget / 1e9, static_cast<long long>(base.max_batch),
+                static_cast<long long>(ap.max_batch),
+                static_cast<long long>(lin.max_batch),
+                static_cast<long long>(ours.max_batch),
+                base.max_batch > 0
+                    ? static_cast<double>(ours.max_batch) / base.max_batch
+                    : 0.0);
+  }
+  std::printf(
+      "\nTakeaway (paper): Checkmate enables up to 5.1x larger batches than\n"
+      "checkpoint-all (MobileNet) and up to 1.73x over the best heuristic\n"
+      "(U-Net).\n");
+  return 0;
+}

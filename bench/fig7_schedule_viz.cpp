@@ -1,0 +1,98 @@
+// Figure 7: R-matrix schedule visualizations for VGG19 under three
+// strategies -- TensorFlow 2.0 (checkpoint-all), Chen et al. sqrt(n), and
+// Checkmate -- plus the max batch size each strategy sustains on a fixed
+// budget (the paper reports 167 / 197 / 289 on a 16 GB V100).
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace checkmate;
+using baselines::BaselineKind;
+
+namespace {
+
+RematProblem vgg19_problem(int64_t batch, int64_t res) {
+  return RematProblem::from_dnn(
+      model::make_training_graph(model::zoo::vgg19(batch, res)),
+      model::CostMetric::kFlops);
+}
+
+void print_matrix(const char* title, const RematSolution& sol) {
+  std::printf("\n%s\n", title);
+  std::printf("(rows: stages; cols: ops; '#' computed, 'o' retained)\n%s",
+              render_schedule(sol).c_str());
+}
+
+}  // namespace
+
+int main() {
+  const auto scale = bench::get_scale();
+  const int64_t res = scale.resolution(224);
+  const double budget = scale.paper_scale ? 16e9 : 1e9;
+
+  // ---- Schedule visualizations at a fixed batch.
+  const int64_t vis_batch = scale.batch(160);
+  auto p = vgg19_problem(vis_batch, res);
+  Scheduler sched(p);
+
+  auto all = baselines::checkpoint_all_schedule(p);
+  print_matrix("TensorFlow 2.0 (checkpoint all):", all);
+
+  auto chen = baselines::baseline_schedules(p, BaselineKind::kChenSqrtN);
+  if (!chen.empty())
+    print_matrix("Chen et al. sqrt(n):", chen[0].solution);
+
+  auto budget_for_vis = 0.5 * peak_memory_usage(p, all);
+  IlpSolveOptions opts;
+  opts.time_limit_sec = scale.ilp_time_limit_sec;
+  auto ours = sched.solve_optimal_ilp(budget_for_vis, opts);
+  if (ours.feasible) {
+    char title[96];
+    std::snprintf(title, sizeof title,
+                  "Checkmate (budget %.2f GB, solve %.1fs):",
+                  budget_for_vis / 1e9, ours.seconds);
+    print_matrix(title, ours.solution);
+  }
+
+  // ---- Max batch comparison on the fixed budget.
+  ProblemFactory factory = [&](int64_t b) { return vgg19_problem(b, res); };
+  MaxBatchOptions mopts;
+  mopts.budget_bytes = budget;
+  mopts.max_batch = 4096;
+
+  FeasibilityProbe all_probe = [&](const RematProblem& prob) {
+    auto sol = baselines::checkpoint_all_schedule(prob);
+    return peak_memory_usage(prob, sol) <= budget;
+  };
+  FeasibilityProbe chen_probe = [&](const RematProblem& prob) {
+    const double cap = 2.0 * prob.forward_cost() + prob.backward_cost();
+    for (const auto& s :
+         baselines::baseline_schedules(prob, BaselineKind::kChenGreedy)) {
+      if (peak_memory_usage(prob, s.solution) <= budget &&
+          s.solution.compute_cost(prob) <= cap)
+        return true;
+    }
+    return false;
+  };
+
+  auto b_all = max_batch_size(factory, all_probe, mopts);
+  auto b_chen = max_batch_size(factory, chen_probe, mopts);
+  auto b_ours =
+      max_batch_size(factory, make_ilp_probe(budget, scale.ilp_time_limit_sec),
+                     mopts);
+
+  std::printf("\nVGG19 max batch at %.0f GB (paper: 167 / 197 / 289):\n",
+              budget / 1e9);
+  std::printf("  TensorFlow 2.0 (checkpoint all): %lld\n",
+              static_cast<long long>(b_all.max_batch));
+  std::printf("  Chen et al.:                     %lld\n",
+              static_cast<long long>(b_chen.max_batch));
+  std::printf("  Checkmate:                       %lld (%.0f%% over TF2.0)\n",
+              static_cast<long long>(b_ours.max_batch),
+              b_all.max_batch > 0
+                  ? 100.0 * (static_cast<double>(b_ours.max_batch) /
+                                 b_all.max_batch -
+                             1.0)
+                  : 0.0);
+  return 0;
+}

@@ -1,0 +1,169 @@
+// Microbenchmarks (google-benchmark) for the solver substrate: sparse LU
+// round trips, dual simplex solves, MILP branch & bound, ILP construction,
+// schedule generation and simulation throughput.
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "checkmate.h"
+
+namespace {
+
+using namespace checkmate;
+
+void BM_GraphTopoSort(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Graph g = make_path_graph(n);
+  for (int i = 0; i + 8 < n; i += 4) g.add_edge(i, i + 8);
+  for (auto _ : state) benchmark::DoNotOptimize(g.topological_order());
+}
+BENCHMARK(BM_GraphTopoSort)->Arg(128)->Arg(1024)->Arg(8192);
+
+void BM_ArticulationPoints(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Graph g = make_path_graph(n);
+  for (int i = 0; i + 6 < n; i += 3) g.add_edge(i, i + 6);
+  for (auto _ : state) benchmark::DoNotOptimize(g.articulation_points());
+}
+BENCHMARK(BM_ArticulationPoints)->Arg(128)->Arg(1024)->Arg(8192);
+
+void BM_SparseLuFactorizeSolve(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  std::vector<std::vector<int>> rows(m);
+  std::vector<std::vector<double>> vals(m);
+  std::mt19937 rng(1);
+  for (int j = 0; j < m; ++j) {
+    rows[j] = {j};
+    vals[j] = {4.0};
+    if (j > 0) {
+      rows[j].push_back(j - 1);
+      vals[j].push_back(-1.0);
+    }
+    if (static_cast<int>(rng() % 4) == 0 && j + 7 < m) {
+      rows[j].push_back(j + 7);
+      vals[j].push_back(0.5);
+    }
+  }
+  std::vector<lp::BasisColumn> cols(m);
+  for (int j = 0; j < m; ++j) cols[j] = {rows[j], vals[j]};
+  std::vector<double> rhs(m, 1.0);
+  for (auto _ : state) {
+    lp::LuFactorization lu;
+    bool ok = lu.factorize(m, cols);
+    benchmark::DoNotOptimize(ok);
+    std::vector<double> x = rhs;
+    lu.ftran(x);
+    benchmark::DoNotOptimize(x);
+  }
+}
+BENCHMARK(BM_SparseLuFactorizeSolve)->Arg(256)->Arg(1024)->Arg(4096);
+
+lp::LinearProgram staircase_lp(int n) {
+  lp::LinearProgram prog;
+  for (int j = 0; j < n; ++j) prog.add_var(0.0, 10.0, 1.0 + (j % 5));
+  for (int r = 0; r < n; ++r) {
+    std::vector<std::pair<int, double>> t{{r, 1.0}};
+    if (r + 1 < n) t.emplace_back(r + 1, 0.5);
+    if (r + 13 < n) t.emplace_back(r + 13, 0.25);
+    prog.add_ge(t, 2.0);
+  }
+  return prog;
+}
+
+void BM_DualSimplexSolve(benchmark::State& state) {
+  auto prog = staircase_lp(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto res = lp::solve_lp(prog);
+    benchmark::DoNotOptimize(res.objective);
+  }
+}
+BENCHMARK(BM_DualSimplexSolve)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_MilpKnapsack(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  lp::LinearProgram prog;
+  std::mt19937 rng(7);
+  std::vector<std::pair<int, double>> row;
+  for (int j = 0; j < n; ++j) {
+    prog.add_binary(-1.0 - static_cast<double>(rng() % 100) / 100.0);
+    row.emplace_back(j, 1.0 + static_cast<double>(rng() % 3));
+  }
+  prog.add_le(row, n * 0.8);
+  for (auto _ : state) {
+    auto res = milp::solve_milp(prog);
+    benchmark::DoNotOptimize(res.objective);
+  }
+}
+BENCHMARK(BM_MilpKnapsack)->Arg(12)->Arg(20);
+
+void BM_IlpConstructionVgg16(benchmark::State& state) {
+  auto problem = RematProblem::from_dnn(
+      model::make_training_graph(model::zoo::vgg16(4)),
+      model::CostMetric::kProfiledTimeUs);
+  IlpBuildOptions opts;
+  opts.budget_bytes = 0.6 * problem.total_memory();
+  for (auto _ : state) {
+    IlpFormulation f(problem, opts);
+    benchmark::DoNotOptimize(f.lp().num_vars());
+  }
+}
+BENCHMARK(BM_IlpConstructionVgg16);
+
+void BM_CheckmateIlpSolveUnitChain(benchmark::State& state) {
+  auto p = RematProblem::unit_training_chain(static_cast<int>(state.range(0)));
+  Scheduler sched(p);
+  const double budget = 6.0;
+  IlpSolveOptions opts;
+  opts.time_limit_sec = 2.0;  // bounded per iteration; tiny chains finish
+  for (auto _ : state) {
+    auto res = sched.solve_optimal_ilp(budget, opts);
+    benchmark::DoNotOptimize(res.cost);
+  }
+}
+BENCHMARK(BM_CheckmateIlpSolveUnitChain)->Arg(4)->Arg(6)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->Iterations(3);
+
+void BM_TwoPhaseRounding(benchmark::State& state) {
+  auto p = RematProblem::unit_training_chain(12);
+  const int n = p.size();
+  std::vector<std::vector<double>> s_star(n, std::vector<double>(n, 0.0));
+  std::mt19937 rng(3);
+  for (int t = 1; t < n; ++t)
+    for (int i = 0; i < t; ++i)
+      s_star[t][i] = static_cast<double>(rng() % 100) / 100.0;
+  for (auto _ : state) {
+    auto sol = two_phase_round(p.graph, s_star);
+    benchmark::DoNotOptimize(sol.R.size());
+  }
+}
+BENCHMARK(BM_TwoPhaseRounding);
+
+void BM_PlanGenerationAndSimulation(benchmark::State& state) {
+  auto p = RematProblem::from_dnn(
+      model::make_training_graph(model::zoo::vgg16(4)),
+      model::CostMetric::kProfiledTimeUs);
+  auto sol = baselines::checkpoint_all_schedule(p);
+  for (auto _ : state) {
+    auto plan = generate_execution_plan(p, sol);
+    auto sim = simulate_plan(p, plan);
+    benchmark::DoNotOptimize(sim.peak_memory);
+  }
+}
+BENCHMARK(BM_PlanGenerationAndSimulation);
+
+void BM_PolicySimulationUnet(benchmark::State& state) {
+  auto p = RematProblem::from_dnn(
+      model::make_training_graph(model::zoo::unet(2, 96, 128)),
+      model::CostMetric::kProfiledTimeUs);
+  std::vector<uint8_t> keep(p.size(), 0);
+  for (int v = 0; v < p.size(); v += 3)
+    if (!p.is_backward[v]) keep[v] = 1;
+  for (auto _ : state) {
+    auto sol = baselines::simulate_checkpoint_policy(
+        p, keep, baselines::EvictionMode::kChenStyle);
+    benchmark::DoNotOptimize(sol.R.size());
+  }
+}
+BENCHMARK(BM_PolicySimulationUnet);
+
+}  // namespace

@@ -1,0 +1,75 @@
+// Semantic-segmentation scenario (the paper's U-Net motivation): sweep the
+// memory budget for U-Net training and compare the optimal schedule against
+// the generalized baselines at each point -- a miniature of Figure 5c.
+//
+//   ./unet_budget_sweep [batch] [height] [width]
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "checkmate.h"
+
+using namespace checkmate;
+
+int main(int argc, char** argv) {
+  const int64_t batch = argc > 1 ? std::atoll(argv[1]) : 4;
+  const int64_t height = argc > 2 ? std::atoll(argv[2]) : 160;
+  const int64_t width = argc > 3 ? std::atoll(argv[3]) : 224;
+
+  auto train = model::make_training_graph(model::zoo::unet(batch, height,
+                                                           width));
+  auto problem =
+      RematProblem::from_dnn(train, model::CostMetric::kProfiledTimeUs);
+  Scheduler scheduler(problem);
+
+  auto all = scheduler.evaluate_schedule(
+      baselines::checkpoint_all_schedule(problem), 0.0);
+  std::printf("U-Net %lldx%lld batch %lld: checkpoint-all %.2f GB, %.1f ms\n",
+              static_cast<long long>(height), static_cast<long long>(width),
+              static_cast<long long>(batch), all.peak_memory / 1e9,
+              all.cost / 1e3);
+
+  // Baseline candidate schedules (computed once; best feasible per budget).
+  using baselines::BaselineKind;
+  struct Strategy {
+    const char* name;
+    std::vector<baselines::BaselineSchedule> schedules;
+  };
+  std::vector<Strategy> strategies;
+  for (auto kind : {BaselineKind::kApSqrtN, BaselineKind::kLinearizedGreedy})
+    strategies.push_back({baselines::to_string(kind),
+                          baselines::baseline_schedules(problem, kind)});
+
+  std::printf("\n%-10s %-12s %-12s %-12s\n", "budget", "checkmate",
+              strategies[0].name, strategies[1].name);
+  const double floor = problem.memory_floor();
+  for (double frac : {0.9, 0.7, 0.5, 0.3, 0.1}) {
+    const double budget = floor + frac * (all.peak_memory - floor);
+    IlpSolveOptions opts;
+    opts.time_limit_sec = 60.0;
+    auto ours = scheduler.solve_optimal_ilp(budget, opts);
+    std::printf("%6.2f GB  %-12s", budget / 1e9,
+                ours.feasible
+                    ? (std::to_string(ours.overhead).substr(0, 5) + "x").c_str()
+                    : "infeasible");
+    for (const auto& strat : strategies) {
+      double best = -1.0;
+      for (const auto& s : strat.schedules) {
+        auto eval = scheduler.evaluate_schedule(s.solution, budget);
+        if (eval.feasible && (best < 0 || eval.overhead < best))
+          best = eval.overhead;
+      }
+      if (best < 0)
+        std::printf(" %-12s", "infeasible");
+      else
+        std::printf(" %-12s",
+                    (std::to_string(best).substr(0, 5) + "x").c_str());
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nTakeaway (paper Fig. 5c): the optimal schedule stays feasible at\n"
+      "budgets where the heuristics fail, and has lower overhead wherever\n"
+      "they are feasible.\n");
+  return 0;
+}

@@ -1,0 +1,22 @@
+// Checkpoint-all lives in chen.cpp alongside the other policy-backed
+// schedules; this translation unit provides the BaselineKind printing so
+// the enum's catalogue has a single home.
+#include "baselines/baselines.h"
+
+namespace checkmate::baselines {
+
+const char* to_string(BaselineKind kind) {
+  switch (kind) {
+    case BaselineKind::kCheckpointAll: return "checkpoint_all";
+    case BaselineKind::kChenSqrtN: return "chen_sqrt_n";
+    case BaselineKind::kChenGreedy: return "chen_greedy";
+    case BaselineKind::kGriewankLogN: return "griewank_logn";
+    case BaselineKind::kApSqrtN: return "ap_sqrt_n";
+    case BaselineKind::kApGreedy: return "ap_greedy";
+    case BaselineKind::kLinearizedSqrtN: return "linearized_sqrt_n";
+    case BaselineKind::kLinearizedGreedy: return "linearized_greedy";
+  }
+  return "unknown";
+}
+
+}  // namespace checkmate::baselines

@@ -1,0 +1,42 @@
+#include <cmath>
+
+#include "baselines/baselines.h"
+
+namespace checkmate::baselines {
+
+std::vector<NodeId> chen_sqrt_n_select(const std::vector<NodeId>& candidates) {
+  const int l = static_cast<int>(candidates.size());
+  if (l == 0) return {};
+  const int k = static_cast<int>(std::ceil(std::sqrt(static_cast<double>(l))));
+  std::vector<NodeId> out;
+  for (int idx = k; idx < l; idx += k) out.push_back(candidates[idx]);
+  return out;
+}
+
+std::vector<NodeId> chen_greedy_select(const RematProblem& p,
+                                       const std::vector<NodeId>& candidates,
+                                       double segment_budget_bytes) {
+  std::vector<uint8_t> is_candidate(p.size(), 0);
+  for (NodeId v : candidates) is_candidate[v] = 1;
+
+  std::vector<NodeId> out;
+  double acc = 0.0;
+  for (NodeId v = 0; v < p.size(); ++v) {
+    if (p.is_backward[v]) continue;
+    acc += p.memory[v];
+    if (acc > segment_budget_bytes && is_candidate[v]) {
+      out.push_back(v);
+      acc = 0.0;
+    }
+  }
+  return out;
+}
+
+RematSolution checkpoint_all_schedule(const RematProblem& p) {
+  std::vector<uint8_t> keep(p.size(), 0);
+  for (NodeId v = 0; v < p.size(); ++v)
+    if (!p.is_backward[v]) keep[v] = 1;
+  return simulate_checkpoint_policy(p, keep, EvictionMode::kLastUse);
+}
+
+}  // namespace checkmate::baselines

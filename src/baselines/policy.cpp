@@ -1,0 +1,178 @@
+#include <algorithm>
+
+#include "baselines/baselines.h"
+
+namespace checkmate::baselines {
+
+RematSolution simulate_checkpoint_policy(const RematProblem& p,
+                                         const std::vector<uint8_t>& keep,
+                                         EvictionMode mode) {
+  const int n = p.size();
+  const int first_bwd = p.first_backward_stage();
+
+  RematSolution sol;
+  sol.R = make_bool_matrix(n, n);
+  sol.S = make_bool_matrix(n, n);
+  std::vector<bool> resident(n, false);
+
+  for (int t = 0; t < n; ++t) {
+    for (int i = 0; i < t; ++i)
+      if (resident[i]) sol.S[t][i] = 1;
+
+    // In-stage recomputation closure: everything the frontier node needs
+    // that is not resident gets recomputed (from the nearest resident
+    // ancestors), evaluated in index order within the stage.
+    std::vector<NodeId> stack{static_cast<NodeId>(t)};
+    std::vector<bool> need(n, false);
+    need[t] = true;
+    while (!stack.empty()) {
+      const NodeId j = stack.back();
+      stack.pop_back();
+      for (NodeId d : p.graph.deps(j)) {
+        if (!resident[d] && !need[d]) {
+          need[d] = true;
+          stack.push_back(d);
+        }
+      }
+    }
+    for (int j = 0; j <= t; ++j) {
+      if (need[j]) {
+        sol.R[t][j] = 1;
+        resident[j] = true;
+      }
+    }
+
+    // End-of-stage eviction.
+    const bool forward_phase = t < first_bwd;
+    for (int i = 0; i <= t; ++i) {
+      if (!resident[i]) continue;
+      if (mode == EvictionMode::kChenStyle && keep[i]) continue;
+
+      bool has_future_use = false;
+      for (NodeId u : p.graph.users(i)) {
+        if (u <= t) continue;
+        // During the forward phase the Chen policy only retains values for
+        // upcoming *forward* consumers; values whose remaining consumers
+        // are all gradients are dropped and rematerialized later. The
+        // frontier value is exempt (it was just produced and flows into
+        // the next stage).
+        if (mode == EvictionMode::kChenStyle && forward_phase && i != t &&
+            p.is_backward[u])
+          continue;
+        has_future_use = true;
+        break;
+      }
+      if (!has_future_use) resident[i] = false;
+    }
+  }
+  return sol;
+}
+
+RematSolution budget_aware_schedule(const RematProblem& p,
+                                    double retention_cap_bytes) {
+  const int n = p.size();
+  RematSolution sol;
+  sol.R = make_bool_matrix(n, n);
+  sol.S = make_bool_matrix(n, n);
+  std::vector<bool> resident(n, false);
+
+  for (int t = 0; t < n; ++t) {
+    for (int i = 0; i < t; ++i)
+      if (resident[i]) sol.S[t][i] = 1;
+
+    // Recompute closure for the frontier node.
+    std::vector<NodeId> stack{static_cast<NodeId>(t)};
+    std::vector<bool> need(n, false);
+    need[t] = true;
+    while (!stack.empty()) {
+      const NodeId j = stack.back();
+      stack.pop_back();
+      for (NodeId d : p.graph.deps(j))
+        if (!resident[d] && !need[d]) {
+          need[d] = true;
+          stack.push_back(d);
+        }
+    }
+    for (int j = 0; j <= t; ++j)
+      if (need[j]) {
+        sol.R[t][j] = 1;
+        resident[j] = true;
+      }
+
+    // Belady eviction: retain by ascending next use until the cap fills.
+    struct Candidate {
+      NodeId node;
+      NodeId next_use;
+    };
+    std::vector<Candidate> live;
+    for (int i = 0; i <= t; ++i) {
+      if (!resident[i]) continue;
+      NodeId next = -1;
+      for (NodeId u : p.graph.users(i))
+        if (u > t && (next < 0 || u < next)) next = u;
+      if (next < 0) {
+        resident[i] = false;  // dead value
+      } else {
+        live.push_back({static_cast<NodeId>(i), next});
+      }
+    }
+    std::sort(live.begin(), live.end(),
+              [](const Candidate& a, const Candidate& b) {
+                return a.next_use < b.next_use;
+              });
+    double used = 0.0;
+    for (const Candidate& c : live) {
+      used += p.memory[c.node];
+      if (used > retention_cap_bytes) resident[c.node] = false;
+    }
+  }
+  return sol;
+}
+
+std::vector<NodeId> forward_chain_candidates(const RematProblem& p) {
+  std::vector<NodeId> out;
+  for (NodeId v = 0; v < p.size(); ++v)
+    if (!p.is_backward[v]) out.push_back(v);
+  return out;
+}
+
+std::vector<NodeId> articulation_candidates(const RematProblem& p) {
+  // Build the forward subgraph with dense ids (forward ids are a prefix of
+  // the full graph's ids, so they map one-to-one).
+  const std::vector<NodeId> fwd = forward_chain_candidates(p);
+  Graph sub(static_cast<int>(fwd.size()));
+  for (NodeId v : fwd)
+    for (NodeId u : p.graph.users(v))
+      if (u < static_cast<NodeId>(fwd.size())) sub.add_edge(v, u);
+
+  std::vector<NodeId> out;
+  for (NodeId v : sub.articulation_points()) out.push_back(v);
+  // Graph inputs are always candidates (trivially disconnect the DAG).
+  for (NodeId v : fwd)
+    if (p.graph.deps(v).empty() &&
+        std::find(out.begin(), out.end(), v) == out.end())
+      out.push_back(v);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+bool is_linear_forward(const RematProblem& p) {
+  const std::vector<NodeId> fwd = forward_chain_candidates(p);
+  const int f = static_cast<int>(fwd.size());
+  if (f == 0) return false;
+  // Forward ids must be 0..f-1 (they precede all gradients).
+  if (fwd.back() != f - 1) return false;
+  for (NodeId v = 0; v < f; ++v) {
+    int fwd_users = 0;
+    for (NodeId u : p.graph.users(v))
+      if (u < f) {
+        if (u != v + 1) return false;
+        ++fwd_users;
+      }
+    if (v + 1 < f && fwd_users != 1) return false;
+    if (v + 1 == f && fwd_users != 0) return false;
+  }
+  return true;
+}
+
+}  // namespace checkmate::baselines

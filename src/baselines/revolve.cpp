@@ -1,0 +1,121 @@
+// Griewank & Walther's REVOLVE (binomial checkpointing, "Algorithm 799")
+// expressed in Checkmate's (R, S) schedule space.
+//
+// The treeverse recursion reverses the chain segment (a, b] with s snapshot
+// slots: it advances from a to a binomially-chosen midpoint, stores a
+// snapshot there, recursively reverses the right segment with s-1 slots,
+// releases the snapshot and reverses the left segment. We record, for each
+// adjoint step k, the snapshot set held while gradient g_k is computed;
+// those sets become the S rows of the backward stages, and the minimal
+// recomputation R is implied (checkpoint restores + forward advances fall
+// out of the (1b)/(1c) repairs, landing in the stages REVOLVE would run
+// them).
+#include <cmath>
+#include <set>
+#include <stdexcept>
+
+#include "baselines/baselines.h"
+#include "core/rounding.h"
+
+namespace checkmate::baselines {
+
+namespace {
+
+// beta(s, t) = C(s+t, s): maximum chain length reversible with s snapshots
+// and t forward sweeps. Saturating in double precision.
+double beta(int s, int t) {
+  double acc = 1.0;
+  for (int i = 1; i <= s; ++i) acc *= static_cast<double>(t + i) / i;
+  return acc;
+}
+
+// Binomial midpoint for segment (a, b] with s free snapshots.
+int choose_mid(int a, int b, int s) {
+  const int length = b - a;
+  int t = 1;
+  while (beta(s, t) < static_cast<double>(length) && t < 64) ++t;
+  int mid = a + static_cast<int>(beta(s - 1, t - 1));
+  mid = std::max(a + 1, std::min(b - 1, mid));
+  return mid;
+}
+
+struct Treeverse {
+  std::vector<std::set<int>>& snap_sets;  // indexed by adjoint step k
+
+  void reverse(int a, int b, int s, std::set<int>& held) {
+    if (b <= a) return;
+    if (b == a + 1 || s <= 0) {
+      // Every remaining adjoint step in this segment recomputes from the
+      // currently held snapshots (quadratic fallback when s == 0; a single
+      // one-step advance when b == a+1).
+      for (int k = b; k > a; --k) snap_sets[k] = held;
+      return;
+    }
+    const int mid = choose_mid(a, b, s);
+    held.insert(mid);
+    reverse(mid, b, s - 1, held);
+    held.erase(mid);
+    reverse(a, mid, s, held);
+  }
+};
+
+}  // namespace
+
+RematSolution revolve_schedule(const RematProblem& p, int snapshots) {
+  if (!is_linear_forward(p))
+    throw std::invalid_argument(
+        "revolve_schedule: forward graph must be linear");
+  const int n = p.size();
+  const int f = p.first_backward_stage();
+  if (f == n)
+    throw std::invalid_argument("revolve_schedule: no backward pass");
+  if (snapshots < 1)
+    throw std::invalid_argument("revolve_schedule: need >= 1 snapshot");
+
+  // Adjoint step k (gradient of forward node k) runs at stage grad_stage[k].
+  std::vector<int> grad_stage(f, -1);
+  for (int g = f; g < n; ++g) {
+    const NodeId k = p.grad_of[g];
+    if (k < 0 || k >= f || grad_stage[k] != -1)
+      throw std::invalid_argument("revolve_schedule: malformed backward pass");
+    grad_stage[k] = g;
+  }
+
+  std::vector<std::set<int>> snap_sets(f);
+  std::set<int> held{0};
+  Treeverse tv{snap_sets};
+  tv.reverse(0, f - 1, snapshots, held);
+
+  RematSolution sol;
+  sol.S = make_bool_matrix(n, n);
+
+  // Forward stages: snapshots from the initial sweep (the set held at the
+  // first adjoint step) plus the one-stage frontier chain.
+  const std::set<int>& initial_snaps = snap_sets[f - 1];
+  for (int t = 1; t < f; ++t) {
+    for (int snap : initial_snaps)
+      if (snap < t) sol.S[t][snap] = 1;
+    sol.S[t][t - 1] = 1;
+  }
+
+  // Backward stages: held snapshots + the previous gradient.
+  for (int k = f - 1; k >= 1; --k) {
+    const int t = grad_stage[k];
+    if (t < 0) continue;
+    for (int snap : snap_sets[k])
+      if (snap < t) sol.S[t][snap] = 1;
+    if (k + 1 < f && grad_stage[k + 1] >= 0)
+      sol.S[t][grad_stage[k + 1]] = 1;
+    if (k == f - 1) {
+      // First backward stage: the just-computed tail of the forward pass
+      // (loss and its input) is still live.
+      sol.S[t][f - 1] = 1;
+      if (f >= 2) sol.S[t][f - 2] = 1;
+    }
+  }
+
+  sol.R = solve_r_given_s(p.graph, sol.S);
+  return sol;
+}
+
+}  // namespace checkmate::baselines

@@ -1,0 +1,103 @@
+#include "core/batch_search.h"
+
+#include "baselines/baselines.h"
+#include "core/ilp_builder.h"
+#include "core/rounding.h"
+#include "milp/milp.h"
+
+namespace checkmate {
+
+MaxBatchResult max_batch_size(const ProblemFactory& factory,
+                              const FeasibilityProbe& probe,
+                              const MaxBatchOptions& options) {
+  MaxBatchResult result;
+  auto check = [&](int64_t b) {
+    const RematProblem p = factory(b);
+    const bool ok = probe(p);
+    result.probes.push_back({b, ok});
+    return ok;
+  };
+
+  if (!check(options.min_batch)) return result;  // max_batch = 0
+
+  // Exponential growth to bracket the frontier.
+  int64_t lo = options.min_batch;
+  int64_t hi = lo;
+  while (hi < options.max_batch) {
+    const int64_t next = std::min(options.max_batch, hi * 2);
+    if (next == hi) break;
+    if (check(next)) {
+      lo = hi = next;
+    } else {
+      hi = next;
+      break;
+    }
+  }
+  if (hi == lo) {  // feasible all the way to max_batch
+    result.max_batch = lo;
+    return result;
+  }
+  // Invariant: lo feasible, hi infeasible.
+  while (hi - lo > 1) {
+    const int64_t mid = lo + (hi - lo) / 2;
+    if (check(mid))
+      lo = mid;
+    else
+      hi = mid;
+  }
+  result.max_batch = lo;
+  return result;
+}
+
+FeasibilityProbe make_ilp_probe(double budget_bytes,
+                                double per_probe_time_limit_sec) {
+  return [budget_bytes, per_probe_time_limit_sec](const RematProblem& p) {
+    // Cheap necessary condition: the structural working-set floor must fit.
+    if (p.memory_floor() > budget_bytes) return false;
+    const double cost_cap = 2.0 * p.forward_cost() + p.backward_cost();
+
+    // Sufficient condition: any baseline schedule under budget and cap
+    // proves feasibility without touching the MILP.
+    using baselines::BaselineKind;
+    for (auto kind :
+         {BaselineKind::kCheckpointAll, BaselineKind::kLinearizedGreedy}) {
+      for (const auto& s : baselines::baseline_schedules(p, kind)) {
+        if (peak_memory_usage(p, s.solution) <= budget_bytes &&
+            s.solution.compute_cost(p) <= cost_cap)
+          return true;
+      }
+    }
+    const double headroom = budget_bytes - p.fixed_overhead;
+    for (double frac : {0.85, 0.6, 0.4, 0.25, 0.12}) {
+      auto s = baselines::budget_aware_schedule(p, frac * headroom);
+      if (peak_memory_usage(p, s) <= budget_bytes &&
+          s.compute_cost(p) <= cost_cap)
+        return true;
+    }
+
+    IlpBuildOptions build;
+    build.budget_bytes = budget_bytes;
+    build.cost_cap = cost_cap;
+    const IlpFormulation form(p, build);
+
+    milp::MilpOptions mopts;
+    mopts.time_limit_sec = per_probe_time_limit_sec;
+    mopts.stop_at_first_incumbent = true;
+    mopts.branch_priority = form.branch_priorities();
+
+    milp::IncumbentHeuristic heuristic =
+        [&form, &p](const std::vector<double>& x)
+        -> std::optional<std::vector<double>> {
+      RematSolution rounded =
+          two_phase_round(p.graph, form.extract_fractional_s(x));
+      // assemble_assignment enforces the budget; the cost cap is checked by
+      // the MILP's feasibility validation of the candidate.
+      return form.assemble_assignment(rounded);
+    };
+
+    const milp::MilpResult res = milp::solve_milp(form.lp(), mopts, heuristic);
+    return res.has_solution();
+  };
+}
+
+}  // namespace checkmate

@@ -1,0 +1,92 @@
+// Builds the Checkmate mixed-integer linear program (Problem 9).
+//
+// Variables (all per stage t):
+//   R[t][i]      operation i recomputed in stage t            (binary)
+//   S[t][i]      value i retained from stage t-1 into t       (binary)
+//   U[t][k]      bytes in use just after computing v_k        (continuous)
+//   FREE[t][i,k] value i freed after computing its user v_k   (binary)
+//
+// Constraints: dependency correctness (1b), checkpoint liveness (1c), the
+// memory accounting recurrence (2)-(3) with the linearized FREE definition
+// (7a)-(7c), the budget U <= M_budget (as a variable upper bound), and --
+// in the default partitioned form -- the frontier-advancing constraints
+// (8a)-(8c) of Section 4.6. Diagonal FREE[t][k][k] variables are eliminated
+// per Section 4.8. The unpartitioned variant (Appendix A) replaces (8a-8c)
+// with (1d)-(1e).
+//
+// Memory coefficients are rescaled so the budget is O(100) and costs so the
+// largest cost is 1; raw byte counts (up to 2^31) would otherwise wreck the
+// simplex tolerances.
+#pragma once
+
+#include <optional>
+
+#include "core/remat_problem.h"
+#include "core/solution.h"
+#include "lp/lp_problem.h"
+
+namespace checkmate {
+
+struct IlpBuildOptions {
+  double budget_bytes = 0.0;
+  bool partitioned = true;          // frontier-advancing stages (Section 4.6)
+  bool eliminate_diag_free = true;  // Section 4.8
+  // Optional cap on total recomputation cost (Eq. 10, in original cost
+  // units): sum C_i R[t][i] <= cost_cap.
+  std::optional<double> cost_cap;
+};
+
+class IlpFormulation {
+ public:
+  IlpFormulation(const RematProblem& problem, const IlpBuildOptions& options);
+
+  const lp::LinearProgram& lp() const { return lp_; }
+  lp::LinearProgram& mutable_lp() { return lp_; }
+  const IlpBuildOptions& options() const { return opts_; }
+  const RematProblem& problem() const { return *problem_; }
+
+  // Branching priorities: S > R > FREE (checkpoint decisions dominate).
+  std::vector<int> branch_priorities() const;
+
+  // Converts an LP-space objective value back to problem cost units.
+  double unscale_cost(double scaled) const { return scaled * cost_scale_; }
+  double scale_cost(double unscaled) const { return unscaled / cost_scale_; }
+
+  // Variable lookups (-1 where a variable does not exist, e.g. above the
+  // diagonal in the partitioned form).
+  int r_var(int t, int i) const { return r_[t][i]; }
+  int s_var(int t, int i) const { return s_[t][i]; }
+  int u_var(int t, int k) const { return u_[t][k]; }
+
+  // Extracts R and S from an LP/MILP solution vector (values >= 0.5 are 1).
+  RematSolution extract_solution(const std::vector<double>& x) const;
+  // Extracts the *fractional* S matrix (for two-phase rounding).
+  std::vector<std::vector<double>> extract_fractional_s(
+      const std::vector<double>& x) const;
+
+  // Builds a complete, consistent variable assignment from a feasible
+  // schedule: R/S as given, FREE per Eq. 5, U per the recurrence. Returns
+  // nullopt if the schedule busts the budget (the assignment would violate
+  // the U upper bounds). Used to inject incumbents into branch & bound.
+  std::optional<std::vector<double>> assemble_assignment(
+      const RematSolution& sol) const;
+
+ private:
+  void build();
+
+  const RematProblem* problem_;
+  IlpBuildOptions opts_;
+  lp::LinearProgram lp_;
+  double cost_scale_ = 1.0;
+  double mem_scale_ = 1.0;
+
+  std::vector<std::vector<int>> r_, s_, u_;
+  // free_[t] lists (i, k, var) for every FREE variable of stage t.
+  struct FreeVar {
+    NodeId i, k;
+    int var;
+  };
+  std::vector<std::vector<FreeVar>> free_;
+};
+
+}  // namespace checkmate

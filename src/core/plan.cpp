@@ -1,0 +1,83 @@
+#include "core/plan.h"
+
+#include <stdexcept>
+
+namespace checkmate {
+
+int ExecutionPlan::compute_count() const {
+  int count = 0;
+  for (const Statement& s : statements)
+    if (s.kind == StatementKind::kCompute) ++count;
+  return count;
+}
+
+std::string ExecutionPlan::to_string(const RematProblem& p) const {
+  std::string out;
+  int last_stage = -1;
+  for (const Statement& s : statements) {
+    if (s.stage != last_stage) {
+      out += "stage " + std::to_string(s.stage) + ":\n";
+      last_stage = s.stage;
+    }
+    if (s.kind == StatementKind::kCompute) {
+      out += "  %" + std::to_string(s.reg) + " = compute " +
+             (s.node < static_cast<NodeId>(p.node_names.size())
+                  ? p.node_names[s.node]
+                  : std::to_string(s.node)) +
+             "\n";
+    } else {
+      out += "  deallocate %" + std::to_string(s.reg) + "\n";
+    }
+  }
+  return out;
+}
+
+ExecutionPlan generate_execution_plan(const RematProblem& p,
+                                      const RematSolution& sol,
+                                      const PlanOptions& options) {
+  const std::string err = sol.check_feasible(p);
+  if (!err.empty())
+    throw std::invalid_argument("generate_execution_plan: infeasible: " + err);
+
+  const int n = p.size();
+  const FreeSchedule fs = compute_free_schedule(p, sol);
+
+  ExecutionPlan plan;
+  std::vector<int> regs(n, -1);
+  std::vector<bool> resident(n, false);
+  int next_reg = 0;
+
+  auto dealloc = [&](NodeId i, int stage) {
+    if (!resident[i])
+      throw std::logic_error("plan generation: double free of node " +
+                             std::to_string(i));
+    plan.statements.push_back(
+        {StatementKind::kDeallocate, i, regs[i], stage});
+    resident[i] = false;
+  };
+
+  for (int t = 0; t < n; ++t) {
+    if (options.hoist_deallocations)
+      for (NodeId i : fs.stage_drop[t]) dealloc(i, t);
+
+    for (int k = 0; k <= t; ++k) {
+      if (sol.R[t][k]) {
+        // Recomputing a live value replaces it: release the old register
+        // first so memory stays flat (the MILP's accounting is allowed to
+        // double-count this case; the realized plan need not).
+        if (resident[k]) dealloc(k, t);
+        plan.statements.push_back({StatementKind::kCompute, k, next_reg, t});
+        regs[k] = next_reg++;
+        resident[k] = true;
+      }
+      for (NodeId i : fs.after_compute[t][k]) dealloc(i, t);
+    }
+
+    if (!options.hoist_deallocations)
+      for (NodeId i : fs.stage_drop[t]) dealloc(i, t);
+  }
+  plan.num_registers = next_reg;
+  return plan;
+}
+
+}  // namespace checkmate

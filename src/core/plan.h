@@ -1,0 +1,49 @@
+// Concrete execution plans (Section 4.9, Algorithm 1).
+//
+// A plan is a straight-line program over virtual registers:
+//   %r = compute v     materialize operation v into fresh register %r
+//   deallocate %r      mark the value tracked by %r for garbage collection
+//
+// Plans are generated from (R, S, FREE) by a row-major scan of the solution
+// matrices, then optionally optimized by hoisting deallocations of spurious
+// checkpoints to the start of their stage (the code motion of Section 4.9).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/remat_problem.h"
+#include "core/solution.h"
+
+namespace checkmate {
+
+enum class StatementKind { kCompute, kDeallocate };
+
+struct Statement {
+  StatementKind kind = StatementKind::kCompute;
+  NodeId node = -1;  // operation computed / value deallocated
+  int reg = -1;      // virtual register
+  int stage = -1;    // stage that emitted this statement
+};
+
+struct ExecutionPlan {
+  std::vector<Statement> statements;
+  int num_registers = 0;
+
+  int compute_count() const;
+  std::string to_string(const RematProblem& p) const;
+};
+
+struct PlanOptions {
+  // Move deallocations of checkpoints that are unused within their stage to
+  // the stage start (reduces actual memory below the solver's estimate; not
+  // required for budget feasibility).
+  bool hoist_deallocations = true;
+};
+
+// Algorithm 1. The solution must satisfy check_feasible().
+ExecutionPlan generate_execution_plan(const RematProblem& p,
+                                      const RematSolution& sol,
+                                      const PlanOptions& options = {});
+
+}  // namespace checkmate

@@ -1,0 +1,135 @@
+#include "core/remat_problem.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace checkmate {
+
+double RematProblem::total_cost_all_nodes() const {
+  return std::accumulate(cost.begin(), cost.end(), 0.0);
+}
+
+double RematProblem::forward_cost() const {
+  double c = 0.0;
+  for (int v = 0; v < size(); ++v)
+    if (!is_backward[v]) c += cost[v];
+  return c;
+}
+
+double RematProblem::backward_cost() const {
+  double c = 0.0;
+  for (int v = 0; v < size(); ++v)
+    if (is_backward[v]) c += cost[v];
+  return c;
+}
+
+double RematProblem::max_node_memory() const {
+  return *std::max_element(memory.begin(), memory.end());
+}
+
+double RematProblem::total_memory() const {
+  return std::accumulate(memory.begin(), memory.end(), fixed_overhead);
+}
+
+double RematProblem::memory_floor() const {
+  double floor = 0.0;
+  for (int k = 0; k < size(); ++k) {
+    double need = memory[k];
+    for (NodeId d : graph.deps(k)) need += memory[d];
+    floor = std::max(floor, need);
+  }
+  return floor + fixed_overhead;
+}
+
+int RematProblem::first_backward_stage() const {
+  for (int v = 0; v < size(); ++v)
+    if (is_backward[v]) return v;
+  return size();
+}
+
+void RematProblem::validate() const {
+  const size_t n = static_cast<size_t>(graph.size());
+  if (cost.size() != n || memory.size() != n || is_backward.size() != n ||
+      grad_of.size() != n)
+    throw std::logic_error("RematProblem: field sizes disagree with graph");
+  if (!graph.is_topologically_labeled())
+    throw std::logic_error("RematProblem: graph is not topologically labeled");
+  for (double c : cost)
+    if (c < 0.0) throw std::logic_error("RematProblem: negative cost");
+  for (double m : memory)
+    if (m < 0.0) throw std::logic_error("RematProblem: negative memory");
+  // Backward nodes must come after all forward nodes they depend on; the
+  // frontier-advancing partitioning assumes forward-then-backward ids.
+  graph.validate();
+}
+
+RematProblem RematProblem::from_dnn(const model::DnnGraph& graph,
+                                    model::CostMetric metric,
+                                    const model::CostModelOptions& options) {
+  RematProblem p;
+  p.name = graph.name;
+  p.graph = graph.dag;
+  p.cost = model::op_costs(graph, metric, options);
+  const auto mem = model::op_memory_bytes(graph);
+  p.memory.assign(mem.begin(), mem.end());
+  p.fixed_overhead = static_cast<double>(model::fixed_overhead_bytes(graph));
+  p.is_backward.resize(graph.dag.size());
+  p.grad_of.resize(graph.dag.size());
+  p.node_names.resize(graph.dag.size());
+  for (NodeId v = 0; v < graph.dag.size(); ++v) {
+    p.is_backward[v] = graph.ops[v].is_gradient();
+    p.grad_of[v] = graph.ops[v].grad_of;
+    p.node_names[v] = graph.ops[v].name;
+  }
+  p.validate();
+  return p;
+}
+
+RematProblem RematProblem::unit_training_chain(int layers) {
+  if (layers < 1)
+    throw std::invalid_argument("unit_training_chain: layers must be >= 1");
+  const int f = layers + 1;  // v_0..v_{layers-1} plus loss v_layers
+  const int n = 2 * layers + 1;
+  RematProblem p;
+  p.name = "unit_training_chain_" + std::to_string(layers);
+  p.graph = Graph(n);
+  for (int v = 0; v + 1 < f; ++v) p.graph.add_edge(v, v + 1);
+  // Gradient of forward node k sits at id f + (f - 1 - k), k = layers..1.
+  for (int k = layers; k >= 1; --k) {
+    const int g = f + (f - 1 - k);
+    p.graph.add_edge(k, g);      // own activation
+    p.graph.add_edge(k - 1, g);  // input activation
+    if (k < layers) p.graph.add_edge(g - 1, g);  // upstream gradient
+  }
+  p.cost.assign(n, 1.0);
+  p.memory.assign(n, 1.0);
+  p.is_backward.assign(n, 0);
+  p.grad_of.assign(n, -1);
+  p.node_names.resize(n);
+  for (int v = 0; v < f; ++v) p.node_names[v] = "v" + std::to_string(v);
+  for (int k = layers; k >= 1; --k) {
+    const int g = f + (f - 1 - k);
+    p.is_backward[g] = 1;
+    p.grad_of[g] = k;
+    p.node_names[g] = "g" + std::to_string(k);
+  }
+  p.validate();
+  return p;
+}
+
+RematProblem RematProblem::unit_chain(int n) {
+  RematProblem p;
+  p.name = "unit_chain_" + std::to_string(n);
+  p.graph = make_path_graph(n);
+  p.cost.assign(n, 1.0);
+  p.memory.assign(n, 1.0);
+  p.fixed_overhead = 0.0;
+  p.is_backward.assign(n, 0);
+  p.grad_of.assign(n, -1);
+  p.node_names.resize(n);
+  for (int v = 0; v < n; ++v) p.node_names[v] = "v" + std::to_string(v);
+  return p;
+}
+
+}  // namespace checkmate

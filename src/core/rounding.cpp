@@ -1,0 +1,54 @@
+#include "core/rounding.h"
+
+#include <random>
+
+namespace checkmate {
+
+BoolMatrix solve_r_given_s(const Graph& graph, const BoolMatrix& s) {
+  const int n = graph.size();
+  BoolMatrix r = make_bool_matrix(n, n);
+  BoolMatrix sl = make_bool_matrix(n, n);
+  for (int t = 0; t < n; ++t)
+    for (int i = 0; i < t; ++i) sl[t][i] = s[t][i];
+
+  // (8a): frontier-advancing diagonal.
+  for (int t = 0; t < n; ++t) r[t][t] = 1;
+
+  // Repair (1c) forward in t: a checkpointed value must have been alive in
+  // the previous stage; materialize it there if not.
+  for (int t = 1; t < n; ++t)
+    for (int i = 0; i < t; ++i)
+      if (sl[t][i] && !r[t - 1][i] && !sl[t - 1][i]) r[t - 1][i] = 1;
+
+  // Repair (1b) per stage, scanning right-to-left so dependencies of
+  // dependencies are visited afterwards (reverse topological order).
+  for (int t = 0; t < n; ++t)
+    for (int j = t; j >= 0; --j) {
+      if (!r[t][j]) continue;
+      for (NodeId i : graph.deps(j))
+        if (!r[t][i] && !sl[t][i]) r[t][i] = 1;
+    }
+  return r;
+}
+
+RematSolution two_phase_round(const Graph& graph,
+                              const std::vector<std::vector<double>>& s_star,
+                              const RoundingOptions& options) {
+  const int n = graph.size();
+  RematSolution sol;
+  sol.S = make_bool_matrix(n, n);
+
+  std::mt19937_64 rng(options.seed);
+  std::uniform_real_distribution<double> unif(0.0, 1.0);
+  for (int t = 1; t < n; ++t) {
+    for (int i = 0; i < t; ++i) {
+      const double v = s_star[t][i];
+      sol.S[t][i] = options.randomized ? (unif(rng) < v ? 1 : 0)
+                                       : (v > options.threshold ? 1 : 0);
+    }
+  }
+  sol.R = solve_r_given_s(graph, sol.S);
+  return sol;
+}
+
+}  // namespace checkmate

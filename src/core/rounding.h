@@ -1,0 +1,33 @@
+// Two-phase LP rounding (Section 5.2, Algorithm 2) and the shared
+// "minimal R given S" back-solve (Section B.1) used by both the
+// approximation algorithm and the baseline generalizations.
+#pragma once
+
+#include <cstdint>
+
+#include "core/ilp_builder.h"
+#include "core/solution.h"
+
+namespace checkmate {
+
+// Given a (0/1) checkpoint matrix S, computes the minimum-computation R
+// that restores feasibility: R starts at the identity (8a), then (1c)
+// violations are repaired forward in t and (1b) violations are repaired per
+// stage in reverse topological order (right-to-left scan). O(|V||E|) per
+// stage. S rows above the main diagonal are ignored.
+BoolMatrix solve_r_given_s(const Graph& graph, const BoolMatrix& s);
+
+struct RoundingOptions {
+  bool randomized = false;   // Bernoulli(S*) instead of threshold
+  double threshold = 0.5;    // deterministic rounding threshold
+  uint64_t seed = 0;
+};
+
+// Algorithm 2: rounds the fractional checkpoint matrix S* and back-solves
+// R. The result always satisfies correctness constraints; the caller must
+// check the memory budget (Section 5.3).
+RematSolution two_phase_round(const Graph& graph,
+                              const std::vector<std::vector<double>>& s_star,
+                              const RoundingOptions& options = {});
+
+}  // namespace checkmate

@@ -1,0 +1,199 @@
+#include "core/scheduler.h"
+
+#include <algorithm>
+
+#include "baselines/baselines.h"
+
+namespace checkmate {
+
+Scheduler::Scheduler(RematProblem problem) : problem_(std::move(problem)) {
+  problem_.validate();
+}
+
+ScheduleResult Scheduler::evaluate_schedule(const RematSolution& sol,
+                                            double budget_bytes) const {
+  ScheduleResult res;
+  res.solution = sol;
+  const std::string err = sol.check_feasible(problem_);
+  if (!err.empty()) {
+    res.message = "schedule infeasible: " + err;
+    return res;
+  }
+  res.plan = generate_execution_plan(problem_, sol);
+  SimulatorOptions sim_opts;
+  sim_opts.budget_bytes = budget_bytes;
+  res.sim = simulate_plan(problem_, res.plan, sim_opts);
+  if (!res.sim.valid) {
+    res.message = "simulation failed: " + res.sim.error;
+    return res;
+  }
+  res.cost = res.sim.total_cost;
+  res.overhead = res.cost / ideal_cost();
+  res.peak_memory = res.sim.peak_memory;
+  res.feasible = true;
+  return res;
+}
+
+ScheduleResult Scheduler::solve_optimal_ilp(
+    double budget_bytes, const IlpSolveOptions& options) const {
+  if (budget_bytes < problem_.memory_floor()) {
+    // No schedule can fit: some operation's working set alone exceeds the
+    // budget. Saves branch & bound from grinding on a hopeless proof.
+    ScheduleResult res;
+    res.milp_status = milp::MilpStatus::kInfeasible;
+    res.message = "budget below structural memory floor";
+    return res;
+  }
+
+  IlpBuildOptions build;
+  build.budget_bytes = budget_bytes;
+  build.partitioned = options.partitioned;
+  build.eliminate_diag_free = options.eliminate_diag_free;
+  const IlpFormulation form(problem_, build);
+
+  milp::MilpOptions mopts;
+  mopts.time_limit_sec = options.time_limit_sec;
+  mopts.relative_gap = options.relative_gap;
+  mopts.branch_priority = form.branch_priorities();
+  mopts.stop_at_first_incumbent = options.stop_at_first_incumbent;
+
+  // Seed branch & bound with the cheapest feasible baseline schedule so
+  // bound pruning is active from the root (Section 6.2: the ILP's feasible
+  // set is a superset of every baseline's).
+  if (options.partitioned && options.use_rounding_heuristic) {
+    double best_seed_cost = lp::kInf;
+    auto offer_seed = [&](const RematSolution& sol) {
+      const double cost = sol.compute_cost(problem_);
+      if (cost >= best_seed_cost) return;
+      if (auto x = form.assemble_assignment(sol)) {
+        mopts.initial_solution = std::move(*x);
+        best_seed_cost = cost;
+      }
+    };
+    using baselines::BaselineKind;
+    for (auto kind :
+         {BaselineKind::kCheckpointAll, BaselineKind::kLinearizedGreedy,
+          BaselineKind::kApGreedy}) {
+      for (const auto& bs : baselines::baseline_schedules(problem_, kind))
+        offer_seed(bs.solution);
+    }
+    // Belady-style budget-aware retention covers the tight-budget regime
+    // where checkpoint-family heuristics bust the budget.
+    const double headroom = budget_bytes - problem_.fixed_overhead;
+    for (double frac :
+         {0.95, 0.85, 0.75, 0.6, 0.45, 0.3, 0.2, 0.12, 0.06, 0.03})
+      offer_seed(baselines::budget_aware_schedule(problem_, frac * headroom));
+  }
+
+  milp::IncumbentHeuristic heuristic;
+  if (options.use_rounding_heuristic && options.partitioned) {
+    heuristic = [&form, this](const std::vector<double>& x)
+        -> std::optional<std::vector<double>> {
+      // Multi-threshold two-phase rounding: tighter thresholds checkpoint
+      // less and fit tighter budgets.
+      const auto s_star = form.extract_fractional_s(x);
+      std::optional<std::vector<double>> best;
+      double best_cost = lp::kInf;
+      for (double threshold : {0.5, 0.75, 0.9}) {
+        RoundingOptions ropts;
+        ropts.threshold = threshold;
+        RematSolution rounded =
+            two_phase_round(problem_.graph, s_star, ropts);
+        const double cost = rounded.compute_cost(problem_);
+        if (cost >= best_cost) continue;
+        if (auto assignment = form.assemble_assignment(rounded)) {
+          best = std::move(assignment);
+          best_cost = cost;
+        }
+      }
+      return best;
+    };
+  }
+
+  const milp::MilpResult mres = milp::solve_milp(form.lp(), mopts, heuristic);
+
+  ScheduleResult res;
+  res.milp_status = mres.status;
+  res.nodes = mres.nodes;
+  res.seconds = mres.seconds;
+  res.best_bound = form.unscale_cost(mres.best_bound);
+  res.root_relaxation = form.unscale_cost(mres.root_relaxation);
+  if (!mres.has_solution()) {
+    res.message = std::string("MILP: ") + milp::to_string(mres.status);
+    return res;
+  }
+  if (!options.partitioned) {
+    // Unpartitioned schedules are not frontier-advancing; report objective
+    // only (used by the Appendix A study).
+    res.feasible = true;
+    res.cost = form.unscale_cost(mres.objective);
+    res.overhead = res.cost / ideal_cost();
+    res.message = "unpartitioned: objective only";
+    return res;
+  }
+
+  ScheduleResult eval =
+      evaluate_schedule(form.extract_solution(mres.x), budget_bytes);
+  eval.milp_status = mres.status;
+  eval.nodes = mres.nodes;
+  eval.seconds = mres.seconds;
+  eval.best_bound = res.best_bound;
+  eval.root_relaxation = res.root_relaxation;
+  return eval;
+}
+
+ScheduleResult Scheduler::solve_lp_rounding(double budget_bytes,
+                                            const ApproxOptions& options) const {
+  IlpBuildOptions build;
+  build.budget_bytes = (1.0 - options.epsilon) * budget_bytes;
+  ScheduleResult res;
+  if (build.budget_bytes <= 0.0) {
+    res.message = "epsilon leaves no budget";
+    return res;
+  }
+  const IlpFormulation form(problem_, build);
+
+  const lp::LpResult rel = lp::solve_lp(form.lp());
+  res.seconds = 0.0;
+  if (rel.status != lp::LpStatus::kOptimal) {
+    res.message = std::string("LP relaxation: ") + lp::to_string(rel.status);
+    return res;
+  }
+  res.root_relaxation = form.unscale_cost(rel.objective);
+
+  const auto s_star = form.extract_fractional_s(rel.x);
+  ScheduleResult best;
+  auto consider = [&](const RoundingOptions& ropts) {
+    RematSolution sol = two_phase_round(problem_.graph, s_star, ropts);
+    ScheduleResult eval = evaluate_schedule(sol, budget_bytes);
+    if (eval.feasible && (!best.feasible || eval.cost < best.cost))
+      best = std::move(eval);
+  };
+  if (options.randomized) {
+    for (int draw = 0; draw < std::max(1, options.samples); ++draw) {
+      RoundingOptions ropts;
+      ropts.randomized = true;
+      ropts.seed = options.seed + static_cast<uint64_t>(draw);
+      consider(ropts);
+    }
+  } else {
+    // Deterministic rounding: sweep the threshold. Lower thresholds keep
+    // more checkpoints (cheaper, more memory); the sweep picks the
+    // cheapest schedule that still fits the *true* budget.
+    for (double threshold : {0.25, 0.4, 0.5, 0.65, 0.8, 0.9}) {
+      RoundingOptions ropts;
+      ropts.threshold = threshold;
+      consider(ropts);
+    }
+  }
+  if (!best.feasible) {
+    best.message = "no rounded schedule fits the budget";
+    best.root_relaxation = res.root_relaxation;
+    return best;
+  }
+  best.root_relaxation = res.root_relaxation;
+  best.milp_status = milp::MilpStatus::kFeasible;
+  return best;
+}
+
+}  // namespace checkmate

@@ -1,0 +1,81 @@
+// Top-level Checkmate API (Figure 2): given a rematerialization problem and
+// a memory budget, produce an optimal (MILP) or near-optimal (two-phase LP
+// rounding) execution plan, validated end-to-end by the plan simulator.
+#pragma once
+
+#include <string>
+
+#include "core/ilp_builder.h"
+#include "core/plan.h"
+#include "core/remat_problem.h"
+#include "core/rounding.h"
+#include "core/simulator.h"
+#include "milp/milp.h"
+
+namespace checkmate {
+
+struct IlpSolveOptions {
+  double time_limit_sec = 60.0;
+  double relative_gap = 1e-4;
+  bool use_rounding_heuristic = true;  // inject two-phase rounding incumbents
+  bool partitioned = true;             // frontier-advancing stages
+  bool eliminate_diag_free = true;
+  bool stop_at_first_incumbent = false;
+};
+
+struct ApproxOptions {
+  // Budget allowance epsilon of Section 5.3: the LP is solved against
+  // (1 - epsilon) * budget so the rounded schedule lands under budget.
+  double epsilon = 0.1;
+  bool randomized = false;
+  int samples = 1;  // randomized rounding draws (best feasible kept)
+  uint64_t seed = 1;
+};
+
+struct ScheduleResult {
+  bool feasible = false;
+  std::string message;
+
+  RematSolution solution;
+  ExecutionPlan plan;
+  SimulationResult sim;
+
+  double cost = 0.0;         // simulated compute cost
+  double overhead = 0.0;     // cost / ideal (compute-everything-once) cost
+  double peak_memory = 0.0;  // simulated peak, bytes
+
+  milp::MilpStatus milp_status = milp::MilpStatus::kError;
+  double best_bound = 0.0;       // problem cost units
+  double root_relaxation = 0.0;  // problem cost units
+  int64_t nodes = 0;
+  double seconds = 0.0;
+};
+
+class Scheduler {
+ public:
+  explicit Scheduler(RematProblem problem);
+
+  const RematProblem& problem() const { return problem_; }
+
+  // Cost of evaluating every operation exactly once (the Checkpoint-all
+  // ideal; denominator of the overhead metric in Figure 5).
+  double ideal_cost() const { return problem_.total_cost_all_nodes(); }
+
+  // Section 4: optimal rematerialization via the MILP.
+  ScheduleResult solve_optimal_ilp(double budget_bytes,
+                                   const IlpSolveOptions& options = {}) const;
+
+  // Section 5: LP relaxation + two-phase rounding.
+  ScheduleResult solve_lp_rounding(double budget_bytes,
+                                   const ApproxOptions& options = {}) const;
+
+  // Validates and prices an externally produced schedule (baselines) against
+  // a budget (0 disables the budget check).
+  ScheduleResult evaluate_schedule(const RematSolution& sol,
+                                   double budget_bytes) const;
+
+ private:
+  RematProblem problem_;
+};
+
+}  // namespace checkmate

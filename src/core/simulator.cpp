@@ -1,0 +1,87 @@
+#include "core/simulator.h"
+
+#include <algorithm>
+
+namespace checkmate {
+
+SimulationResult simulate_plan(const RematProblem& p,
+                               const ExecutionPlan& plan,
+                               const SimulatorOptions& options) {
+  SimulationResult res;
+  const int n = p.size();
+
+  std::vector<int> reg_of_node(n, -1);
+  std::vector<NodeId> node_of_reg(plan.num_registers, -1);
+  std::vector<bool> resident(n, false);
+  std::vector<bool> ever_computed(n, false);
+
+  double mem = p.fixed_overhead;
+  res.peak_memory = mem;
+
+  auto fail = [&](std::string msg) {
+    res.valid = false;
+    res.error = std::move(msg);
+    return res;
+  };
+
+  for (size_t idx = 0; idx < plan.statements.size(); ++idx) {
+    const Statement& st = plan.statements[idx];
+    if (st.node < 0 || st.node >= n)
+      return fail("statement " + std::to_string(idx) + ": bad node id");
+
+    if (st.kind == StatementKind::kCompute) {
+      for (NodeId d : p.graph.deps(st.node)) {
+        if (!resident[d])
+          return fail("statement " + std::to_string(idx) + ": compute " +
+                      std::to_string(st.node) + " missing dependency " +
+                      std::to_string(d));
+      }
+      if (resident[st.node])
+        return fail("statement " + std::to_string(idx) + ": compute " +
+                    std::to_string(st.node) +
+                    " while a live register already holds it");
+      if (st.reg < 0 || st.reg >= plan.num_registers)
+        return fail("statement " + std::to_string(idx) + ": bad register");
+      resident[st.node] = true;
+      ever_computed[st.node] = true;
+      reg_of_node[st.node] = st.reg;
+      node_of_reg[st.reg] = st.node;
+      mem += p.memory[st.node];
+      res.total_cost += p.cost[st.node];
+      ++res.compute_count;
+    } else {
+      if (st.reg < 0 || st.reg >= plan.num_registers ||
+          node_of_reg[st.reg] < 0)
+        return fail("statement " + std::to_string(idx) +
+                    ": deallocate of dead register %" +
+                    std::to_string(st.reg));
+      const NodeId v = node_of_reg[st.reg];
+      if (!resident[v] || reg_of_node[v] != st.reg)
+        return fail("statement " + std::to_string(idx) +
+                    ": deallocate of stale register %" +
+                    std::to_string(st.reg));
+      resident[v] = false;
+      reg_of_node[v] = -1;
+      node_of_reg[st.reg] = -1;
+      mem -= p.memory[v];
+      ++res.dealloc_count;
+    }
+
+    res.peak_memory = std::max(res.peak_memory, mem);
+    res.memory_trace.push_back(mem);
+    res.stage_trace.push_back(st.stage);
+    if (options.budget_bytes > 0.0 && mem > options.budget_bytes + 1e-6)
+      return fail("statement " + std::to_string(idx) +
+                  ": live memory exceeds budget");
+  }
+
+  if (options.require_all_nodes_computed) {
+    for (NodeId v = 0; v < n; ++v)
+      if (!ever_computed[v])
+        return fail("node " + std::to_string(v) + " never computed");
+  }
+  res.valid = true;
+  return res;
+}
+
+}  // namespace checkmate

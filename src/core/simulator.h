@@ -1,0 +1,49 @@
+// Execution-plan interpreter with exact memory tracking.
+//
+// The simulator plays the role of the "numerical machine learning
+// framework" executing the rebuilt static graph (Figure 2): it validates
+// that every compute statement has its dependencies resident, accumulates
+// the schedule's compute cost, and tracks the live-memory high-water mark,
+// which must come in at or below the solver's budget. Every schedule in
+// this repository -- ILP, rounded, or baseline -- is validated through this
+// single code path, so strategies are compared on identical accounting.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/plan.h"
+#include "core/remat_problem.h"
+
+namespace checkmate {
+
+struct SimulationResult {
+  bool valid = false;
+  std::string error;
+
+  double total_cost = 0.0;        // sum of C_v over executed computes
+  double peak_memory = 0.0;       // bytes, including fixed overhead
+  int compute_count = 0;
+  int dealloc_count = 0;
+
+  // Memory after each statement; index aligns with plan.statements. Used to
+  // draw the Figure 1 timeline.
+  std::vector<double> memory_trace;
+  // Stage of each statement (copied from the plan) for per-stage plots.
+  std::vector<int> stage_trace;
+};
+
+struct SimulatorOptions {
+  // If > 0, executing a statement that pushes live memory above this value
+  // is reported as an error.
+  double budget_bytes = 0.0;
+  // Require that every node is computed at least once (true for
+  // frontier-advancing schedules).
+  bool require_all_nodes_computed = true;
+};
+
+SimulationResult simulate_plan(const RematProblem& p, const ExecutionPlan& plan,
+                               const SimulatorOptions& options = {});
+
+}  // namespace checkmate

@@ -1,0 +1,155 @@
+#include "core/solution.h"
+
+#include <algorithm>
+
+namespace checkmate {
+
+BoolMatrix make_bool_matrix(int stages, int nodes) {
+  return BoolMatrix(stages, std::vector<uint8_t>(nodes, 0));
+}
+
+double RematSolution::compute_cost(const RematProblem& p) const {
+  double total = 0.0;
+  for (int t = 0; t < stages(); ++t)
+    for (int i = 0; i <= t && i < p.size(); ++i)
+      if (R[t][i]) total += p.cost[i];
+  return total;
+}
+
+int64_t RematSolution::num_computations() const {
+  int64_t count = 0;
+  for (const auto& row : R)
+    for (uint8_t v : row) count += v;
+  return count;
+}
+
+std::string RematSolution::check_feasible(const RematProblem& p) const {
+  const int n = p.size();
+  const int T = stages();
+  if (T != n || static_cast<int>(S.size()) != n)
+    return "solution must have T == n stages";
+  auto at = [](const BoolMatrix& m, int t, int i) -> uint8_t {
+    return m[t][i];
+  };
+  for (int t = 0; t < T; ++t) {
+    if (!at(R, t, t)) return "violates (8a): R[t][t] != 1 at t=" +
+                             std::to_string(t);
+    for (int i = t + 1; i < n; ++i) {
+      if (at(R, t, i))
+        return "violates (8c): R[" + std::to_string(t) + "][" +
+               std::to_string(i) + "] above diagonal";
+      if (at(S, t, i))
+        return "violates (8b): S[" + std::to_string(t) + "][" +
+               std::to_string(i) + "] above diagonal";
+    }
+    if (at(S, t, t))
+      return "violates (8b): S[t][t] set at t=" + std::to_string(t);
+  }
+  for (int i = 0; i < n; ++i)
+    if (at(S, 0, i)) return "violates (1d): initial checkpoint at i=" +
+                            std::to_string(i);
+  // (1b): dependencies resident or recomputed in-stage.
+  for (int t = 0; t < T; ++t) {
+    for (int j = 0; j <= t; ++j) {
+      if (!at(R, t, j)) continue;
+      for (NodeId i : p.graph.deps(j)) {
+        if (!at(R, t, i) && !at(S, t, i))
+          return "violates (1b): stage " + std::to_string(t) + " computes " +
+                 std::to_string(j) + " without dependency " +
+                 std::to_string(i);
+      }
+    }
+  }
+  // (1c): checkpoints must have been alive in the previous stage.
+  for (int t = 1; t < T; ++t) {
+    for (int i = 0; i < t; ++i) {
+      if (at(S, t, i) && !at(R, t - 1, i) && !at(S, t - 1, i))
+        return "violates (1c): stage " + std::to_string(t) +
+               " checkpoints dead value " + std::to_string(i);
+    }
+  }
+  return {};
+}
+
+FreeSchedule compute_free_schedule(const RematProblem& p,
+                                   const RematSolution& sol) {
+  const int n = p.size();
+  FreeSchedule fs;
+  fs.after_compute.assign(n, {});
+  fs.stage_drop.assign(n, {});
+  for (int t = 0; t < n; ++t) fs.after_compute[t].assign(n, {});
+
+  auto s_next = [&](int t, int i) -> uint8_t {
+    return t + 1 < n ? sol.S[t + 1][i] : 0;
+  };
+
+  for (int t = 0; t < n; ++t) {
+    for (int k = 0; k <= t; ++k) {
+      if (!sol.R[t][k]) continue;
+      // FREE[t][i][k] for i in DEPS[k] U {k}: freed iff not checkpointed
+      // into t+1 and no user of i runs later in this stage (Eq. 5).
+      auto try_free = [&](NodeId i) {
+        if (s_next(t, i)) return;
+        for (NodeId j : p.graph.users(i)) {
+          if (j > k && j <= t && sol.R[t][j]) return;  // hazard
+        }
+        fs.after_compute[t][k].push_back(i);
+      };
+      for (NodeId i : p.graph.deps(k)) try_free(i);
+      try_free(k);
+    }
+    // Spurious checkpoints: resident during stage t, never used by a
+    // computation in stage t, not recomputed, not retained into t+1.
+    for (int i = 0; i < t; ++i) {
+      if (!sol.S[t][i] || sol.R[t][i] || s_next(t, i)) continue;
+      bool used = false;
+      for (NodeId j : p.graph.users(i))
+        if (j <= t && sol.R[t][j]) {
+          used = true;
+          break;
+        }
+      if (!used) fs.stage_drop[t].push_back(i);
+    }
+  }
+  return fs;
+}
+
+std::vector<std::vector<double>> compute_memory_usage(
+    const RematProblem& p, const RematSolution& sol) {
+  const int n = p.size();
+  const FreeSchedule fs = compute_free_schedule(p, sol);
+  std::vector<std::vector<double>> u(n);
+  for (int t = 0; t < n; ++t) {
+    u[t].assign(t + 1, 0.0);
+    // Eq. 2: constant overhead plus checkpointed values ...
+    double mem = p.fixed_overhead;
+    for (int i = 0; i < t; ++i)
+      if (sol.S[t][i]) mem += p.memory[i];
+    // ... then Eq. 3 forward through the stage.
+    for (int k = 0; k <= t; ++k) {
+      if (sol.R[t][k]) mem += p.memory[k];
+      u[t][k] = mem;
+      for (NodeId i : fs.after_compute[t][k]) mem -= p.memory[i];
+    }
+  }
+  return u;
+}
+
+double peak_memory_usage(const RematProblem& p, const RematSolution& sol) {
+  double peak = 0.0;
+  for (const auto& row : compute_memory_usage(p, sol))
+    for (double v : row) peak = std::max(peak, v);
+  return peak;
+}
+
+std::string render_schedule(const RematSolution& sol) {
+  std::string out;
+  for (int t = 0; t < sol.stages(); ++t) {
+    for (size_t i = 0; i < sol.R[t].size(); ++i)
+      out += sol.R[t][i] ? '#' : (sol.S[t][i] ? 'o' : '.');
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace checkmate

@@ -1,0 +1,65 @@
+// Schedule representation: the R (recompute) and S (checkpoint) binary
+// matrices of Section 4.2, plus derived deallocation decisions (the FREE
+// variables of Section 4.4, recovered from R and S per Section 4.8).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/remat_problem.h"
+
+namespace checkmate {
+
+using BoolMatrix = std::vector<std::vector<uint8_t>>;
+
+BoolMatrix make_bool_matrix(int stages, int nodes);
+
+struct RematSolution {
+  // R[t][i] == 1 iff operation i is (re)computed in stage t; S[t][i] == 1
+  // iff the value of i is retained in memory from stage t-1 into stage t.
+  // Both are T x n with T == n (frontier-advancing stage partitioning).
+  BoolMatrix R, S;
+
+  int stages() const { return static_cast<int>(R.size()); }
+
+  // Objective (1a): sum of C_i over all computations.
+  double compute_cost(const RematProblem& p) const;
+  // Number of 1 entries in R.
+  int64_t num_computations() const;
+
+  // Verifies correctness constraints (1b), (1c) and the frontier-advancing
+  // structure (8a-8c). Returns an empty string when feasible, otherwise a
+  // description of the first violated constraint.
+  std::string check_feasible(const RematProblem& p) const;
+};
+
+// Deallocation schedule: FREE[t][k] lists the node ids freed immediately
+// after computing node k in stage t (Eq. 5, including the diagonal
+// FREE[t][k][k] which the MILP eliminates and we recover post hoc), and
+// stage_drop[t] lists spurious checkpoints that die at the stage boundary
+// (resident during stage t, unused, not retained into t+1; Section 4.9's
+// code-motion candidates).
+struct FreeSchedule {
+  std::vector<std::vector<std::vector<NodeId>>> after_compute;  // [t][k]
+  std::vector<std::vector<NodeId>> stage_drop;                  // [t]
+};
+
+FreeSchedule compute_free_schedule(const RematProblem& p,
+                                   const RematSolution& sol);
+
+// Exact evaluation of the U memory-accounting recurrence (Eq. 2-3) for a
+// given schedule: returns U[t][k] in bytes for k <= t. Used to validate
+// ILP solutions against the simulator and to check rounded schedules
+// against the budget (Section 5.3).
+std::vector<std::vector<double>> compute_memory_usage(const RematProblem& p,
+                                                      const RematSolution& sol);
+
+// Peak of compute_memory_usage.
+double peak_memory_usage(const RematProblem& p, const RematSolution& sol);
+
+// ASCII rendering of the R matrix in the style of Figure 7 ('#' computed,
+// '.' not).
+std::string render_schedule(const RematSolution& sol);
+
+}  // namespace checkmate

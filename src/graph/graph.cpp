@@ -1,0 +1,233 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+#include <tuple>
+
+namespace checkmate {
+
+Graph::Graph(int num_nodes) {
+  if (num_nodes < 0) throw std::invalid_argument("negative node count");
+  users_.resize(num_nodes);
+  deps_.resize(num_nodes);
+}
+
+NodeId Graph::add_node() {
+  users_.emplace_back();
+  deps_.emplace_back();
+  return static_cast<NodeId>(users_.size()) - 1;
+}
+
+NodeId Graph::add_nodes(int count) {
+  if (count <= 0) throw std::invalid_argument("add_nodes: count must be > 0");
+  const NodeId first = static_cast<NodeId>(users_.size());
+  users_.resize(users_.size() + count);
+  deps_.resize(deps_.size() + count);
+  return first;
+}
+
+void Graph::add_edge(NodeId src, NodeId dst) {
+  if (src < 0 || src >= size() || dst < 0 || dst >= size())
+    throw std::out_of_range("add_edge: node id out of range");
+  if (src == dst) throw std::invalid_argument("add_edge: self loop");
+  if (has_edge(src, dst)) return;
+  users_[src].push_back(dst);
+  deps_[dst].push_back(src);
+  ++num_edges_;
+}
+
+bool Graph::has_edge(NodeId src, NodeId dst) const {
+  const auto& u = users_.at(src);
+  return std::find(u.begin(), u.end(), dst) != u.end();
+}
+
+std::vector<Edge> Graph::edges() const {
+  std::vector<Edge> out;
+  out.reserve(num_edges_);
+  for (NodeId v = 0; v < size(); ++v)
+    for (NodeId u : users_[v]) out.push_back({v, u});
+  std::sort(out.begin(), out.end(), [](const Edge& a, const Edge& b) {
+    return std::tie(a.src, a.dst) < std::tie(b.src, b.dst);
+  });
+  return out;
+}
+
+std::optional<std::vector<NodeId>> Graph::topological_order() const {
+  std::vector<int> indegree(size());
+  for (NodeId v = 0; v < size(); ++v)
+    indegree[v] = static_cast<int>(deps_[v].size());
+  std::deque<NodeId> ready;
+  for (NodeId v = 0; v < size(); ++v)
+    if (indegree[v] == 0) ready.push_back(v);
+  std::vector<NodeId> order;
+  order.reserve(size());
+  while (!ready.empty()) {
+    NodeId v = ready.front();
+    ready.pop_front();
+    order.push_back(v);
+    for (NodeId u : users_[v])
+      if (--indegree[u] == 0) ready.push_back(u);
+  }
+  if (static_cast<int>(order.size()) != size()) return std::nullopt;
+  return order;
+}
+
+bool Graph::is_topologically_labeled() const {
+  for (NodeId v = 0; v < size(); ++v)
+    for (NodeId u : users_[v])
+      if (u <= v) return false;
+  return true;
+}
+
+std::vector<NodeId> Graph::relabel_topological() {
+  auto order = topological_order();
+  if (!order) throw std::logic_error("relabel_topological: graph is cyclic");
+  std::vector<NodeId> new_id(size());
+  for (int pos = 0; pos < size(); ++pos) new_id[(*order)[pos]] = pos;
+
+  std::vector<std::vector<NodeId>> users(size()), deps(size());
+  for (NodeId v = 0; v < size(); ++v) {
+    for (NodeId u : users_[v]) users[new_id[v]].push_back(new_id[u]);
+    for (NodeId d : deps_[v]) deps[new_id[v]].push_back(new_id[d]);
+  }
+  for (auto& lst : users) std::sort(lst.begin(), lst.end());
+  for (auto& lst : deps) std::sort(lst.begin(), lst.end());
+  users_ = std::move(users);
+  deps_ = std::move(deps);
+  return new_id;
+}
+
+bool Graph::is_linear() const {
+  for (NodeId v = 0; v < size(); ++v) {
+    if (v + 1 < size() && !(users_[v].size() == 1 && users_[v][0] == v + 1))
+      return false;
+    if (v + 1 == size() && !users_[v].empty()) return false;
+  }
+  return size() > 0;
+}
+
+std::vector<NodeId> Graph::sinks() const {
+  std::vector<NodeId> out;
+  for (NodeId v = 0; v < size(); ++v)
+    if (users_[v].empty()) out.push_back(v);
+  return out;
+}
+
+std::vector<NodeId> Graph::sources() const {
+  std::vector<NodeId> out;
+  for (NodeId v = 0; v < size(); ++v)
+    if (deps_[v].empty()) out.push_back(v);
+  return out;
+}
+
+std::vector<bool> Graph::ancestors_of(NodeId target) const {
+  if (target < 0 || target >= size())
+    throw std::out_of_range("ancestors_of: bad node id");
+  std::vector<bool> seen(size(), false);
+  std::vector<NodeId> stack{target};
+  seen[target] = true;
+  while (!stack.empty()) {
+    NodeId v = stack.back();
+    stack.pop_back();
+    for (NodeId d : deps_[v])
+      if (!seen[d]) {
+        seen[d] = true;
+        stack.push_back(d);
+      }
+  }
+  return seen;
+}
+
+namespace {
+
+// Iterative Tarjan articulation-point DFS over the undirected view of the
+// graph. Recursion is avoided so deep path graphs do not overflow the stack.
+struct ApDfs {
+  const Graph& g;
+  std::vector<int> disc, low;
+  std::vector<NodeId> parent;
+  std::vector<bool> is_ap;
+  int timer = 0;
+
+  explicit ApDfs(const Graph& graph)
+      : g(graph),
+        disc(graph.size(), -1),
+        low(graph.size(), 0),
+        parent(graph.size(), -1),
+        is_ap(graph.size(), false) {}
+
+  std::vector<NodeId> neighbors(NodeId v) const {
+    std::vector<NodeId> n = g.users(v);
+    n.insert(n.end(), g.deps(v).begin(), g.deps(v).end());
+    return n;
+  }
+
+  void run(NodeId root) {
+    struct Frame {
+      NodeId v;
+      std::vector<NodeId> nbrs;
+      size_t next = 0;
+    };
+    std::vector<Frame> stack;
+    stack.push_back({root, neighbors(root)});
+    disc[root] = low[root] = timer++;
+    int root_children = 0;
+
+    while (!stack.empty()) {
+      Frame& f = stack.back();
+      if (f.next < f.nbrs.size()) {
+        NodeId w = f.nbrs[f.next++];
+        if (disc[w] == -1) {
+          parent[w] = f.v;
+          if (f.v == root) ++root_children;
+          disc[w] = low[w] = timer++;
+          stack.push_back({w, neighbors(w)});
+        } else if (w != parent[f.v]) {
+          low[f.v] = std::min(low[f.v], disc[w]);
+        }
+      } else {
+        NodeId v = f.v;
+        stack.pop_back();
+        if (!stack.empty()) {
+          NodeId p = stack.back().v;
+          low[p] = std::min(low[p], low[v]);
+          if (p != root && low[v] >= disc[p]) is_ap[p] = true;
+        }
+      }
+    }
+    if (root_children > 1) is_ap[root] = true;
+  }
+};
+
+}  // namespace
+
+std::vector<NodeId> Graph::articulation_points() const {
+  ApDfs dfs(*this);
+  for (NodeId v = 0; v < size(); ++v)
+    if (dfs.disc[v] == -1) dfs.run(v);
+  std::vector<NodeId> out;
+  for (NodeId v = 0; v < size(); ++v)
+    if (dfs.is_ap[v]) out.push_back(v);
+  return out;
+}
+
+void Graph::validate() const {
+  if (!topological_order())
+    throw std::logic_error("Graph::validate: graph contains a cycle");
+  for (NodeId v = 0; v < size(); ++v) {
+    for (NodeId u : users_[v]) {
+      const auto& d = deps_[u];
+      if (std::find(d.begin(), d.end(), v) == d.end())
+        throw std::logic_error("Graph::validate: adjacency mismatch");
+    }
+  }
+}
+
+Graph make_path_graph(int n) {
+  Graph g(n);
+  for (NodeId v = 0; v + 1 < n; ++v) g.add_edge(v, v + 1);
+  return g;
+}
+
+}  // namespace checkmate

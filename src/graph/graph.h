@@ -1,0 +1,92 @@
+// Directed acyclic graph substrate used for data-flow graphs.
+//
+// Nodes are dense integer ids [0, size). Edges are stored both as
+// adjacency (users) and reverse adjacency (deps). The library provides the
+// graph algorithms the Checkmate system needs: topological ordering,
+// reachability, articulation points (for the AP baselines of Section B.1),
+// and structural queries (linearity, terminal node).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace checkmate {
+
+using NodeId = int32_t;
+
+struct Edge {
+  NodeId src = -1;
+  NodeId dst = -1;
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+// A growable DAG. Edge insertion does not check acyclicity (that would be
+// O(V+E) per edge); call validate() or topological_order() to verify.
+class Graph {
+ public:
+  Graph() = default;
+  explicit Graph(int num_nodes);
+
+  // Appends a node and returns its id.
+  NodeId add_node();
+  // Appends `count` nodes, returning the first new id.
+  NodeId add_nodes(int count);
+
+  // Adds edge src -> dst. Duplicate edges are ignored. Self-loops are
+  // rejected (throws std::invalid_argument).
+  void add_edge(NodeId src, NodeId dst);
+
+  int size() const { return static_cast<int>(users_.size()); }
+  int num_edges() const { return num_edges_; }
+  bool has_edge(NodeId src, NodeId dst) const;
+
+  // Children: nodes that consume the value produced by v. (USERS in paper.)
+  const std::vector<NodeId>& users(NodeId v) const { return users_.at(v); }
+  // Parents: nodes whose values v consumes. (DEPS in paper.)
+  const std::vector<NodeId>& deps(NodeId v) const { return deps_.at(v); }
+
+  // All edges in (src, dst) lexicographic order.
+  std::vector<Edge> edges() const;
+
+  // Kahn topological order; std::nullopt if the graph has a cycle.
+  std::optional<std::vector<NodeId>> topological_order() const;
+
+  // True iff node ids are already a topological order (every edge i->j has
+  // i < j). Checkmate's MILP assumes this labelling.
+  bool is_topologically_labeled() const;
+
+  // Relabels nodes so that ids follow a topological order; returns the
+  // mapping old_id -> new_id. Throws if cyclic.
+  std::vector<NodeId> relabel_topological();
+
+  // True iff the graph is a path v0 -> v1 -> ... -> v{n-1}.
+  bool is_linear() const;
+
+  // Nodes with no users (values never consumed).
+  std::vector<NodeId> sinks() const;
+  // Nodes with no deps.
+  std::vector<NodeId> sources() const;
+
+  // Set of nodes from which `target` is reachable (ancestors of target,
+  // including target itself).
+  std::vector<bool> ancestors_of(NodeId target) const;
+
+  // Articulation points of the *undirected* form of the graph (Tarjan
+  // low-link DFS, O(V+E)). Used by the AP sqrt(n) / AP greedy baselines.
+  std::vector<NodeId> articulation_points() const;
+
+  // Throws std::logic_error if the graph is cyclic or malformed.
+  void validate() const;
+
+ private:
+  std::vector<std::vector<NodeId>> users_;
+  std::vector<std::vector<NodeId>> deps_;
+  int num_edges_ = 0;
+};
+
+// Builds the path graph 0 -> 1 -> ... -> n-1.
+Graph make_path_graph(int n);
+
+}  // namespace checkmate

@@ -1,0 +1,15 @@
+// Reference LP solver: textbook two-phase dense-tableau primal simplex with
+// Bland's rule. Exponentially slower than the sparse dual simplex engine but
+// simple enough to trust; the test suite cross-validates DualSimplex against
+// this implementation on randomized instances.
+#pragma once
+
+#include "lp/lp_problem.h"
+
+namespace checkmate::lp {
+
+// Solves `lp` ignoring integrality markers. Intended for small instances
+// (tens of variables); cost is O(rows^2 * cols) per pivot.
+LpResult solve_dense_reference(const LinearProgram& lp);
+
+}  // namespace checkmate::lp

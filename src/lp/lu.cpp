@@ -1,0 +1,215 @@
+#include "lp/lu.h"
+
+#include <cmath>
+#include <cstdlib>
+
+namespace checkmate::lp {
+
+namespace {
+constexpr double kPivotTol = 1e-11;
+}
+
+bool LuFactorization::factorize(int m, std::span<const BasisColumn> cols) {
+  m_ = m;
+  l_ptr_.assign(1, 0);
+  l_idx_.clear();
+  l_val_.clear();
+  u_ptr_.assign(1, 0);
+  u_idx_.clear();
+  u_val_.clear();
+  u_diag_.assign(m, 0.0);
+  pivot_row_.assign(m, -1);
+
+  // row_step[r] = elimination step whose pivot is row r, or -1.
+  std::vector<int> row_step(m, -1);
+  std::vector<double> work(m, 0.0);     // dense accumulator for column solve
+  std::vector<int> pattern;             // nonzero rows of work
+  pattern.reserve(64);
+  std::vector<int> topo;                // elimination steps, topo order
+  topo.reserve(64);
+  std::vector<char> visited(m, 0);      // per-step DFS mark
+  std::vector<int> dfs_stack, dfs_pos;  // iterative DFS state
+
+  for (int j = 0; j < m; ++j) {
+    // ---- Symbolic: find reachable elimination steps via DFS through L.
+    topo.clear();
+    pattern.clear();
+    auto brows = cols[j].rows;
+    auto bvals = cols[j].values;
+    for (size_t k = 0; k < brows.size(); ++k) {
+      int r = brows[k];
+      int step = row_step[r];
+      if (step < 0 || visited[step]) continue;
+      // Iterative DFS from `step` over steps reachable through L columns.
+      dfs_stack.assign(1, step);
+      dfs_pos.assign(1, l_ptr_[step]);
+      visited[step] = 1;
+      while (!dfs_stack.empty()) {
+        int s = dfs_stack.back();
+        int& p = dfs_pos.back();
+        bool descended = false;
+        while (p < l_ptr_[s + 1]) {
+          int child = row_step[l_idx_[p]];
+          ++p;
+          if (child >= 0 && !visited[child]) {
+            visited[child] = 1;
+            dfs_stack.push_back(child);
+            dfs_pos.push_back(l_ptr_[child]);
+            descended = true;
+            break;
+          }
+        }
+        if (!descended && !dfs_stack.empty() &&
+            dfs_pos.back() >= l_ptr_[dfs_stack.back() + 1]) {
+          topo.push_back(dfs_stack.back());
+          dfs_stack.pop_back();
+          dfs_pos.pop_back();
+        }
+      }
+    }
+    // topo is in DFS postorder: dependencies appear before dependents, i.e.
+    // steps we must apply later appear first; reverse-iterate nothing --
+    // postorder already guarantees children (larger reachable steps) are
+    // emitted before parents, so apply in *reverse* to get increasing
+    // dependency order. Eliminations must run in increasing step order of
+    // discovery chains; postorder reversal gives a valid topological order.
+
+    // ---- Numeric: scatter b, then eliminate.
+    for (size_t k = 0; k < brows.size(); ++k) work[brows[k]] = bvals[k];
+
+    for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+      int step = *it;
+      visited[step] = 0;  // reset mark for next column
+      double piv_val = work[pivot_row_[step]];
+      if (piv_val != 0.0) {
+        for (int p = l_ptr_[step]; p < l_ptr_[step + 1]; ++p)
+          work[l_idx_[p]] -= l_val_[p] * piv_val;
+      }
+    }
+
+    // ---- Collect pattern: pivoted rows -> U column, unpivoted -> pivot
+    // candidates. We must enumerate all rows that may be nonzero: the
+    // original pattern plus fill from eliminations.
+    pattern.assign(brows.begin(), brows.end());
+    for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+      int step = *it;
+      pattern.push_back(pivot_row_[step]);
+      for (int p = l_ptr_[step]; p < l_ptr_[step + 1]; ++p)
+        pattern.push_back(l_idx_[p]);
+    }
+
+    // Deduplicate via the work array itself: first pass picks pivot.
+    int best_row = -1;
+    double best_abs = 0.0;
+    for (int r : pattern) {
+      if (row_step[r] >= 0) continue;  // already pivoted: U entry
+      double v = std::abs(work[r]);
+      if (v > best_abs) {
+        best_abs = v;
+        best_row = r;
+      }
+    }
+    if (best_row < 0 || best_abs < kPivotTol) {
+      // Singular basis: clean the dense work array, then leave the object
+      // in a safe identity state so a rogue solve on a failed
+      // factorization cannot index with -1 pivot rows.
+      for (int r : pattern) work[r] = 0.0;
+      l_ptr_.assign(m + 1, 0);
+      l_idx_.clear();
+      l_val_.clear();
+      u_ptr_.assign(m + 1, 0);
+      u_idx_.clear();
+      u_val_.clear();
+      u_diag_.assign(m, 1.0);
+      pivot_row_.resize(m);
+      for (int k = 0; k < m; ++k) pivot_row_[k] = k;
+      return false;
+    }
+
+    // Emit U column j (entries at already-pivoted rows, indexed by step;
+    // row dedup handled by zeroing the work array as entries are drained).
+    for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+      int step = *it;
+      int r = pivot_row_[step];
+      double v = work[r];
+      if (v != 0.0) {
+        u_idx_.push_back(step);
+        u_val_.push_back(v);
+        work[r] = 0.0;
+      }
+    }
+    // Original-pattern rows that were already pivoted but not reached via
+    // DFS cannot exist: if work[r] != 0 and row_step[r] >= 0 the DFS would
+    // have visited that step. Remaining nonzeros are unpivoted rows.
+    u_ptr_.push_back(static_cast<int>(u_idx_.size()));
+
+    const double pivot = work[best_row];
+    u_diag_[j] = pivot;
+    pivot_row_[j] = best_row;
+    row_step[best_row] = j;
+    work[best_row] = 0.0;
+
+    // Emit L column j: multipliers for remaining unpivoted nonzero rows.
+    for (int r : pattern) {
+      double v = work[r];
+      if (v != 0.0) {
+        l_idx_.push_back(r);
+        l_val_.push_back(v / pivot);
+        work[r] = 0.0;
+      }
+    }
+    l_ptr_.push_back(static_cast<int>(l_idx_.size()));
+  }
+  return true;
+}
+
+void LuFactorization::ftran(std::span<double> x) const {
+  // Forward eliminate: for each step k in order, subtract multiples of the
+  // pivot value from the rows of L column k.
+  for (int k = 0; k < m_; ++k) {
+    double piv = x[pivot_row_[k]];
+    if (piv == 0.0) continue;
+    for (int p = l_ptr_[k]; p < l_ptr_[k + 1]; ++p)
+      x[l_idx_[p]] -= l_val_[p] * piv;
+  }
+  // Back substitute on U. Result lands in basis-position space; gather the
+  // pivot-row values first, then solve.
+  // x_pos[j] = (z[pivot_row_[j]] - sum_{k>j} U[j,k] x_pos[k]) / u_diag_[j]
+  // U stored by column: column k holds entries (step j < k, value U[j,k]).
+  for (int k = m_ - 1; k >= 0; --k) {
+    double v = x[pivot_row_[k]] / u_diag_[k];
+    // Temporarily stash the solved value in the same dense vector, keyed by
+    // pivot row: scatter contributions of x_pos[k] to earlier steps.
+    x[pivot_row_[k]] = v;
+    for (int p = u_ptr_[k]; p < u_ptr_[k + 1]; ++p)
+      x[pivot_row_[u_idx_[p]]] -= u_val_[p] * v;
+  }
+  // Permute from row keyed to position keyed.
+  // x currently holds x_pos[k] at index pivot_row_[k].
+  thread_local std::vector<double> tmp;
+  tmp.assign(x.begin(), x.end());
+  for (int k = 0; k < m_; ++k) x[k] = tmp[pivot_row_[k]];
+}
+
+void LuFactorization::btran(std::span<double> y) const {
+  // Input y is in basis-position space: y_pos[k]. Solve U' w = y (forward in
+  // k since U is upper triangular in step space).
+  thread_local std::vector<double> w;
+  w.assign(y.begin(), y.end());
+  for (int k = 0; k < m_; ++k) {
+    double acc = w[k];
+    for (int p = u_ptr_[k]; p < u_ptr_[k + 1]; ++p)
+      acc -= u_val_[p] * w[u_idx_[p]];
+    w[k] = acc / u_diag_[k];
+  }
+  // Solve L' P y = w, output in row space: process steps in reverse.
+  for (int i = 0; i < m_; ++i) y[i] = 0.0;
+  for (int k = m_ - 1; k >= 0; --k) {
+    double acc = w[k];
+    for (int p = l_ptr_[k]; p < l_ptr_[k + 1]; ++p)
+      acc -= l_val_[p] * y[l_idx_[p]];
+    y[pivot_row_[k]] = acc;
+  }
+}
+
+}  // namespace checkmate::lp

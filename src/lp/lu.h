@@ -1,0 +1,56 @@
+// Sparse LU factorization of a simplex basis matrix, in the style of
+// Gilbert-Peierls left-looking LU with partial pivoting. The factorization
+// consumes the basis as a list of sparse columns and provides the two solves
+// the simplex engine needs:
+//
+//   ftran: solve B x = b   (b given in row space, x in basis-position space)
+//   btran: solve B' y = c  (c given in basis-position space, y in row space)
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace checkmate::lp {
+
+// One sparse basis column handed to the factorization.
+struct BasisColumn {
+  std::span<const int> rows;
+  std::span<const double> values;
+};
+
+class LuFactorization {
+ public:
+  // Factors the m x m basis whose k-th column is cols[k]. Returns false if
+  // the basis is numerically singular (no acceptable pivot in some column).
+  bool factorize(int m, std::span<const BasisColumn> cols);
+
+  // In-place solves. Vectors must have length m. See file comment for the
+  // row-space / position-space convention.
+  void ftran(std::span<double> x) const;
+  void btran(std::span<double> y) const;
+
+  int dim() const { return m_; }
+  // Fill-in diagnostic: total stored nonzeros in L and U.
+  int64_t nnz() const {
+    return static_cast<int64_t>(l_idx_.size() + u_idx_.size() + m_);
+  }
+
+ private:
+  int m_ = 0;
+
+  // L stored by elimination step (column) k: strictly-below-diagonal
+  // multipliers indexed by *original row id*. Unit diagonal implicit.
+  std::vector<int> l_ptr_, l_idx_;
+  std::vector<double> l_val_;
+
+  // U stored by column j: above-diagonal entries indexed by *elimination
+  // step*, diagonal kept separately.
+  std::vector<int> u_ptr_, u_idx_;
+  std::vector<double> u_val_;
+  std::vector<double> u_diag_;
+
+  std::vector<int> pivot_row_;  // elimination step k -> original row id
+};
+
+}  // namespace checkmate::lp

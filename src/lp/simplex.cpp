@@ -1,0 +1,461 @@
+#include "lp/simplex.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <stdexcept>
+
+namespace checkmate::lp {
+
+const char* to_string(LpStatus status) {
+  switch (status) {
+    case LpStatus::kOptimal: return "optimal";
+    case LpStatus::kInfeasible: return "infeasible";
+    case LpStatus::kUnbounded: return "unbounded";
+    case LpStatus::kIterationLimit: return "iteration_limit";
+    case LpStatus::kNumericalError: return "numerical_error";
+  }
+  return "unknown";
+}
+
+DualSimplex::DualSimplex(const LinearProgram& lp, SimplexOptions options)
+    : lp_(&lp), opt_(options), a_(lp.matrix()), n_(lp.num_vars()),
+      m_(lp.num_rows()) {
+  cost_.assign(num_total(), 0.0);
+  lo_.assign(num_total(), 0.0);
+  hi_.assign(num_total(), 0.0);
+  // Deterministic cost perturbation: breaks the massive dual degeneracy of
+  // 0/1 scheduling LPs. Scaled by the largest cost magnitude so the bias
+  // stays far below any optimality gap of interest.
+  double max_cost = 1.0;
+  for (int j = 0; j < n_; ++j)
+    max_cost = std::max(max_cost, std::abs(lp.obj[j]));
+  unsigned h = 0x2545f491u;
+  for (int j = 0; j < n_; ++j) {
+    h = h * 1664525u + 1013904223u;
+    const double jitter =
+        options.perturbation * max_cost *
+        (1.0 + static_cast<double>(h % 1024) / 1024.0);
+    cost_[j] = lp.obj[j] + jitter;
+    lo_[j] = lp.lb[j];
+    hi_[j] = lp.ub[j];
+  }
+  for (int i = 0; i < m_; ++i) {
+    lo_[n_ + i] = lp.row_lb[i];
+    hi_[n_ + i] = lp.row_ub[i];
+  }
+  status_.assign(num_total(), kNonbasicLower);
+  x_.assign(num_total(), 0.0);
+  xb_.assign(m_, 0.0);
+  d_.assign(num_total(), 0.0);
+  basic_var_.assign(m_, -1);
+}
+
+void DualSimplex::set_var_bounds(int var, double lower, double upper) {
+  if (var < 0 || var >= n_) throw std::out_of_range("set_var_bounds");
+  if (lower > upper) throw std::invalid_argument("set_var_bounds: lb > ub");
+  lo_[var] = lower;
+  hi_[var] = upper;
+  if (status_[var] != kBasic) {
+    // Snap a nonbasic variable back inside its (possibly shrunken) box.
+    if (status_[var] == kNonbasicLower || x_[var] < lower) {
+      if (lower != -kInf) {
+        status_[var] = kNonbasicLower;
+        x_[var] = lower;
+      }
+    }
+    if (status_[var] == kNonbasicUpper || x_[var] > upper) {
+      if (upper != kInf) {
+        status_[var] = kNonbasicUpper;
+        x_[var] = upper;
+      }
+    }
+    // Keep the dual-feasible side when both bounds finite and d has a sign.
+    if (d_[var] > opt_.optimality_tol && lower != -kInf) {
+      status_[var] = kNonbasicLower;
+      x_[var] = lower;
+    } else if (d_[var] < -opt_.optimality_tol && upper != kInf) {
+      status_[var] = kNonbasicUpper;
+      x_[var] = upper;
+    }
+  }
+  xb_dirty_ = true;
+  // Reduced costs of previously-fixed columns are not maintained while
+  // fixed; refresh them before the next solve.
+  d_dirty_ = true;
+}
+
+double DualSimplex::dot_work_column(int col,
+                                    const std::vector<double>& dense) const {
+  if (is_slack(col)) return -dense[col - n_];
+  return a_.dot_column(col, dense);
+}
+
+void DualSimplex::axpy_work_column(int col, double alpha,
+                                   std::vector<double>& dense) const {
+  if (is_slack(col)) {
+    dense[col - n_] -= alpha;
+    return;
+  }
+  a_.axpy_column(col, alpha, dense);
+}
+
+void DualSimplex::ftran(std::vector<double>& x) const {
+  lu_.ftran(x);
+  for (const Eta& e : etas_) {
+    double piv = x[e.pivot_pos] / e.pivot_val;
+    x[e.pivot_pos] = piv;
+    if (piv != 0.0)
+      for (size_t k = 0; k < e.idx.size(); ++k)
+        x[e.idx[k]] -= e.val[k] * piv;
+  }
+}
+
+void DualSimplex::btran(std::vector<double>& y) const {
+  for (auto it = etas_.rbegin(); it != etas_.rend(); ++it) {
+    double acc = y[it->pivot_pos];
+    for (size_t k = 0; k < it->idx.size(); ++k)
+      acc -= it->val[k] * y[it->idx[k]];
+    y[it->pivot_pos] = acc / it->pivot_val;
+  }
+  lu_.btran(y);
+}
+
+bool DualSimplex::refactorize() {
+  std::vector<BasisColumn> cols(m_);
+  // Slack columns are synthesized; keep their storage alive in one arena.
+  std::vector<int> slack_rows(m_);
+  static const double kMinusOne = -1.0;
+  for (int i = 0; i < m_; ++i) {
+    int col = basic_var_[i];
+    if (is_slack(col)) {
+      slack_rows[i] = col - n_;
+      cols[i] = {{&slack_rows[i], 1}, {&kMinusOne, 1}};
+    } else {
+      cols[i] = {a_.col_rows(col), a_.col_values(col)};
+    }
+  }
+  etas_.clear();
+  pivots_since_refactor_ = 0;
+  return lu_.factorize(m_, cols);
+}
+
+void DualSimplex::recompute_reduced_costs() {
+  // y = B^-T c_B, d_j = c_j - y . W_j
+  std::vector<double> y(m_, 0.0);
+  for (int i = 0; i < m_; ++i) y[i] = cost_[basic_var_[i]];
+  btran(y);
+  for (int j = 0; j < num_total(); ++j) {
+    if (status_[j] == kBasic) {
+      d_[j] = 0.0;
+    } else {
+      d_[j] = cost_[j] - dot_work_column(j, y);
+    }
+  }
+}
+
+void DualSimplex::recompute_basic_values() {
+  // x_B = -B^-1 W_N x_N  (rhs of W x = 0 moved to the right).
+  std::vector<double> rhs(m_, 0.0);
+  for (int j = 0; j < num_total(); ++j) {
+    if (status_[j] == kBasic || x_[j] == 0.0) continue;
+    axpy_work_column(j, -x_[j], rhs);
+  }
+  ftran(rhs);
+  xb_ = std::move(rhs);
+  xb_dirty_ = false;
+}
+
+double DualSimplex::bound_for_status(int col, int status) const {
+  return status == kNonbasicLower ? lo_[col] : hi_[col];
+}
+
+void DualSimplex::make_initial_basis() {
+  used_artificial_bound_ = false;
+  for (int i = 0; i < m_; ++i) {
+    basic_var_[i] = n_ + i;
+    status_[n_ + i] = kBasic;
+  }
+  for (int j = 0; j < n_; ++j) {
+    // Dual-feasible placement: cost >= 0 wants lower bound, cost < 0 wants
+    // upper bound. Missing bounds fall back to the other side, or to an
+    // artificial bound for genuinely free dual-infeasible columns.
+    const double c = cost_[j];
+    if (c >= 0.0) {
+      if (lo_[j] != -kInf) {
+        status_[j] = kNonbasicLower;
+        x_[j] = lo_[j];
+      } else if (c == 0.0) {
+        status_[j] = kFree;
+        x_[j] = 0.0;
+      } else if (hi_[j] != kInf) {
+        // Placing at the upper bound makes d_j = c > 0 with status upper:
+        // dual infeasible. Use an artificial lower bound instead.
+        lo_[j] = -opt_.artificial_bound;
+        used_artificial_bound_ = true;
+        status_[j] = kNonbasicLower;
+        x_[j] = lo_[j];
+      } else {
+        lo_[j] = -opt_.artificial_bound;
+        used_artificial_bound_ = true;
+        status_[j] = kNonbasicLower;
+        x_[j] = lo_[j];
+      }
+    } else {
+      if (hi_[j] != kInf) {
+        status_[j] = kNonbasicUpper;
+        x_[j] = hi_[j];
+      } else {
+        hi_[j] = opt_.artificial_bound;
+        used_artificial_bound_ = true;
+        status_[j] = kNonbasicUpper;
+        x_[j] = hi_[j];
+      }
+    }
+  }
+  basis_valid_ = true;
+  xb_dirty_ = true;
+}
+
+int DualSimplex::iterate() {
+  const double feas_tol = opt_.feasibility_tol;
+
+  // ---- Anti-stall refresh: long degenerate streaks usually mean the eta
+  // file has drifted; rebuild the factorization and all derived state.
+  if (stall_count_ >= 512) {
+    stall_count_ = 0;
+    if (!refactorize()) return 3;
+    recompute_reduced_costs();
+    recompute_basic_values();
+  }
+
+  // ---- Leaving variable: most-violated basic.
+  int leave_pos = -1;
+  double worst = feas_tol;
+  for (int i = 0; i < m_; ++i) {
+    const int col = basic_var_[i];
+    const double v = xb_[i];
+    const double viol = std::max(lo_[col] - v, v - hi_[col]);
+    if (viol > worst) {
+      worst = viol;
+      leave_pos = i;
+    }
+  }
+  if (leave_pos < 0) return 1;  // primal feasible => optimal
+
+  const int leave_col = basic_var_[leave_pos];
+  const double sigma = xb_[leave_pos] > hi_[leave_col] ? 1.0 : -1.0;
+  const double target =
+      sigma > 0 ? hi_[leave_col] : lo_[leave_col];
+  const double delta = xb_[leave_pos] - target;
+
+  // ---- Pivot row rho = B^-T e_r and alphas for all nonbasic columns.
+  std::vector<double>& rho = rho_scratch_;
+  rho.assign(m_, 0.0);
+  rho[leave_pos] = 1.0;
+  btran(rho);
+
+  int enter_col = -1;
+  double best_ratio = kInf;
+  double best_alpha = 0.0;
+  std::vector<double>& alpha = alpha_scratch_;
+  alpha.assign(num_total(), 0.0);
+  for (int j = 0; j < num_total(); ++j) {
+    if (status_[j] == kBasic) continue;
+    if (hi_[j] - lo_[j] < 1e-12 && status_[j] != kFree) continue;  // fixed
+    const double aj = dot_work_column(j, rho);
+    alpha[j] = aj;
+    const double sa = sigma * aj;
+    bool candidate = false;
+    if (status_[j] == kNonbasicLower && sa > opt_.pivot_tol)
+      candidate = true;
+    else if (status_[j] == kNonbasicUpper && sa < -opt_.pivot_tol)
+      candidate = true;
+    else if (status_[j] == kFree && std::abs(sa) > opt_.pivot_tol)
+      candidate = true;
+    if (!candidate) continue;
+    const double ratio = d_[j] / aj;  // signed dual step
+    const double ratio_mag = std::abs(ratio);
+    if (ratio_mag < best_ratio - 1e-12 ||
+        (ratio_mag < best_ratio + 1e-12 && std::abs(aj) > std::abs(best_alpha))) {
+      best_ratio = ratio_mag;
+      best_alpha = aj;
+      enter_col = j;
+    }
+  }
+  if (enter_col < 0) return 2;  // dual unbounded => primal infeasible
+
+  // ---- FTRAN entering column.
+  std::vector<double>& w = w_scratch_;
+  w.assign(m_, 0.0);
+  axpy_work_column(enter_col, 1.0, w);
+  ftran(w);
+  const double wr = w[leave_pos];
+  if (std::abs(wr) < opt_.pivot_tol) {
+    // The FTRAN'd pivot element disagrees with the BTRAN'd one badly;
+    // refactorize and let the caller retry.
+    if (!refactorize()) return 3;
+    recompute_reduced_costs();
+    recompute_basic_values();
+    return 0;
+  }
+
+  // ---- Primal step.
+  const double t = delta / wr;
+  for (int i = 0; i < m_; ++i) xb_[i] -= t * w[i];
+  const double enter_val =
+      (status_[enter_col] == kFree ? x_[enter_col]
+                                   : bound_for_status(enter_col, status_[enter_col])) +
+      t;
+
+  // ---- Dual step.
+  const double theta = d_[enter_col] / wr;
+  if (std::abs(theta) < 1e-13) {
+    ++stall_count_;
+  } else {
+    stall_count_ = 0;
+  }
+  for (int j = 0; j < num_total(); ++j) {
+    if (status_[j] == kBasic || j == enter_col) continue;
+    if (alpha[j] != 0.0) d_[j] -= theta * alpha[j];
+  }
+  d_[leave_col] = -theta;
+  d_[enter_col] = 0.0;
+
+  // ---- Status updates.
+  status_[leave_col] = sigma > 0 ? kNonbasicUpper : kNonbasicLower;
+  x_[leave_col] = target;
+  status_[enter_col] = kBasic;
+  basic_var_[leave_pos] = enter_col;
+  xb_[leave_pos] = enter_val;
+
+  // ---- Record eta.
+  Eta eta;
+  eta.pivot_pos = leave_pos;
+  eta.pivot_val = wr;
+  for (int i = 0; i < m_; ++i) {
+    if (i != leave_pos && w[i] != 0.0) {
+      eta.idx.push_back(i);
+      eta.val.push_back(w[i]);
+    }
+  }
+  etas_.push_back(std::move(eta));
+  if (++pivots_since_refactor_ >= opt_.refactor_interval) {
+    if (!refactorize()) return 3;
+    recompute_reduced_costs();
+    recompute_basic_values();
+  }
+  return 0;
+}
+
+LpResult DualSimplex::solve() {
+  LpResult result;
+  if (!basis_valid_) {
+    make_initial_basis();
+    if (!refactorize()) {
+      // Leave the engine marked invalid so the next solve() rebuilds from
+      // scratch instead of touching the failed factorization.
+      basis_valid_ = false;
+      result.status = LpStatus::kNumericalError;
+      return result;
+    }
+    recompute_reduced_costs();
+    d_dirty_ = false;
+  }
+  if (d_dirty_) {
+    // Refresh reduced costs and re-place nonbasic columns on their
+    // dual-feasible bounds (bound changes can leave stale d signs).
+    recompute_reduced_costs();
+    for (int j = 0; j < num_total(); ++j) {
+      if (status_[j] == kBasic || status_[j] == kFree) continue;
+      if (hi_[j] - lo_[j] < 1e-12) continue;
+      if (d_[j] > opt_.optimality_tol && lo_[j] != -kInf) {
+        status_[j] = kNonbasicLower;
+        x_[j] = lo_[j];
+      } else if (d_[j] < -opt_.optimality_tol && hi_[j] != kInf) {
+        status_[j] = kNonbasicUpper;
+        x_[j] = hi_[j];
+      }
+    }
+    d_dirty_ = false;
+    xb_dirty_ = true;
+  }
+  if (xb_dirty_) recompute_basic_values();
+
+  int iters = 0;
+  int numerical_retries = 0;
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(opt_.time_limit_sec));
+  while (iters < opt_.max_iterations) {
+    if ((iters & 0xff) == 0xff &&
+        std::chrono::steady_clock::now() > deadline) {
+      result.status = LpStatus::kIterationLimit;
+      result.iterations = iters;
+      return result;
+    }
+    const int rc = iterate();
+    ++iters;
+    ++total_iterations_;
+    if (rc == 0) continue;
+    if (rc == 1) break;  // optimal
+    if (rc == 2) {
+      result.status = LpStatus::kInfeasible;
+      result.objective = kInf;
+      result.iterations = iters;
+      return result;
+    }
+    if (rc == 3) {
+      if (++numerical_retries > 3) {
+        basis_valid_ = false;  // force a clean rebuild next time
+        result.status = LpStatus::kNumericalError;
+        result.iterations = iters;
+        return result;
+      }
+      // Full reset: rebuild from the slack basis.
+      make_initial_basis();
+      if (!refactorize()) {
+        basis_valid_ = false;
+        result.status = LpStatus::kNumericalError;
+        return result;
+      }
+      recompute_reduced_costs();
+      recompute_basic_values();
+    }
+  }
+  if (iters >= opt_.max_iterations) {
+    result.status = LpStatus::kIterationLimit;
+    result.iterations = iters;
+    return result;
+  }
+
+  // Assemble the structural solution.
+  result.x.assign(n_, 0.0);
+  for (int j = 0; j < n_; ++j)
+    if (status_[j] != kBasic) result.x[j] = x_[j];
+  for (int i = 0; i < m_; ++i)
+    if (basic_var_[i] < n_) result.x[basic_var_[i]] = xb_[i];
+
+  if (used_artificial_bound_) {
+    for (int j = 0; j < n_; ++j) {
+      if (std::abs(std::abs(result.x[j]) - opt_.artificial_bound) < 1e-3) {
+        result.status = LpStatus::kUnbounded;
+        result.objective = -kInf;
+        result.iterations = iters;
+        return result;
+      }
+    }
+  }
+  result.status = LpStatus::kOptimal;
+  result.objective = lp_->objective_value(result.x);
+  result.iterations = iters;
+  return result;
+}
+
+LpResult solve_lp(const LinearProgram& lp, SimplexOptions options) {
+  DualSimplex solver(lp, options);
+  return solver.solve();
+}
+
+}  // namespace checkmate::lp

@@ -1,0 +1,133 @@
+// Sparse bounded-variable dual simplex.
+//
+// The engine works on the computational form
+//
+//   minimize c'x   subject to   A x - s = 0,   lb <= x <= ub,
+//                               row_lb <= s <= row_ub
+//
+// i.e. the working matrix is W = [A | -I] and every constraint is an
+// equality against zero with slack activity bounded by the row range. The
+// initial all-slack basis is made dual feasible by placing each nonbasic
+// column at its sign-correct bound (cost-shifted bound flips); primal
+// feasibility is then restored by dual simplex pivots.
+//
+// Dual simplex is chosen over primal because branch-and-bound re-solves
+// after bound changes: bound changes preserve dual feasibility, so every
+// B&B node warm-starts from the parent basis.
+//
+// Basis representation: sparse LU (Gilbert-Peierls) refactorized
+// periodically, with product-form eta updates between refactorizations.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "lp/lp_problem.h"
+#include "lp/lu.h"
+#include "lp/sparse_matrix.h"
+
+namespace checkmate::lp {
+
+struct SimplexOptions {
+  double feasibility_tol = 1e-7;
+  double optimality_tol = 1e-7;
+  double pivot_tol = 1e-9;
+  int max_iterations = 200000;
+  // Wall-clock cap for a single solve() call; exceeded => kIterationLimit.
+  double time_limit_sec = 60.0;
+  int refactor_interval = 64;
+  // Deterministic tiny cost perturbation to break dual degeneracy (the
+  // rematerialization LPs have thousands of zero-cost columns). The true
+  // objective is always recomputed from unperturbed costs.
+  double perturbation = 1e-8;
+  // Finite stand-in bound for dual-infeasible columns lacking a usable
+  // bound; solutions resting on it are reported as unbounded. Kept modest:
+  // the bound's magnitude multiplies into floating-point cancellation error
+  // (~bound * 1e-16) during pivoting.
+  double artificial_bound = 1e7;
+};
+
+class DualSimplex {
+ public:
+  explicit DualSimplex(const LinearProgram& lp, SimplexOptions options = {});
+
+  // Overrides the bounds of structural variable j (branch-and-bound).
+  // Preserves the current basis; the next solve() re-optimizes.
+  void set_var_bounds(int var, double lower, double upper);
+  double var_lower(int var) const { return lo_[var]; }
+  double var_upper(int var) const { return hi_[var]; }
+
+  // Solves (or re-solves after bound changes) to optimality.
+  LpResult solve();
+
+  // Adjusts the per-solve wall-clock cap (branch & bound shrinks it to its
+  // remaining budget).
+  void set_time_limit(double seconds) { opt_.time_limit_sec = seconds; }
+
+  int iterations_total() const { return total_iterations_; }
+
+ private:
+  int num_total() const { return n_ + m_; }
+  bool is_slack(int col) const { return col >= n_; }
+
+  // FTRAN/BTRAN through LU factors plus the eta file.
+  void ftran(std::vector<double>& x) const;
+  void btran(std::vector<double>& y) const;
+
+  // W[:, col]' . dense (dense has length m_).
+  double dot_work_column(int col, const std::vector<double>& dense) const;
+  // dense += alpha * W[:, col].
+  void axpy_work_column(int col, double alpha,
+                        std::vector<double>& dense) const;
+
+  bool refactorize();            // rebuild LU from current basis
+  void recompute_reduced_costs();
+  void recompute_basic_values();
+  void make_initial_basis();
+  double bound_for_status(int col, int status) const;
+
+  // One dual simplex pivot. Returns:
+  //   0: pivoted, 1: optimal, 2: infeasible, 3: numerical trouble
+  int iterate();
+
+  const LinearProgram* lp_;
+  SimplexOptions opt_;
+  SparseMatrix a_;  // structural columns
+  int n_ = 0, m_ = 0;
+
+  std::vector<double> cost_;     // size n+m (slack cost 0)
+  std::vector<double> lo_, hi_;  // size n+m, current (possibly overridden)
+
+  enum Status : int8_t { kNonbasicLower, kNonbasicUpper, kBasic, kFree };
+  std::vector<int8_t> status_;   // size n+m
+  std::vector<int> basic_var_;   // size m: column index in basis position i
+  std::vector<double> x_;        // nonbasic values (valid where nonbasic)
+  std::vector<double> xb_;       // basic values by basis position
+  std::vector<double> d_;        // reduced costs, size n+m
+
+  struct Eta {
+    int pivot_pos;
+    std::vector<int> idx;
+    std::vector<double> val;
+    double pivot_val;
+  };
+  LuFactorization lu_;
+  std::vector<Eta> etas_;
+
+  bool basis_valid_ = false;
+  bool xb_dirty_ = true;
+  bool d_dirty_ = false;
+  bool used_artificial_bound_ = false;
+  int pivots_since_refactor_ = 0;
+  int total_iterations_ = 0;
+  unsigned rng_state_ = 0x9e3779b9u;  // for anti-stalling row choice
+  int stall_count_ = 0;
+
+  // Per-iteration scratch (avoids ~100KB of allocation per pivot).
+  std::vector<double> rho_scratch_, alpha_scratch_, w_scratch_;
+};
+
+// Convenience: solve the LP relaxation of `lp` with a fresh engine.
+LpResult solve_lp(const LinearProgram& lp, SimplexOptions options = {});
+
+}  // namespace checkmate::lp

@@ -1,0 +1,76 @@
+#include "lp/sparse_matrix.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace checkmate::lp {
+
+SparseMatrix::SparseMatrix(int rows, int cols,
+                           std::span<const Triplet> triplets, double drop_tol)
+    : rows_(rows), cols_(cols) {
+  if (rows < 0 || cols < 0)
+    throw std::invalid_argument("SparseMatrix: negative dimension");
+  for (const Triplet& t : triplets) {
+    if (t.row < 0 || t.row >= rows || t.col < 0 || t.col >= cols)
+      throw std::out_of_range("SparseMatrix: triplet index out of range");
+  }
+
+  // Counting sort by column, then sort each column's entries by row and
+  // merge duplicates.
+  std::vector<int> count(cols + 1, 0);
+  for (const Triplet& t : triplets) ++count[t.col + 1];
+  for (int j = 0; j < cols; ++j) count[j + 1] += count[j];
+
+  std::vector<Triplet> sorted(triplets.size());
+  {
+    std::vector<int> next(count.begin(), count.end() - 1);
+    for (const Triplet& t : triplets) sorted[next[t.col]++] = t;
+  }
+
+  col_ptr_.assign(cols + 1, 0);
+  row_idx_.reserve(sorted.size());
+  values_.reserve(sorted.size());
+  size_t pos = 0;
+  for (int j = 0; j < cols; ++j) {
+    size_t end = pos;
+    while (end < sorted.size() && sorted[end].col == j) ++end;
+    std::sort(sorted.begin() + pos, sorted.begin() + end,
+              [](const Triplet& a, const Triplet& b) { return a.row < b.row; });
+    for (size_t k = pos; k < end;) {
+      double sum = sorted[k].value;
+      size_t k2 = k + 1;
+      while (k2 < end && sorted[k2].row == sorted[k].row) sum += sorted[k2++].value;
+      if (std::abs(sum) > drop_tol) {
+        row_idx_.push_back(sorted[k].row);
+        values_.push_back(sum);
+      }
+      k = k2;
+    }
+    pos = end;
+    col_ptr_[j + 1] = static_cast<int>(row_idx_.size());
+  }
+}
+
+void SparseMatrix::axpy_column(int j, double alpha, std::span<double> y) const {
+  auto rows = col_rows(j);
+  auto vals = col_values(j);
+  for (size_t k = 0; k < rows.size(); ++k) y[rows[k]] += alpha * vals[k];
+}
+
+double SparseMatrix::dot_column(int j, std::span<const double> x) const {
+  auto rows = col_rows(j);
+  auto vals = col_values(j);
+  double acc = 0.0;
+  for (size_t k = 0; k < rows.size(); ++k) acc += vals[k] * x[rows[k]];
+  return acc;
+}
+
+std::vector<double> SparseMatrix::multiply(std::span<const double> x) const {
+  std::vector<double> y(rows_, 0.0);
+  for (int j = 0; j < cols_; ++j)
+    if (x[j] != 0.0) axpy_column(j, x[j], y);
+  return y;
+}
+
+}  // namespace checkmate::lp

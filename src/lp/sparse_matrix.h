@@ -1,0 +1,57 @@
+// Compressed sparse column (CSC) matrix, the storage format used by the
+// simplex engine and LU factorization.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace checkmate::lp {
+
+// Triplet (coordinate) entry used while assembling a matrix.
+struct Triplet {
+  int row = 0;
+  int col = 0;
+  double value = 0.0;
+};
+
+// Immutable CSC matrix. Duplicate triplets are summed during construction;
+// entries with |value| <= drop_tol are dropped.
+class SparseMatrix {
+ public:
+  SparseMatrix() = default;
+  SparseMatrix(int rows, int cols, std::span<const Triplet> triplets,
+               double drop_tol = 0.0);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  int64_t nnz() const { return static_cast<int64_t>(row_idx_.size()); }
+
+  // Column j as parallel (row index, value) spans.
+  std::span<const int> col_rows(int j) const {
+    return {row_idx_.data() + col_ptr_[j],
+            static_cast<size_t>(col_ptr_[j + 1] - col_ptr_[j])};
+  }
+  std::span<const double> col_values(int j) const {
+    return {values_.data() + col_ptr_[j],
+            static_cast<size_t>(col_ptr_[j + 1] - col_ptr_[j])};
+  }
+
+  // y += alpha * A[:, j]  (y is a dense vector of length rows()).
+  void axpy_column(int j, double alpha, std::span<double> y) const;
+
+  // Returns A[:, j] . x for a dense x of length rows().
+  double dot_column(int j, std::span<const double> x) const;
+
+  // Dense y = A * x (x length cols(), y length rows()).
+  std::vector<double> multiply(std::span<const double> x) const;
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<int> col_ptr_;  // size cols_+1
+  std::vector<int> row_idx_;
+  std::vector<double> values_;
+};
+
+}  // namespace checkmate::lp

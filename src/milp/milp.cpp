@@ -1,0 +1,259 @@
+#include "milp/milp.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+namespace checkmate::milp {
+
+const char* to_string(MilpStatus status) {
+  switch (status) {
+    case MilpStatus::kOptimal: return "optimal";
+    case MilpStatus::kFeasible: return "feasible";
+    case MilpStatus::kInfeasible: return "infeasible";
+    case MilpStatus::kNoSolution: return "no_solution";
+    case MilpStatus::kError: return "error";
+  }
+  return "unknown";
+}
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+class BranchAndBound {
+ public:
+  BranchAndBound(const lp::LinearProgram& lp, const MilpOptions& options,
+                 IncumbentHeuristic heuristic)
+      : lp_(lp),
+        opt_(options),
+        heuristic_(std::move(heuristic)),
+        simplex_(lp, options.simplex),
+        start_(Clock::now()) {
+    for (int j = 0; j < lp.num_vars(); ++j)
+      if (lp.is_integer[j]) int_vars_.push_back(j);
+  }
+
+  MilpResult run() {
+    if (!opt_.initial_solution.empty()) offer_candidate(opt_.initial_solution);
+    // Track the minimum LP bound over pruned-by-limit subtrees so that
+    // best_bound is sound even when the search is truncated.
+    search(/*depth=*/0);
+    result_.seconds = elapsed();
+    result_.lp_iterations = simplex_.iterations_total();
+
+    if (result_.has_solution()) {
+      if (search_complete_) {
+        result_.best_bound = result_.objective;  // proved within gap
+        result_.status = MilpStatus::kOptimal;
+      } else {
+        result_.best_bound = sound_incomplete_bound();
+        result_.status = MilpStatus::kFeasible;
+      }
+    } else {
+      result_.status =
+          search_complete_ ? MilpStatus::kInfeasible : MilpStatus::kNoSolution;
+      result_.best_bound =
+          search_complete_ ? lp::kInf : sound_incomplete_bound();
+    }
+    return result_;
+  }
+
+ private:
+  double elapsed() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  // Lower bound valid when the search tree was truncated: unexplored
+  // subtrees are bounded by their parent relaxations (open_bound_); if the
+  // stop happened before any truncation bookkeeping (e.g. first-incumbent
+  // mode), fall back to the root relaxation.
+  double sound_incomplete_bound() const {
+    double b = open_bound_;
+    if (b == lp::kInf) {
+      b = result_.root_relaxation != lp::kInf ? result_.root_relaxation
+                                              : -lp::kInf;
+    }
+    return std::min(b, result_.objective);
+  }
+
+  bool limits_hit() {
+    if (stop_) return true;
+    if (result_.nodes >= opt_.max_nodes || elapsed() > opt_.time_limit_sec) {
+      stop_ = true;
+      search_complete_ = false;
+    }
+    return stop_;
+  }
+
+  double prune_threshold() const {
+    if (!result_.has_solution()) return lp::kInf;
+    return result_.objective -
+           opt_.relative_gap * std::max(1.0, std::abs(result_.objective)) -
+           1e-9;
+  }
+
+  // Returns the fractional integer variable to branch on, or -1 if the
+  // point is integral. Highest priority wins; ties go to most-fractional.
+  int pick_branch_var(const std::vector<double>& x) const {
+    int best = -1;
+    int best_prio = std::numeric_limits<int>::min();
+    double best_frac_score = -1.0;
+    for (int j : int_vars_) {
+      const double f = x[j] - std::floor(x[j]);
+      const double dist = std::min(f, 1.0 - f);
+      if (dist <= opt_.integrality_tol) continue;
+      const int prio =
+          opt_.branch_priority.empty() ? 0 : opt_.branch_priority[j];
+      const double score = dist;  // closest to 0.5 is largest
+      if (prio > best_prio || (prio == best_prio && score > best_frac_score)) {
+        best = j;
+        best_prio = prio;
+        best_frac_score = score;
+      }
+    }
+    return best;
+  }
+
+  void try_incumbent(const std::vector<double>& x, double objective) {
+    if (objective >= result_.objective - 1e-12) return;
+    result_.objective = objective;
+    result_.x = x;
+    if (opt_.stop_at_first_incumbent) {
+      stop_ = true;
+      search_complete_ = false;
+    }
+  }
+
+  // Validates and possibly accepts a heuristic/rounded candidate.
+  void offer_candidate(const std::vector<double>& x) {
+    if (static_cast<int>(x.size()) != lp_.num_vars()) return;
+    for (int j : int_vars_) {
+      const double f = x[j] - std::floor(x[j]);
+      if (std::min(f, 1.0 - f) > opt_.integrality_tol) return;
+    }
+    if (lp_.max_violation(x) > 1e-6) return;
+    try_incumbent(x, lp_.objective_value(x));
+  }
+
+  // Iterative depth-first search with an explicit frame stack. Recursion
+  // is avoided because dives can fix thousands of binaries (one per level)
+  // on large rematerialization instances, which would threaten the call
+  // stack.
+  void search(int /*unused_depth*/) {
+    struct Branch {
+      double lo, hi;
+    };
+    struct Frame {
+      int var;
+      double old_lo, old_hi;
+      Branch branches[2];
+      int next = 0;
+      double relaxation;  // parent node's LP bound (for open-bound audit)
+    };
+    std::vector<Frame> stack;
+
+    auto unwind = [&]() {
+      for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+        open_bound_ = std::min(open_bound_, it->relaxation);
+        simplex_.set_var_bounds(it->var, it->old_lo, it->old_hi);
+      }
+      stack.clear();
+    };
+
+    bool need_solve = true;  // the root is pending
+    for (;;) {
+      if (limits_hit()) {
+        unwind();
+        return;
+      }
+      if (need_solve) {
+        need_solve = false;
+        ++result_.nodes;
+        // Never let one node LP outlive the solver's remaining budget.
+        simplex_.set_time_limit(
+            std::max(0.5, opt_.time_limit_sec - elapsed()));
+        lp::LpResult rel = simplex_.solve();
+        const bool is_root = stack.empty();
+        if (is_root && rel.status == lp::LpStatus::kOptimal)
+          result_.root_relaxation = rel.objective;
+
+        if (rel.status == lp::LpStatus::kInfeasible ||
+            (rel.status == lp::LpStatus::kOptimal &&
+             rel.objective >= prune_threshold())) {
+          // Pruned: fall through to backtracking.
+        } else if (rel.status != lp::LpStatus::kOptimal) {
+          // Numerical trouble or LP time cap: subtree stays open.
+          search_complete_ = false;
+          open_bound_ = -lp::kInf;
+        } else {
+          const int branch_var = pick_branch_var(rel.x);
+          if (branch_var < 0) {
+            try_incumbent(rel.x, rel.objective);
+          } else {
+            if (heuristic_ && (is_root || result_.nodes %
+                                              opt_.heuristic_interval ==
+                                          0)) {
+              if (auto cand = heuristic_(rel.x)) offer_candidate(*cand);
+            }
+            if (!stop_ && rel.objective < prune_threshold()) {
+              Frame f;
+              f.var = branch_var;
+              f.old_lo = simplex_.var_lower(branch_var);
+              f.old_hi = simplex_.var_upper(branch_var);
+              f.relaxation = rel.objective;
+              const double frac = rel.x[branch_var];
+              const double floor_val = std::floor(frac);
+              const Branch down{f.old_lo, floor_val};
+              const Branch up{floor_val + 1.0, f.old_hi};
+              const bool down_first = (frac - floor_val) <= 0.5;
+              f.branches[0] = down_first ? down : up;
+              f.branches[1] = down_first ? up : down;
+              stack.push_back(f);
+            }
+          }
+        }
+      }
+
+      // Backtrack to the deepest frame with an unexplored branch.
+      while (!stack.empty() && stack.back().next == 2) {
+        simplex_.set_var_bounds(stack.back().var, stack.back().old_lo,
+                                stack.back().old_hi);
+        stack.pop_back();
+      }
+      if (stack.empty()) return;
+
+      Frame& f = stack.back();
+      const Branch& b = f.branches[f.next++];
+      if (b.lo > b.hi + 1e-12) continue;  // empty side (integral bound edge)
+      simplex_.set_var_bounds(f.var, b.lo, b.hi);
+      need_solve = true;
+    }
+  }
+
+  const lp::LinearProgram& lp_;
+  MilpOptions opt_;
+  IncumbentHeuristic heuristic_;
+  lp::DualSimplex simplex_;
+  Clock::time_point start_;
+
+  std::vector<int> int_vars_;
+  MilpResult result_;
+  bool search_complete_ = true;
+  bool stop_ = false;
+  double open_bound_ = lp::kInf;
+};
+
+}  // namespace
+
+MilpResult solve_milp(const lp::LinearProgram& lp, const MilpOptions& options,
+                      IncumbentHeuristic heuristic) {
+  MilpOptions opts = options;
+  // A single node LP must never outlive the overall budget.
+  opts.simplex.time_limit_sec =
+      std::min(opts.simplex.time_limit_sec, opts.time_limit_sec);
+  BranchAndBound bnb(lp, opts, std::move(heuristic));
+  return bnb.run();
+}
+
+}  // namespace checkmate::milp

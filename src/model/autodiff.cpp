@@ -1,0 +1,57 @@
+#include "model/autodiff.h"
+
+#include <stdexcept>
+
+namespace checkmate::model {
+
+DnnGraph make_training_graph(const DnnGraph& forward,
+                             const AutodiffOptions& options) {
+  forward.validate();
+  for (const Op& op : forward.ops)
+    if (op.is_gradient())
+      throw std::invalid_argument(
+          "make_training_graph: input already contains gradient ops");
+
+  DnnGraph g;
+  g.name = forward.name;
+  g.dag = forward.dag;
+  g.ops = forward.ops;
+
+  const int fwd_count = forward.dag.size();
+  std::vector<NodeId> grad_id(fwd_count, -1);
+
+  // Reverse topological order == descending ids (graph is topo labeled).
+  for (NodeId v = fwd_count - 1; v >= 0; --v) {
+    const Op& fwd_op = forward.ops[v];
+    if (fwd_op.kind == OpKind::kInput) continue;  // no gradient for data
+
+    Op gop;
+    gop.kind = OpKind::kGradient;
+    gop.name = "grad_" + fwd_op.name;
+    gop.grad_of = v;
+    // The gradient tensor w.r.t. an activation has the activation's shape;
+    // the loss gradient seed is scalar-shaped like the loss.
+    gop.output = fwd_op.output;
+    gop.forward_flops = static_cast<int64_t>(
+        static_cast<double>(fwd_op.forward_flops) *
+        options.backward_cost_factor);
+
+    const NodeId gv = g.dag.add_node();
+    g.ops.push_back(std::move(gop));
+    grad_id[v] = gv;
+
+    // Upstream gradients: users of v run later in the forward order, so
+    // their gradient nodes were created earlier in this loop.
+    for (NodeId u : forward.dag.users(v)) {
+      if (grad_id[u] >= 0) g.dag.add_edge(grad_id[u], gv);
+    }
+    // Activations: own output and direct inputs.
+    g.dag.add_edge(v, gv);
+    for (NodeId d : forward.dag.deps(v)) g.dag.add_edge(d, gv);
+  }
+
+  g.validate();
+  return g;
+}
+
+}  // namespace checkmate::model

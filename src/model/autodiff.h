@@ -1,0 +1,34 @@
+// Static reverse-mode differentiation at the graph level (Figure 2 of the
+// paper: "static reverse mode auto-differentiation" feeding the optimizer).
+//
+// For each forward op v (except inputs), a gradient op grad(v) is appended.
+// Dependencies follow the standard backprop data flow used by Checkmate's
+// TensorFlow extractor:
+//
+//   grad(v) reads  { grad(u) : u in users(v) }   (upstream gradients)
+//                  { d : d in deps(v) }          (input activations)
+//                  { v }                         (own activation)
+//
+// Gradient nodes are appended in reverse topological order of their forward
+// counterparts, so the combined graph remains topologically labeled. The
+// gradient of the loss node is the seed and depends only on the loss value.
+#pragma once
+
+#include "model/graph_builder.h"
+
+namespace checkmate::model {
+
+struct AutodiffOptions {
+  // Cost multiplier for backward ops relative to forward FLOPs. A conv
+  // backward computes both input and weight gradients, roughly 2x the
+  // forward cost.
+  double backward_cost_factor = 2.0;
+};
+
+// Returns a new graph containing the forward graph plus gradient nodes.
+// The input graph must be a pure forward graph (no gradient ops) with
+// topologically-ordered ids.
+DnnGraph make_training_graph(const DnnGraph& forward,
+                             const AutodiffOptions& options = {});
+
+}  // namespace checkmate::model

@@ -1,0 +1,69 @@
+#include "model/cost_model.h"
+
+namespace checkmate::model {
+
+namespace {
+
+// Fraction of peak FLOP throughput a kernel of this type achieves.
+// Depthwise convolutions are notoriously inefficient; dense GEMMs are good.
+double compute_efficiency(OpKind kind) {
+  switch (kind) {
+    case OpKind::kConv2d: return 0.55;
+    case OpKind::kConvBlock: return 0.55;
+    case OpKind::kDepthwiseConv2d: return 0.15;
+    case OpKind::kDense: return 0.60;
+    case OpKind::kUpsample: return 0.45;
+    default: return 0.0;  // memory bound
+  }
+}
+
+bool is_compute_bound(OpKind kind) { return compute_efficiency(kind) > 0.0; }
+
+}  // namespace
+
+std::vector<double> op_costs(const DnnGraph& graph, CostMetric metric,
+                             const CostModelOptions& options) {
+  std::vector<double> costs(graph.dag.size(), 0.0);
+  for (NodeId v = 0; v < graph.dag.size(); ++v) {
+    const Op& op = graph.ops[v];
+    if (op.kind == OpKind::kInput) {
+      costs[v] = 0.0;  // data is read from the host input pipeline
+      continue;
+    }
+    if (metric == CostMetric::kFlops) {
+      costs[v] = static_cast<double>(op.forward_flops);
+      continue;
+    }
+    // Profiled-time mode. Gradient ops inherit the efficiency profile of
+    // the op they differentiate.
+    const OpKind profile_kind =
+        op.is_gradient() ? graph.ops[op.grad_of].kind : op.kind;
+    double us = options.kernel_overhead_us;
+    if (is_compute_bound(profile_kind)) {
+      const double peak_flops_per_us = options.peak_tflops * 1e6;
+      us += static_cast<double>(op.forward_flops) /
+            (compute_efficiency(profile_kind) * peak_flops_per_us);
+    } else {
+      // Memory bound: read input(s) + write output, approximated as 3x the
+      // output bytes, at effective bandwidth.
+      const double bytes_per_us =
+          options.mem_bandwidth_gbps * options.bandwidth_efficiency * 1e3;
+      us += 3.0 * static_cast<double>(op.output_bytes()) / bytes_per_us;
+    }
+    costs[v] = us;
+  }
+  return costs;
+}
+
+std::vector<int64_t> op_memory_bytes(const DnnGraph& graph) {
+  std::vector<int64_t> mem(graph.dag.size(), 0);
+  for (NodeId v = 0; v < graph.dag.size(); ++v)
+    mem[v] = graph.ops[v].output_bytes();
+  return mem;
+}
+
+int64_t fixed_overhead_bytes(const DnnGraph& graph) {
+  return 2 * graph.total_params() * kBytesPerElement;
+}
+
+}  // namespace checkmate::model

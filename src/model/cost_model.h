@@ -1,0 +1,43 @@
+// Hardware-aware cost model (Section 4.10).
+//
+// The paper profiles each layer on the target GPU. This environment has no
+// GPU, so the profile is synthesized: per-op FLOPs are derived statically
+// from shapes and converted to time with per-op-type efficiency factors and
+// a fixed kernel launch overhead (compute-bound ops), or from bytes moved
+// and effective bandwidth (memory-bound ops). The model is deterministic, as
+// the paper observes real kernel timings to be ("low variance and largely
+// independent of the specific input data").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "model/graph_builder.h"
+
+namespace checkmate::model {
+
+enum class CostMetric {
+  kFlops,           // raw FLOPs (used for the Figure 6 experiments)
+  kProfiledTimeUs,  // synthetic profile: microseconds on a V100-class GPU
+};
+
+struct CostModelOptions {
+  double peak_tflops = 15.7;         // V100 fp32
+  double mem_bandwidth_gbps = 900.0; // V100 HBM2
+  double bandwidth_efficiency = 0.75;
+  double kernel_overhead_us = 4.0;
+};
+
+// Per-node compute costs, indexed by NodeId.
+std::vector<double> op_costs(const DnnGraph& graph, CostMetric metric,
+                             const CostModelOptions& options = {});
+
+// Per-node output memory in bytes, indexed by NodeId.
+std::vector<int64_t> op_memory_bytes(const DnnGraph& graph);
+
+// Constant memory overhead of a training iteration: parameters plus
+// reserved space for parameter gradients (Section 4.4, Eq. 2). Input
+// tensors are graph nodes here, so they are not double counted.
+int64_t fixed_overhead_bytes(const DnnGraph& graph);
+
+}  // namespace checkmate::model

@@ -1,0 +1,268 @@
+#include "model/graph_builder.h"
+
+#include <stdexcept>
+
+namespace checkmate::model {
+
+std::vector<NodeId> DnnGraph::forward_nodes() const {
+  std::vector<NodeId> out;
+  for (NodeId v = 0; v < dag.size(); ++v)
+    if (!ops[v].is_gradient()) out.push_back(v);
+  return out;
+}
+
+std::vector<NodeId> DnnGraph::backward_nodes() const {
+  std::vector<NodeId> out;
+  for (NodeId v = 0; v < dag.size(); ++v)
+    if (ops[v].is_gradient()) out.push_back(v);
+  return out;
+}
+
+NodeId DnnGraph::terminal() const {
+  auto s = dag.sinks();
+  if (s.size() != 1)
+    throw std::logic_error("DnnGraph::terminal: graph must have one sink");
+  return s.front();
+}
+
+int64_t DnnGraph::total_params() const {
+  int64_t p = 0;
+  for (const Op& op : ops)
+    if (!op.is_gradient()) p += op.param_count;
+  return p;
+}
+
+int64_t DnnGraph::input_bytes() const {
+  int64_t b = 0;
+  for (const Op& op : ops)
+    if (op.kind == OpKind::kInput) b += op.output_bytes();
+  return b;
+}
+
+int64_t DnnGraph::total_forward_activation_bytes() const {
+  int64_t b = 0;
+  for (const Op& op : ops)
+    if (!op.is_gradient() && op.kind != OpKind::kInput) b += op.output_bytes();
+  return b;
+}
+
+void DnnGraph::validate() const {
+  if (static_cast<int>(ops.size()) != dag.size())
+    throw std::logic_error("DnnGraph: ops/dag size mismatch");
+  dag.validate();
+  if (!dag.is_topologically_labeled())
+    throw std::logic_error("DnnGraph: ids must be topologically ordered");
+}
+
+NodeId GraphBuilder::emit(Op op, std::vector<NodeId> inputs) {
+  const NodeId v = dag_.add_node();
+  if (op.name.empty()) op.name = std::string(to_string(op.kind)) + "_" +
+                                 std::to_string(v);
+  ops_.push_back(std::move(op));
+  for (NodeId src : inputs) dag_.add_edge(src, v);
+  return v;
+}
+
+NodeId GraphBuilder::input(TensorShape shape, std::string name) {
+  Op op;
+  op.kind = OpKind::kInput;
+  op.name = std::move(name);
+  op.output = std::move(shape);
+  op.forward_flops = 0;
+  return emit(std::move(op), {});
+}
+
+NodeId GraphBuilder::conv2d(NodeId src, int64_t out_channels, int kernel,
+                            int stride, std::string name) {
+  const TensorShape& in = shape(src);
+  if (in.dims.size() != 4)
+    throw std::invalid_argument("conv2d: input must be NCHW");
+  const int64_t h = (in.height() + stride - 1) / stride;
+  const int64_t w = (in.width() + stride - 1) / stride;
+  Op op;
+  op.kind = OpKind::kConv2d;
+  op.name = std::move(name);
+  op.output = TensorShape::nchw(in.batch(), out_channels, h, w);
+  op.param_count =
+      static_cast<int64_t>(kernel) * kernel * in.channels() * out_channels +
+      out_channels;
+  // 2 * K^2 * Cin * Cout * Hout * Wout * N (+ ReLU, negligible).
+  op.forward_flops = 2LL * kernel * kernel * in.channels() * out_channels *
+                         h * w * in.batch() +
+                     op.output.numel();
+  return emit(std::move(op), {src});
+}
+
+NodeId GraphBuilder::depthwise_separable(NodeId src, int64_t out_channels,
+                                         int kernel, int stride,
+                                         std::string name) {
+  const TensorShape& in = shape(src);
+  const int64_t h = (in.height() + stride - 1) / stride;
+  const int64_t w = (in.width() + stride - 1) / stride;
+  Op op;
+  op.kind = OpKind::kDepthwiseConv2d;
+  op.name = std::move(name);
+  op.output = TensorShape::nchw(in.batch(), out_channels, h, w);
+  op.param_count = static_cast<int64_t>(kernel) * kernel * in.channels() +
+                   in.channels() * out_channels + 2 * out_channels;
+  // depthwise: 2*K^2*Cin*H*W*N, pointwise: 2*Cin*Cout*H*W*N.
+  op.forward_flops =
+      2LL * kernel * kernel * in.channels() * h * w * in.batch() +
+      2LL * in.channels() * out_channels * h * w * in.batch();
+  return emit(std::move(op), {src});
+}
+
+NodeId GraphBuilder::conv_block(NodeId src, int64_t out_channels, int kernel,
+                                int count, int stride, std::string name) {
+  const TensorShape& in = shape(src);
+  const int64_t h = (in.height() + stride - 1) / stride;
+  const int64_t w = (in.width() + stride - 1) / stride;
+  Op op;
+  op.kind = OpKind::kConvBlock;
+  op.name = std::move(name);
+  op.output = TensorShape::nchw(in.batch(), out_channels, h, w);
+  const int64_t k2 = static_cast<int64_t>(kernel) * kernel;
+  // First conv maps Cin -> Cout; remaining count-1 convs map Cout -> Cout.
+  op.param_count = k2 * in.channels() * out_channels + out_channels +
+                   (count - 1) * (k2 * out_channels * out_channels + out_channels);
+  op.forward_flops =
+      2LL * k2 * in.channels() * out_channels * h * w * in.batch() +
+      (count - 1) * 2LL * k2 * out_channels * out_channels * h * w * in.batch();
+  return emit(std::move(op), {src});
+}
+
+NodeId GraphBuilder::bottleneck_block(NodeId src, int64_t out_channels,
+                                      int stride, std::string name) {
+  const TensorShape& in = shape(src);
+  const int64_t mid = out_channels / 4;
+  const int64_t h = (in.height() + stride - 1) / stride;
+  const int64_t w = (in.width() + stride - 1) / stride;
+  Op op;
+  op.kind = OpKind::kConvBlock;
+  op.name = std::move(name);
+  op.output = TensorShape::nchw(in.batch(), out_channels, h, w);
+  op.param_count = in.channels() * mid + mid +      // 1x1 reduce
+                   9 * mid * mid + mid +            // 3x3
+                   mid * out_channels + out_channels;  // 1x1 expand
+  op.forward_flops =
+      2LL * in.channels() * mid * h * w * in.batch() +
+      2LL * 9 * mid * mid * h * w * in.batch() +
+      2LL * mid * out_channels * h * w * in.batch();
+  return emit(std::move(op), {src});
+}
+
+NodeId GraphBuilder::max_pool(NodeId src, int kernel, std::string name) {
+  const TensorShape& in = shape(src);
+  Op op;
+  op.kind = OpKind::kMaxPool;
+  op.name = std::move(name);
+  op.output = TensorShape::nchw(in.batch(), in.channels(),
+                                in.height() / kernel, in.width() / kernel);
+  op.forward_flops = in.numel();
+  return emit(std::move(op), {src});
+}
+
+NodeId GraphBuilder::avg_pool_global(NodeId src, std::string name) {
+  const TensorShape& in = shape(src);
+  Op op;
+  op.kind = OpKind::kAvgPool;
+  op.name = std::move(name);
+  op.output = TensorShape::flat(in.batch(), in.channels());
+  op.forward_flops = in.numel();
+  return emit(std::move(op), {src});
+}
+
+NodeId GraphBuilder::dense(NodeId src, int64_t units, std::string name) {
+  const TensorShape& in = shape(src);
+  const int64_t features = in.numel() / in.batch();
+  Op op;
+  op.kind = OpKind::kDense;
+  op.name = std::move(name);
+  op.output = TensorShape::flat(in.batch(), units);
+  op.param_count = features * units + units;
+  op.forward_flops = 2LL * features * units * in.batch();
+  return emit(std::move(op), {src});
+}
+
+NodeId GraphBuilder::relu(NodeId src, std::string name) {
+  Op op;
+  op.kind = OpKind::kRelu;
+  op.name = std::move(name);
+  op.output = shape(src);
+  op.forward_flops = op.output.numel();
+  return emit(std::move(op), {src});
+}
+
+NodeId GraphBuilder::batch_norm(NodeId src, std::string name) {
+  Op op;
+  op.kind = OpKind::kBatchNorm;
+  op.name = std::move(name);
+  op.output = shape(src);
+  op.param_count = 2 * shape(src).channels();
+  op.forward_flops = 4 * op.output.numel();
+  return emit(std::move(op), {src});
+}
+
+NodeId GraphBuilder::add(NodeId a, NodeId b, std::string name) {
+  if (!(shape(a) == shape(b)))
+    throw std::invalid_argument("add: shape mismatch " +
+                                shape(a).to_string() + " vs " +
+                                shape(b).to_string());
+  Op op;
+  op.kind = OpKind::kAdd;
+  op.name = std::move(name);
+  op.output = shape(a);
+  op.forward_flops = op.output.numel();
+  return emit(std::move(op), {a, b});
+}
+
+NodeId GraphBuilder::concat(NodeId a, NodeId b, std::string name) {
+  const TensorShape& sa = shape(a);
+  const TensorShape& sb = shape(b);
+  if (sa.dims.size() != 4 || sb.dims.size() != 4 ||
+      sa.height() != sb.height() || sa.width() != sb.width() ||
+      sa.batch() != sb.batch())
+    throw std::invalid_argument("concat: incompatible shapes " +
+                                sa.to_string() + " vs " + sb.to_string());
+  Op op;
+  op.kind = OpKind::kConcat;
+  op.name = std::move(name);
+  op.output = TensorShape::nchw(sa.batch(), sa.channels() + sb.channels(),
+                                sa.height(), sa.width());
+  op.forward_flops = op.output.numel();
+  return emit(std::move(op), {a, b});
+}
+
+NodeId GraphBuilder::upsample(NodeId src, int64_t out_channels,
+                              std::string name) {
+  const TensorShape& in = shape(src);
+  Op op;
+  op.kind = OpKind::kUpsample;
+  op.name = std::move(name);
+  op.output = TensorShape::nchw(in.batch(), out_channels, in.height() * 2,
+                                in.width() * 2);
+  op.param_count = 4LL * in.channels() * out_channels + out_channels;  // 2x2
+  op.forward_flops = 2LL * 4 * in.channels() * out_channels *
+                     op.output.height() * op.output.width() * in.batch() / 4;
+  return emit(std::move(op), {src});
+}
+
+NodeId GraphBuilder::loss(NodeId src, std::string name) {
+  Op op;
+  op.kind = OpKind::kLoss;
+  op.name = std::move(name);
+  op.output = TensorShape::scalar();
+  op.forward_flops = 5 * shape(src).numel();
+  return emit(std::move(op), {src});
+}
+
+DnnGraph GraphBuilder::build() && {
+  DnnGraph g;
+  g.name = std::move(name_);
+  g.dag = std::move(dag_);
+  g.ops = std::move(ops_);
+  g.validate();
+  return g;
+}
+
+}  // namespace checkmate::model

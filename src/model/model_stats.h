@@ -1,0 +1,36 @@
+// Memory-breakdown statistics for Figure 3: bytes consumed by features
+// (activations), parameters, parameter gradients and workspace for popular
+// architectures, against the memory limit of the GPU each was trained on.
+//
+// Zoo architectures are measured from their actual graphs; architectures
+// outside the zoo (Inception v3, ResNeXt, Transformer, RoBERTa, BigGAN,
+// DenseNet, ResNet-152, AlexNet) use analytic parameter counts from the
+// literature and activation estimates at the publication batch size
+// (DESIGN.md substitution (e)).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace checkmate::model {
+
+struct ModelMemoryStats {
+  std::string name;
+  int year = 0;
+  int64_t batch = 0;
+  int64_t features_bytes = 0;
+  int64_t param_bytes = 0;
+  int64_t param_grad_bytes = 0;
+  int64_t workspace_bytes = 0;
+  int64_t gpu_limit_bytes = 0;  // dashed line in Figure 3
+
+  int64_t total_bytes() const {
+    return features_bytes + param_bytes + param_grad_bytes + workspace_bytes;
+  }
+};
+
+// The ten models of Figure 3, in publication order.
+std::vector<ModelMemoryStats> figure3_model_stats();
+
+}  // namespace checkmate::model

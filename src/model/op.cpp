@@ -1,0 +1,25 @@
+#include "model/op.h"
+
+namespace checkmate::model {
+
+const char* to_string(OpKind kind) {
+  switch (kind) {
+    case OpKind::kInput: return "input";
+    case OpKind::kConv2d: return "conv2d";
+    case OpKind::kDepthwiseConv2d: return "dw_conv2d";
+    case OpKind::kConvBlock: return "conv_block";
+    case OpKind::kMaxPool: return "max_pool";
+    case OpKind::kAvgPool: return "avg_pool";
+    case OpKind::kDense: return "dense";
+    case OpKind::kBatchNorm: return "batch_norm";
+    case OpKind::kRelu: return "relu";
+    case OpKind::kAdd: return "add";
+    case OpKind::kConcat: return "concat";
+    case OpKind::kUpsample: return "upsample";
+    case OpKind::kLoss: return "loss";
+    case OpKind::kGradient: return "gradient";
+  }
+  return "unknown";
+}
+
+}  // namespace checkmate::model

@@ -1,0 +1,46 @@
+// Operator descriptors for data-flow graph nodes: kind, output shape,
+// parameter count, and statically-derived forward FLOPs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "graph/graph.h"
+#include "model/shape.h"
+
+namespace checkmate::model {
+
+enum class OpKind {
+  kInput,
+  kConv2d,          // conv (+ bias + fused ReLU)
+  kDepthwiseConv2d,
+  kConvBlock,       // fused stack of convs (coarsened granularity)
+  kMaxPool,
+  kAvgPool,
+  kDense,
+  kBatchNorm,
+  kRelu,
+  kAdd,             // elementwise residual add
+  kConcat,          // channel concatenation (skip connections)
+  kUpsample,        // 2x transposed conv / unpooling
+  kLoss,            // softmax + loss reduction
+  kGradient,        // backward op (created by autodiff)
+};
+
+const char* to_string(OpKind kind);
+
+struct Op {
+  OpKind kind = OpKind::kInput;
+  std::string name;
+  TensorShape output;
+  int64_t param_count = 0;
+  int64_t forward_flops = 0;
+
+  // For gradient nodes: the forward node this op differentiates.
+  NodeId grad_of = -1;
+  bool is_gradient() const { return kind == OpKind::kGradient; }
+
+  int64_t output_bytes() const { return output.bytes(); }
+};
+
+}  // namespace checkmate::model

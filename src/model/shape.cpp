@@ -1,0 +1,16 @@
+#include "model/shape.h"
+
+namespace checkmate::model {
+
+std::string TensorShape::to_string() const {
+  if (dims.empty()) return "[]";
+  std::string out = "[";
+  for (size_t i = 0; i < dims.size(); ++i) {
+    if (i) out += "x";
+    out += std::to_string(dims[i]);
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace checkmate::model

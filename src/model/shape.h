@@ -1,0 +1,47 @@
+// Tensor shapes for the DNN model zoo. Values are dense single-precision
+// tensors (4 bytes/element), matching the paper's memory accounting
+// (Section 4.10).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace checkmate::model {
+
+inline constexpr int64_t kBytesPerElement = 4;  // fp32
+
+struct TensorShape {
+  // NCHW for feature maps; {n, features} for dense layers; empty for
+  // scalars (e.g. loss).
+  std::vector<int64_t> dims;
+
+  TensorShape() = default;
+  TensorShape(std::initializer_list<int64_t> d) : dims(d) {}
+
+  static TensorShape nchw(int64_t n, int64_t c, int64_t h, int64_t w) {
+    return TensorShape{n, c, h, w};
+  }
+  static TensorShape flat(int64_t n, int64_t features) {
+    return TensorShape{n, features};
+  }
+  static TensorShape scalar() { return TensorShape{}; }
+
+  int64_t numel() const {
+    int64_t p = 1;
+    for (int64_t d : dims) p *= d;
+    return p;
+  }
+  int64_t bytes() const { return numel() * kBytesPerElement; }
+
+  int64_t batch() const { return dims.empty() ? 1 : dims[0]; }
+  int64_t channels() const { return dims.size() == 4 ? dims[1] : 0; }
+  int64_t height() const { return dims.size() == 4 ? dims[2] : 0; }
+  int64_t width() const { return dims.size() == 4 ? dims[3] : 0; }
+
+  std::string to_string() const;
+
+  friend bool operator==(const TensorShape&, const TensorShape&) = default;
+};
+
+}  // namespace checkmate::model

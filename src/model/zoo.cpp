@@ -1,0 +1,185 @@
+#include "model/zoo.h"
+
+namespace checkmate::model::zoo {
+
+DnnGraph linear_net(int layers, int64_t batch, int64_t channels,
+                    int64_t spatial) {
+  GraphBuilder b("linear_net_" + std::to_string(layers));
+  NodeId x = b.input(TensorShape::nchw(batch, channels, spatial, spatial));
+  for (int i = 0; i < layers; ++i)
+    x = b.conv2d(x, channels, 3, 1, "conv" + std::to_string(i + 1));
+  b.loss(x);
+  return std::move(b).build();
+}
+
+namespace {
+
+// Shared VGG-style trunk. `stage_convs` gives the number of 3x3 convs per
+// stage; channel widths are the standard 64..512 doubling.
+NodeId vgg_trunk(GraphBuilder& b, NodeId x, std::array<int, 5> stage_convs,
+                 bool coarse) {
+  const int64_t widths[5] = {64, 128, 256, 512, 512};
+  for (int s = 0; s < 5; ++s) {
+    if (coarse) {
+      x = b.conv_block(x, widths[s], 3, stage_convs[s],
+                       1, "conv" + std::to_string(s + 1));
+    } else {
+      for (int i = 0; i < stage_convs[s]; ++i)
+        x = b.conv2d(x, widths[s], 3, 1,
+                     "conv" + std::to_string(s + 1) + "_" +
+                         std::to_string(i + 1));
+    }
+    x = b.max_pool(x, 2, "pool" + std::to_string(s + 1));
+  }
+  return x;
+}
+
+DnnGraph vgg(std::string name, std::array<int, 5> stage_convs, int64_t batch,
+             int64_t resolution, bool coarse) {
+  GraphBuilder b(std::move(name));
+  NodeId x = b.input(TensorShape::nchw(batch, 3, resolution, resolution));
+  x = vgg_trunk(b, x, stage_convs, coarse);
+  x = b.dense(x, 4096, "fc1");
+  x = b.dense(x, 4096, "fc2");
+  x = b.dense(x, 1000, "predictions");
+  b.loss(x);
+  return std::move(b).build();
+}
+
+}  // namespace
+
+DnnGraph vgg16(int64_t batch, int64_t resolution, bool coarse) {
+  return vgg("VGG16", {2, 2, 3, 3, 3}, batch, resolution, coarse);
+}
+
+DnnGraph vgg19(int64_t batch, int64_t resolution, bool coarse) {
+  return vgg("VGG19", {2, 2, 4, 4, 4}, batch, resolution, coarse);
+}
+
+DnnGraph mobilenet_v1(int64_t batch, int64_t resolution) {
+  GraphBuilder b("MobileNet");
+  NodeId x = b.input(TensorShape::nchw(batch, 3, resolution, resolution));
+  x = b.conv2d(x, 32, 3, 2, "conv1");
+  struct Stage {
+    int64_t channels;
+    int stride;
+  };
+  const Stage stages[] = {{64, 1},  {128, 2}, {128, 1}, {256, 2}, {256, 1},
+                          {512, 2}, {512, 1}, {512, 1}, {512, 1}, {512, 1},
+                          {512, 1}, {1024, 2}, {1024, 1}};
+  int i = 2;
+  for (const Stage& s : stages)
+    x = b.depthwise_separable(x, s.channels, 3, s.stride,
+                              "ds" + std::to_string(i++));
+  x = b.avg_pool_global(x, "gap");
+  x = b.dense(x, 1000, "predictions");
+  b.loss(x);
+  return std::move(b).build();
+}
+
+DnnGraph resnet(int64_t batch, int64_t resolution,
+                std::array<int, 4> stage_blocks) {
+  const bool full = stage_blocks == std::array<int, 4>{3, 4, 6, 3};
+  GraphBuilder b(full ? "ResNet50" : "ResNet50-coarse");
+  NodeId x = b.input(TensorShape::nchw(batch, 3, resolution, resolution));
+  x = b.conv2d(x, 64, 7, 2, "stem");
+  x = b.max_pool(x, 2, "stem_pool");
+  const int64_t widths[4] = {256, 512, 1024, 2048};
+  for (int s = 0; s < 4; ++s) {
+    for (int blk = 0; blk < stage_blocks[s]; ++blk) {
+      const bool downsample = (blk == 0);
+      const int stride = (downsample && s > 0) ? 2 : 1;
+      const std::string tag =
+          "s" + std::to_string(s + 1) + "b" + std::to_string(blk + 1);
+      NodeId branch = b.bottleneck_block(x, widths[s], stride,
+                                         tag + "_branch");
+      NodeId shortcut = x;
+      if (downsample)
+        shortcut = b.conv2d(x, widths[s], 1, stride, tag + "_proj");
+      x = b.add(branch, shortcut, tag + "_add");
+    }
+  }
+  x = b.avg_pool_global(x, "gap");
+  x = b.dense(x, 1000, "predictions");
+  b.loss(x);
+  return std::move(b).build();
+}
+
+DnnGraph unet(int64_t batch, int64_t height, int64_t width) {
+  GraphBuilder b("U-Net");
+  NodeId x = b.input(TensorShape::nchw(batch, 3, height, width));
+  // Encoder: double-conv blocks with pooling; skips retained for decoder.
+  NodeId enc[4];
+  const int64_t widths[4] = {64, 128, 256, 512};
+  for (int level = 0; level < 4; ++level) {
+    x = b.conv_block(x, widths[level], 3, 2,
+                     1, "enc" + std::to_string(level + 1));
+    enc[level] = x;
+    x = b.max_pool(x, 2, "pool" + std::to_string(level + 1));
+  }
+  x = b.conv_block(x, 1024, 3, 2, 1, "bottleneck");
+  // Decoder: upsample, concat skip, double conv.
+  for (int level = 3; level >= 0; --level) {
+    const std::string tag = "dec" + std::to_string(level + 1);
+    x = b.upsample(x, widths[level], tag + "_up");
+    x = b.concat(x, enc[level], tag + "_cat");
+    x = b.conv_block(x, widths[level], 3, 2, 1, tag);
+  }
+  x = b.conv2d(x, 21, 1, 1, "segmentation_head");
+  b.loss(x);
+  return std::move(b).build();
+}
+
+DnnGraph fcn8(int64_t batch, int64_t height, int64_t width) {
+  GraphBuilder b("FCN8");
+  NodeId x = b.input(TensorShape::nchw(batch, 3, height, width));
+  const int64_t widths[5] = {64, 128, 256, 512, 512};
+  const int convs[5] = {2, 2, 3, 3, 3};
+  NodeId pool3 = -1, pool4 = -1;
+  for (int s = 0; s < 5; ++s) {
+    x = b.conv_block(x, widths[s], 3, convs[s], 1,
+                     "conv" + std::to_string(s + 1));
+    x = b.max_pool(x, 2, "pool" + std::to_string(s + 1));
+    if (s == 2) pool3 = x;
+    if (s == 3) pool4 = x;
+  }
+  x = b.conv2d(x, 4096, 7, 1, "fc6");
+  x = b.conv2d(x, 4096, 1, 1, "fc7");
+  NodeId score7 = b.conv2d(x, 21, 1, 1, "score_fr");
+  NodeId up7 = b.upsample(score7, 21, "upscore2");
+  NodeId score4 = b.conv2d(pool4, 21, 1, 1, "score_pool4");
+  NodeId fuse4 = b.add(up7, score4, "fuse_pool4");
+  NodeId up4 = b.upsample(fuse4, 21, "upscore4");
+  NodeId score3 = b.conv2d(pool3, 21, 1, 1, "score_pool3");
+  NodeId fuse3 = b.add(up4, score3, "fuse_pool3");
+  // Final 8x upsample to input resolution, modeled as three 2x steps fused
+  // into successive upsample nodes.
+  NodeId up = b.upsample(fuse3, 21, "upscore8_a");
+  up = b.upsample(up, 21, "upscore8_b");
+  up = b.upsample(up, 21, "upscore8_c");
+  b.loss(up);
+  return std::move(b).build();
+}
+
+DnnGraph segnet(int64_t batch, int64_t height, int64_t width) {
+  GraphBuilder b("SegNet");
+  NodeId x = b.input(TensorShape::nchw(batch, 3, height, width));
+  const int64_t enc_widths[5] = {64, 128, 256, 512, 512};
+  const int enc_convs[5] = {2, 2, 3, 3, 3};
+  for (int s = 0; s < 5; ++s) {
+    x = b.conv_block(x, enc_widths[s], 3, enc_convs[s], 1,
+                     "enc" + std::to_string(s + 1));
+    x = b.max_pool(x, 2, "pool" + std::to_string(s + 1));
+  }
+  const int64_t dec_widths[5] = {512, 256, 128, 64, 64};
+  for (int s = 0; s < 5; ++s) {
+    x = b.upsample(x, dec_widths[s], "up" + std::to_string(5 - s));
+    x = b.conv_block(x, dec_widths[s], 3, enc_convs[4 - s], 1,
+                     "dec" + std::to_string(5 - s));
+  }
+  x = b.conv2d(x, 21, 1, 1, "segmentation_head");
+  b.loss(x);
+  return std::move(b).build();
+}
+
+}  // namespace checkmate::model::zoo

@@ -1,0 +1,38 @@
+// Forward-graph builders for the architectures evaluated in the paper
+// (Section 6): VGG16/19, MobileNet v1, ResNet-50, U-Net, FCN8 and SegNet,
+// plus parameterized linear chains used by Figure 1 and the Appendix A
+// integrality-gap study.
+//
+// Granularity note (DESIGN.md substitution (a)): graphs are built at fused
+// per-layer granularity (conv+bias+relu as one node; optionally whole conv
+// stacks as one node) to keep exact-MILP instances tractable for the
+// from-scratch solver. `coarse = false` expands conv stacks into individual
+// layers.
+#pragma once
+
+#include <array>
+
+#include "model/graph_builder.h"
+
+namespace checkmate::model::zoo {
+
+// Uniform convolutional chain: `layers` conv ops on a fixed-size feature
+// map. Used for Figure 1 (32-layer network) and small solver studies.
+DnnGraph linear_net(int layers, int64_t batch = 32, int64_t channels = 64,
+                    int64_t spatial = 56);
+
+DnnGraph vgg16(int64_t batch, int64_t resolution = 224, bool coarse = true);
+DnnGraph vgg19(int64_t batch, int64_t resolution = 224, bool coarse = true);
+DnnGraph mobilenet_v1(int64_t batch, int64_t resolution = 224);
+
+// Bottleneck-residual network. `stage_blocks` = residual blocks per stage;
+// {3,4,6,3} is ResNet-50. Each block is two nodes (fused branch + add),
+// preserving the non-linear residual structure the paper highlights.
+DnnGraph resnet(int64_t batch, int64_t resolution = 224,
+                std::array<int, 4> stage_blocks = {3, 4, 6, 3});
+
+DnnGraph unet(int64_t batch, int64_t height = 416, int64_t width = 608);
+DnnGraph fcn8(int64_t batch, int64_t height = 416, int64_t width = 608);
+DnnGraph segnet(int64_t batch, int64_t height = 416, int64_t width = 608);
+
+}  // namespace checkmate::model::zoo

@@ -1,0 +1,114 @@
+#include "model/autodiff.h"
+
+#include <gtest/gtest.h>
+
+#include "model/zoo.h"
+
+namespace checkmate::model {
+namespace {
+
+TEST(Autodiff, LinearChainStructure) {
+  auto fwd = zoo::linear_net(4);  // input + 4 conv + loss = 6 nodes
+  auto g = make_training_graph(fwd);
+  // Gradients for everything except the input: 5.
+  EXPECT_EQ(g.dag.size(), 11);
+  EXPECT_EQ(g.backward_nodes().size(), 5u);
+  g.validate();
+}
+
+TEST(Autodiff, GradIdsAreReverseTopological) {
+  auto fwd = zoo::linear_net(3);  // 5 fwd nodes
+  auto g = make_training_graph(fwd);
+  // grad ids: node 5 = grad of 4 (loss), node 6 = grad of 3, ...
+  for (NodeId v = 5; v < g.dag.size(); ++v) {
+    EXPECT_TRUE(g.ops[v].is_gradient());
+    EXPECT_EQ(g.ops[v].grad_of, 4 - (v - 5));
+  }
+}
+
+TEST(Autodiff, GradDependsOnActivationsAndUpstreamGrad) {
+  auto fwd = zoo::linear_net(3);
+  auto g = make_training_graph(fwd);
+  const int f = fwd.dag.size();  // 5
+  // grad of node 2 (conv2): id f + (4 - 2) = f + 2.
+  const NodeId g2 = f + 2;
+  ASSERT_EQ(g.ops[g2].grad_of, 2);
+  const auto& deps = g.dag.deps(g2);
+  // Own activation (2), input activation (1), upstream grad (grad of 3).
+  EXPECT_NE(std::find(deps.begin(), deps.end(), 2), deps.end());
+  EXPECT_NE(std::find(deps.begin(), deps.end(), 1), deps.end());
+  EXPECT_NE(std::find(deps.begin(), deps.end(), f + 1), deps.end());
+}
+
+TEST(Autodiff, LossGradIsSeed) {
+  auto fwd = zoo::linear_net(2);
+  auto g = make_training_graph(fwd);
+  const int f = fwd.dag.size();
+  // First gradient node differentiates the loss and depends only on
+  // forward values (no upstream gradient exists).
+  EXPECT_EQ(g.ops[f].grad_of, f - 1);
+  for (NodeId d : g.dag.deps(f)) EXPECT_LT(d, f);
+}
+
+TEST(Autodiff, BackwardCostFactorApplied) {
+  auto fwd = zoo::linear_net(2);
+  AutodiffOptions opts;
+  opts.backward_cost_factor = 3.0;
+  auto g = make_training_graph(fwd, opts);
+  const int f = fwd.dag.size();
+  for (NodeId v = f; v < g.dag.size(); ++v) {
+    const NodeId of = g.ops[v].grad_of;
+    EXPECT_EQ(g.ops[v].forward_flops, 3 * fwd.ops[of].forward_flops);
+  }
+}
+
+TEST(Autodiff, GradShapesMirrorActivations) {
+  auto fwd = zoo::vgg16(2);
+  auto g = make_training_graph(fwd);
+  for (NodeId v = 0; v < g.dag.size(); ++v) {
+    if (!g.ops[v].is_gradient()) continue;
+    EXPECT_EQ(g.ops[v].output, g.ops[g.ops[v].grad_of].output);
+  }
+}
+
+TEST(Autodiff, RejectsDoubleApplication) {
+  auto fwd = zoo::linear_net(2);
+  auto g = make_training_graph(fwd);
+  EXPECT_THROW(make_training_graph(g), std::invalid_argument);
+}
+
+TEST(Autodiff, ResidualGraphGradFanIn) {
+  // A residual add has two users of its input; the input's gradient needs
+  // both users' gradients.
+  auto fwd = zoo::resnet(1, 224, {1, 1, 1, 1});
+  auto g = make_training_graph(fwd);
+  g.validate();
+  // Find a forward node with 2 forward users; its grad node must depend on
+  // two gradient nodes.
+  for (NodeId v = 0; v < fwd.dag.size(); ++v) {
+    if (fwd.dag.users(v).size() == 2) {
+      // Locate grad node of v.
+      for (NodeId w = fwd.dag.size(); w < g.dag.size(); ++w) {
+        if (g.ops[w].grad_of == v) {
+          int grad_deps = 0;
+          for (NodeId d : g.dag.deps(w))
+            if (g.ops[d].is_gradient()) ++grad_deps;
+          EXPECT_EQ(grad_deps, 2);
+        }
+      }
+      break;
+    }
+  }
+}
+
+TEST(Autodiff, TrainingGraphTopologicallyLabeled) {
+  for (auto* builder : {+[] { return zoo::unet(1); },
+                        +[] { return zoo::fcn8(1); },
+                        +[] { return zoo::segnet(1); }}) {
+    auto g = make_training_graph(builder());
+    EXPECT_TRUE(g.dag.is_topologically_labeled());
+  }
+}
+
+}  // namespace
+}  // namespace checkmate::model

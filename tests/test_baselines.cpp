@@ -1,0 +1,187 @@
+#include "baselines/baselines.h"
+
+#include <gtest/gtest.h>
+
+#include "core/plan.h"
+#include "core/simulator.h"
+#include "model/autodiff.h"
+#include "model/zoo.h"
+
+namespace checkmate::baselines {
+namespace {
+
+RematProblem vgg_problem(int64_t batch = 4) {
+  return RematProblem::from_dnn(
+      model::make_training_graph(model::zoo::vgg16(batch)),
+      model::CostMetric::kProfiledTimeUs);
+}
+
+RematProblem unet_problem(int64_t batch = 2) {
+  return RematProblem::from_dnn(
+      model::make_training_graph(model::zoo::unet(batch, 64, 96)),
+      model::CostMetric::kProfiledTimeUs);
+}
+
+double simulated_cost(const RematProblem& p, const RematSolution& sol) {
+  auto sim = simulate_plan(p, generate_execution_plan(p, sol));
+  EXPECT_TRUE(sim.valid) << sim.error;
+  return sim.total_cost;
+}
+
+double simulated_peak(const RematProblem& p, const RematSolution& sol) {
+  auto sim = simulate_plan(p, generate_execution_plan(p, sol));
+  EXPECT_TRUE(sim.valid) << sim.error;
+  return sim.peak_memory;
+}
+
+TEST(Baselines, CheckpointAllComputesEachNodeOnce) {
+  auto p = vgg_problem();
+  auto sol = checkpoint_all_schedule(p);
+  ASSERT_EQ(sol.check_feasible(p), "");
+  EXPECT_EQ(sol.num_computations(), p.size());
+  EXPECT_NEAR(simulated_cost(p, sol), p.total_cost_all_nodes(),
+              1e-9 * p.total_cost_all_nodes());
+}
+
+TEST(Baselines, IsLinearForwardClassification) {
+  EXPECT_TRUE(is_linear_forward(vgg_problem()));
+  EXPECT_TRUE(is_linear_forward(RematProblem::unit_training_chain(4)));
+  EXPECT_FALSE(is_linear_forward(unet_problem()));
+}
+
+TEST(Baselines, ApplicabilityMatrixMatchesTable1) {
+  auto linear = vgg_problem();
+  auto nonlinear = unet_problem();
+  // Linear models: everything applies.
+  for (auto kind :
+       {BaselineKind::kCheckpointAll, BaselineKind::kChenSqrtN,
+        BaselineKind::kChenGreedy, BaselineKind::kGriewankLogN,
+        BaselineKind::kApSqrtN, BaselineKind::kApGreedy,
+        BaselineKind::kLinearizedSqrtN, BaselineKind::kLinearizedGreedy})
+    EXPECT_TRUE(baseline_applicable(linear, kind)) << to_string(kind);
+  // Non-linear: Chen/Griewank originals do not apply; generalizations do.
+  EXPECT_FALSE(baseline_applicable(nonlinear, BaselineKind::kChenSqrtN));
+  EXPECT_FALSE(baseline_applicable(nonlinear, BaselineKind::kChenGreedy));
+  EXPECT_FALSE(baseline_applicable(nonlinear, BaselineKind::kGriewankLogN));
+  EXPECT_TRUE(baseline_applicable(nonlinear, BaselineKind::kApSqrtN));
+  EXPECT_TRUE(baseline_applicable(nonlinear, BaselineKind::kLinearizedGreedy));
+}
+
+TEST(Baselines, ChenSqrtNSelectsEverySqrtLth) {
+  std::vector<NodeId> candidates(16);
+  for (int i = 0; i < 16; ++i) candidates[i] = i;
+  auto cp = chen_sqrt_n_select(candidates);
+  EXPECT_EQ(cp, (std::vector<NodeId>{4, 8, 12}));
+}
+
+TEST(Baselines, ChenGreedyRespectsSegmentBudget) {
+  auto p = RematProblem::unit_training_chain(9);  // 10 fwd values, unit mem
+  auto candidates = forward_chain_candidates(p);
+  auto cp = chen_greedy_select(p, candidates, 3.0);
+  // Segments of ~3 units: checkpoints at indices 3, 7 (acc resets after).
+  ASSERT_GE(cp.size(), 2u);
+  for (size_t i = 1; i < cp.size(); ++i) EXPECT_GE(cp[i] - cp[i - 1], 3);
+}
+
+RematProblem uniform_linear_problem(int layers = 16) {
+  // Uniform activation sizes: the regime where sqrt(n) checkpointing pays
+  // (on memory pyramids like coarse VGG the early segment dominates and
+  // count-based checkpointing saves little -- see Figure 5 discussion).
+  return RematProblem::from_dnn(
+      model::make_training_graph(model::zoo::linear_net(layers, 4, 32, 32)),
+      model::CostMetric::kProfiledTimeUs);
+}
+
+TEST(Baselines, SqrtNReducesMemoryCostsCompute) {
+  auto p = uniform_linear_problem();
+  auto all = checkpoint_all_schedule(p);
+  auto sqrt_schedules = baseline_schedules(p, BaselineKind::kChenSqrtN);
+  ASSERT_EQ(sqrt_schedules.size(), 1u);
+  const auto& lean = sqrt_schedules[0].solution;
+  ASSERT_EQ(lean.check_feasible(p), "");
+  EXPECT_LT(simulated_peak(p, lean), simulated_peak(p, all));
+  EXPECT_GT(simulated_cost(p, lean), simulated_cost(p, all));
+}
+
+TEST(Baselines, GreedySweepExposesMemoryComputeTradeoff) {
+  auto p = uniform_linear_problem();
+  auto schedules = baseline_schedules(p, BaselineKind::kChenGreedy);
+  ASSERT_GE(schedules.size(), 4u);
+  double min_peak = 1e300, max_peak = 0.0;
+  for (const auto& s : schedules) {
+    ASSERT_EQ(s.solution.check_feasible(p), "") << s.label;
+    const double peak = simulated_peak(p, s.solution);
+    min_peak = std::min(min_peak, peak);
+    max_peak = std::max(max_peak, peak);
+  }
+  EXPECT_LT(min_peak, 0.8 * max_peak);  // the knob genuinely moves memory
+}
+
+TEST(Baselines, ArticulationCandidatesOnUnet) {
+  auto p = unet_problem();
+  auto aps = articulation_candidates(p);
+  // U-Net has few articulation points (skip connections bypass most
+  // vertices) -- the paper's motivation for the linearized variants.
+  auto all_fwd = forward_chain_candidates(p);
+  EXPECT_LT(aps.size(), all_fwd.size());
+  EXPECT_FALSE(aps.empty());
+  for (NodeId v : aps) EXPECT_FALSE(p.is_backward[v]);
+}
+
+TEST(Baselines, ApVariantsProduceFeasibleSchedulesOnUnet) {
+  auto p = unet_problem();
+  for (auto kind : {BaselineKind::kApSqrtN, BaselineKind::kApGreedy,
+                    BaselineKind::kLinearizedSqrtN,
+                    BaselineKind::kLinearizedGreedy}) {
+    auto schedules = baseline_schedules(p, kind);
+    ASSERT_FALSE(schedules.empty()) << to_string(kind);
+    for (const auto& s : schedules)
+      EXPECT_EQ(s.solution.check_feasible(p), "")
+          << to_string(kind) << " " << s.label;
+  }
+}
+
+TEST(Baselines, LinearizedMatchesChenOnLinearGraphs) {
+  // Appendix B: "all proposed generalizations exactly reproduce the
+  // original heuristics on linear networks."
+  auto p = vgg_problem();
+  auto chen = baseline_schedules(p, BaselineKind::kChenSqrtN);
+  auto lin = baseline_schedules(p, BaselineKind::kLinearizedSqrtN);
+  ASSERT_EQ(chen.size(), 1u);
+  ASSERT_EQ(lin.size(), 1u);
+  EXPECT_EQ(chen[0].solution.R, lin[0].solution.R);
+  EXPECT_EQ(chen[0].solution.S, lin[0].solution.S);
+}
+
+TEST(Baselines, PolicySimulationKeepsInputsResident) {
+  auto p = vgg_problem();
+  auto schedules = baseline_schedules(p, BaselineKind::kChenSqrtN);
+  const auto& sol = schedules[0].solution;
+  // Node 0 is the input; Chen-style policies pin it.
+  for (int t = 1; t < p.size(); ++t) EXPECT_EQ(sol.S[t][0], 1) << t;
+}
+
+TEST(Baselines, InapplicableReturnsEmpty) {
+  auto p = unet_problem();
+  EXPECT_TRUE(baseline_schedules(p, BaselineKind::kChenSqrtN).empty());
+  EXPECT_TRUE(baseline_schedules(p, BaselineKind::kGriewankLogN).empty());
+}
+
+TEST(Baselines, EveryScheduleSimulatesCleanly) {
+  for (auto& p : {vgg_problem(2), unet_problem(1)}) {
+    for (auto kind :
+         {BaselineKind::kCheckpointAll, BaselineKind::kChenSqrtN,
+          BaselineKind::kChenGreedy, BaselineKind::kGriewankLogN,
+          BaselineKind::kApSqrtN, BaselineKind::kApGreedy,
+          BaselineKind::kLinearizedSqrtN, BaselineKind::kLinearizedGreedy}) {
+      for (const auto& s : baseline_schedules(p, kind)) {
+        auto sim = simulate_plan(p, generate_execution_plan(p, s.solution));
+        EXPECT_TRUE(sim.valid)
+            << to_string(kind) << " " << s.label << ": " << sim.error;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace checkmate::baselines

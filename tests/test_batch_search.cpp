@@ -1,0 +1,101 @@
+#include "core/batch_search.h"
+
+#include <gtest/gtest.h>
+
+#include "baselines/baselines.h"
+#include "core/plan.h"
+#include "core/simulator.h"
+
+namespace checkmate {
+namespace {
+
+// Synthetic factory: memory scales linearly with batch.
+ProblemFactory unit_chain_factory(int layers) {
+  return [layers](int64_t batch) {
+    auto p = RematProblem::unit_training_chain(layers);
+    for (double& m : p.memory) m *= static_cast<double>(batch);
+    p.name += "_b" + std::to_string(batch);
+    return p;
+  };
+}
+
+TEST(MaxBatch, MonotoneSyntheticProbe) {
+  // Probe: feasible iff batch <= 37. The search must find exactly 37.
+  auto factory = unit_chain_factory(3);
+  FeasibilityProbe probe = [](const RematProblem& p) {
+    return p.memory[0] <= 37.0;
+  };
+  MaxBatchOptions opts;
+  opts.max_batch = 1024;
+  auto res = max_batch_size(factory, probe, opts);
+  EXPECT_EQ(res.max_batch, 37);
+}
+
+TEST(MaxBatch, InfeasibleAtMinReturnsZero) {
+  auto factory = unit_chain_factory(3);
+  FeasibilityProbe probe = [](const RematProblem&) { return false; };
+  auto res = max_batch_size(factory, probe);
+  EXPECT_EQ(res.max_batch, 0);
+}
+
+TEST(MaxBatch, FeasibleEverywhereReturnsMax) {
+  auto factory = unit_chain_factory(3);
+  FeasibilityProbe probe = [](const RematProblem&) { return true; };
+  MaxBatchOptions opts;
+  opts.max_batch = 64;
+  auto res = max_batch_size(factory, probe, opts);
+  EXPECT_EQ(res.max_batch, 64);
+}
+
+TEST(MaxBatch, ProbeCountLogarithmic) {
+  auto factory = unit_chain_factory(3);
+  FeasibilityProbe probe = [](const RematProblem& p) {
+    return p.memory[0] <= 1000.0;
+  };
+  MaxBatchOptions opts;
+  opts.max_batch = 1 << 20;
+  auto res = max_batch_size(factory, probe, opts);
+  EXPECT_EQ(res.max_batch, 1000);
+  EXPECT_LE(res.probes.size(), 45u);
+}
+
+TEST(MaxBatch, IlpProbeRespectsBudgetAndCostCap) {
+  // Budget 8 units; unit chain with batch-scaled memory. The ILP probe must
+  // accept small batches and reject ones whose minimum footprint exceeds
+  // the budget.
+  auto factory = unit_chain_factory(4);
+  auto probe = make_ilp_probe(/*budget_bytes=*/8.0,
+                              /*per_probe_time_limit_sec=*/30.0);
+  MaxBatchOptions opts;
+  opts.budget_bytes = 8.0;
+  opts.max_batch = 64;
+  auto res = max_batch_size(factory, probe, opts);
+  // Interior gradients need 4 resident values: batch 2 => 8 units exactly.
+  EXPECT_EQ(res.max_batch, 2);
+}
+
+TEST(MaxBatch, IlpEnablesLargerBatchThanCheckpointAll) {
+  // The headline of Figure 6: rematerialization admits larger batches than
+  // checkpoint-all under the same budget (with at most one extra forward
+  // pass of compute).
+  const int layers = 6;
+  auto factory = unit_chain_factory(layers);
+  const double budget = 16.0;
+
+  FeasibilityProbe checkpoint_all_probe = [budget](const RematProblem& p) {
+    auto sol = baselines::checkpoint_all_schedule(p);
+    auto sim = simulate_plan(p, generate_execution_plan(p, sol));
+    return sim.valid && sim.peak_memory <= budget;
+  };
+  auto ilp_probe = make_ilp_probe(budget, 30.0);
+
+  MaxBatchOptions opts;
+  opts.budget_bytes = budget;
+  opts.max_batch = 64;
+  auto base = max_batch_size(factory, checkpoint_all_probe, opts);
+  auto ours = max_batch_size(factory, ilp_probe, opts);
+  EXPECT_GT(ours.max_batch, base.max_batch);
+}
+
+}  // namespace
+}  // namespace checkmate

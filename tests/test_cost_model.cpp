@@ -1,0 +1,116 @@
+#include "model/cost_model.h"
+
+#include <gtest/gtest.h>
+
+#include "model/autodiff.h"
+#include "model/model_stats.h"
+#include "model/zoo.h"
+
+namespace checkmate::model {
+namespace {
+
+TEST(CostModel, FlopsMetricMatchesOpFlops) {
+  auto g = zoo::vgg16(2);
+  auto costs = op_costs(g, CostMetric::kFlops);
+  for (NodeId v = 0; v < g.dag.size(); ++v) {
+    if (g.ops[v].kind == OpKind::kInput) {
+      EXPECT_EQ(costs[v], 0.0);
+    } else {
+      EXPECT_DOUBLE_EQ(costs[v], static_cast<double>(g.ops[v].forward_flops));
+    }
+  }
+}
+
+TEST(CostModel, ProfiledTimePositiveAndOverheadFloored) {
+  auto g = zoo::vgg16(2);
+  CostModelOptions opts;
+  auto costs = op_costs(g, CostMetric::kProfiledTimeUs, opts);
+  for (NodeId v = 0; v < g.dag.size(); ++v) {
+    if (g.ops[v].kind == OpKind::kInput) continue;
+    EXPECT_GE(costs[v], opts.kernel_overhead_us);
+  }
+}
+
+TEST(CostModel, ConvCostsScaleWithBatch) {
+  auto g1 = zoo::vgg16(1);
+  auto g4 = zoo::vgg16(4);
+  auto c1 = op_costs(g1, CostMetric::kFlops);
+  auto c4 = op_costs(g4, CostMetric::kFlops);
+  for (NodeId v = 0; v < g1.dag.size(); ++v) {
+    if (g1.ops[v].kind == OpKind::kInput) continue;
+    EXPECT_NEAR(c4[v], 4.0 * c1[v], 1e-6 * c4[v]) << g1.ops[v].name;
+  }
+}
+
+TEST(CostModel, LayerCostsVaryByOrdersOfMagnitude) {
+  // Section 2: "the largest layer is six orders of magnitude more
+  // expensive than the smallest" (VGG19, fine granularity).
+  auto g = make_training_graph(zoo::vgg19(256, 224, /*coarse=*/false));
+  auto costs = op_costs(g, CostMetric::kFlops);
+  double lo = 1e300, hi = 0.0;
+  for (NodeId v = 0; v < g.dag.size(); ++v) {
+    if (g.ops[v].kind == OpKind::kInput) continue;
+    lo = std::min(lo, costs[v]);
+    hi = std::max(hi, costs[v]);
+  }
+  EXPECT_GT(hi / lo, 1e4);
+}
+
+TEST(CostModel, DepthwiseLessEfficientThanConv) {
+  // Same FLOPs => depthwise takes longer under the profiled-time model.
+  GraphBuilder b("t");
+  auto in = b.input(TensorShape::nchw(1, 64, 56, 56));
+  auto dw = b.depthwise_separable(in, 64, 3);
+  auto cv = b.conv2d(in, 64, 3);
+  auto g = std::move(b).build();
+  auto costs = op_costs(g, CostMetric::kProfiledTimeUs);
+  const double dw_per_flop = costs[dw] / g.ops[dw].forward_flops;
+  const double cv_per_flop = costs[cv] / g.ops[cv].forward_flops;
+  EXPECT_GT(dw_per_flop, cv_per_flop);
+}
+
+TEST(CostModel, MemoryBytesMatchShapes) {
+  auto g = zoo::unet(2);
+  auto mem = op_memory_bytes(g);
+  for (NodeId v = 0; v < g.dag.size(); ++v)
+    EXPECT_EQ(mem[v], g.ops[v].output.bytes());
+}
+
+TEST(CostModel, FixedOverheadIsTwiceParams) {
+  auto g = zoo::vgg16(2);
+  EXPECT_EQ(fixed_overhead_bytes(g), 2 * g.total_params() * 4);
+}
+
+TEST(ModelStats, Figure3HasTenModelsInOrder) {
+  auto stats = figure3_model_stats();
+  ASSERT_EQ(stats.size(), 10u);
+  EXPECT_EQ(stats.front().name, "AlexNet");
+  EXPECT_EQ(stats.back().name, "BigGAN");
+  for (size_t i = 1; i < stats.size(); ++i)
+    EXPECT_GE(stats[i].year, stats[i - 1].year);
+}
+
+TEST(ModelStats, FeaturesDominateParams) {
+  // The figure's headline: activations far outweigh parameters for most
+  // models (all but parameter-heavy NLP models).
+  auto stats = figure3_model_stats();
+  int features_dominate = 0;
+  for (const auto& s : stats)
+    if (s.features_bytes > s.param_bytes) ++features_dominate;
+  EXPECT_GE(features_dominate, 7);
+}
+
+TEST(ModelStats, TotalsExceedGpuLimitsForModernModels) {
+  // Researchers run at the memory wall: most entries train at or near the
+  // device limit.
+  auto stats = figure3_model_stats();
+  int near_limit = 0;
+  for (const auto& s : stats)
+    if (static_cast<double>(s.total_bytes()) >
+        0.5 * static_cast<double>(s.gpu_limit_bytes))
+      ++near_limit;
+  EXPECT_GE(near_limit, 6);
+}
+
+}  // namespace
+}  // namespace checkmate::model

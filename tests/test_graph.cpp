@@ -1,0 +1,220 @@
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+namespace checkmate {
+namespace {
+
+TEST(Graph, EmptyGraph) {
+  Graph g;
+  EXPECT_EQ(g.size(), 0);
+  EXPECT_EQ(g.num_edges(), 0);
+  auto order = g.topological_order();
+  ASSERT_TRUE(order.has_value());
+  EXPECT_TRUE(order->empty());
+}
+
+TEST(Graph, AddNodesAndEdges) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  EXPECT_EQ(g.size(), 3);
+  EXPECT_EQ(g.num_edges(), 2);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_FALSE(g.has_edge(1, 0));
+  EXPECT_EQ(g.users(0), std::vector<NodeId>{1});
+  EXPECT_EQ(g.deps(2), std::vector<NodeId>{1});
+}
+
+TEST(Graph, DuplicateEdgeIgnored) {
+  Graph g(2);
+  g.add_edge(0, 1);
+  g.add_edge(0, 1);
+  EXPECT_EQ(g.num_edges(), 1);
+}
+
+TEST(Graph, SelfLoopRejected) {
+  Graph g(2);
+  EXPECT_THROW(g.add_edge(1, 1), std::invalid_argument);
+}
+
+TEST(Graph, OutOfRangeEdgeRejected) {
+  Graph g(2);
+  EXPECT_THROW(g.add_edge(0, 5), std::out_of_range);
+  EXPECT_THROW(g.add_edge(-1, 0), std::out_of_range);
+}
+
+TEST(Graph, TopologicalOrderOnPath) {
+  Graph g = make_path_graph(5);
+  auto order = g.topological_order();
+  ASSERT_TRUE(order.has_value());
+  EXPECT_EQ(*order, (std::vector<NodeId>{0, 1, 2, 3, 4}));
+  EXPECT_TRUE(g.is_topologically_labeled());
+  EXPECT_TRUE(g.is_linear());
+}
+
+TEST(Graph, CycleDetected) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 0);
+  EXPECT_FALSE(g.topological_order().has_value());
+  EXPECT_THROW(g.validate(), std::logic_error);
+}
+
+TEST(Graph, RelabelTopological) {
+  // Graph with ids out of topological order: 2 -> 0 -> 1.
+  Graph g(3);
+  g.add_edge(2, 0);
+  g.add_edge(0, 1);
+  EXPECT_FALSE(g.is_topologically_labeled());
+  g.relabel_topological();
+  EXPECT_TRUE(g.is_topologically_labeled());
+  EXPECT_EQ(g.num_edges(), 2);
+}
+
+TEST(Graph, IsLinearRejectsBranch) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  EXPECT_FALSE(g.is_linear());
+}
+
+TEST(Graph, SourcesAndSinks) {
+  Graph g(4);
+  g.add_edge(0, 2);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  EXPECT_EQ(g.sources(), (std::vector<NodeId>{0, 1}));
+  EXPECT_EQ(g.sinks(), (std::vector<NodeId>{3}));
+}
+
+TEST(Graph, AncestorsOf) {
+  Graph g(5);
+  g.add_edge(0, 2);
+  g.add_edge(1, 2);
+  g.add_edge(2, 4);
+  g.add_edge(3, 4);
+  auto anc = g.ancestors_of(2);
+  EXPECT_TRUE(anc[0]);
+  EXPECT_TRUE(anc[1]);
+  EXPECT_TRUE(anc[2]);
+  EXPECT_FALSE(anc[3]);
+  EXPECT_FALSE(anc[4]);
+}
+
+TEST(Graph, ArticulationPointsOnPath) {
+  // Interior nodes of a path are all articulation points.
+  Graph g = make_path_graph(6);
+  auto aps = g.articulation_points();
+  EXPECT_EQ(aps, (std::vector<NodeId>{1, 2, 3, 4}));
+}
+
+TEST(Graph, ArticulationPointsDiamond) {
+  // 0 -> {1,2} -> 3: no interior AP (two disjoint paths), endpoints are
+  // degree cut vertices only if they disconnect, which endpoints don't.
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(1, 3);
+  g.add_edge(2, 3);
+  EXPECT_TRUE(g.articulation_points().empty());
+}
+
+TEST(Graph, ArticulationPointsResidualChain) {
+  // Two residual blocks in series: 0->1->2->3 with skips 0->2 and... then
+  // 2->3->4 with skip 2->4. Node 2 bridges the blocks => articulation pt.
+  Graph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(0, 2);  // skip
+  g.add_edge(2, 3);
+  g.add_edge(3, 4);
+  g.add_edge(2, 4);  // skip
+  auto aps = g.articulation_points();
+  EXPECT_EQ(aps, (std::vector<NodeId>{2}));
+}
+
+// Brute-force articulation check: remove each vertex, count components of
+// the undirected graph.
+std::vector<NodeId> brute_force_aps(const Graph& g) {
+  const int n = g.size();
+  auto components = [&](int skip) {
+    std::vector<int> comp(n, -1);
+    int count = 0;
+    for (int start = 0; start < n; ++start) {
+      if (start == skip || comp[start] != -1) continue;
+      std::vector<int> stack{start};
+      comp[start] = count;
+      while (!stack.empty()) {
+        int v = stack.back();
+        stack.pop_back();
+        auto visit = [&](int w) {
+          if (w != skip && comp[w] == -1) {
+            comp[w] = count;
+            stack.push_back(w);
+          }
+        };
+        for (int w : g.users(v)) visit(w);
+        for (int w : g.deps(v)) visit(w);
+      }
+      ++count;
+    }
+    return count;
+  };
+  const int base = components(-1);
+  std::vector<NodeId> aps;
+  for (int v = 0; v < n; ++v)
+    if (components(v) > base) aps.push_back(v);
+  return aps;
+}
+
+TEST(Graph, ArticulationPointsMatchBruteForceOnRandomDags) {
+  std::mt19937 rng(42);
+  for (int trial = 0; trial < 50; ++trial) {
+    const int n = 3 + static_cast<int>(rng() % 12);
+    Graph g(n);
+    for (int j = 1; j < n; ++j) {
+      // Ensure connectivity, then sprinkle extra edges.
+      g.add_edge(static_cast<NodeId>(rng() % j), j);
+      if (rng() % 2) {
+        int i = static_cast<int>(rng() % j);
+        g.add_edge(i, j);
+      }
+    }
+    EXPECT_EQ(g.articulation_points(), brute_force_aps(g))
+        << "trial " << trial;
+  }
+}
+
+TEST(Graph, ValidateAcceptsDag) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  EXPECT_NO_THROW(g.validate());
+}
+
+TEST(Graph, EdgesSorted) {
+  Graph g(3);
+  g.add_edge(1, 2);
+  g.add_edge(0, 2);
+  g.add_edge(0, 1);
+  auto e = g.edges();
+  ASSERT_EQ(e.size(), 3u);
+  EXPECT_EQ(e[0], (Edge{0, 1}));
+  EXPECT_EQ(e[1], (Edge{0, 2}));
+  EXPECT_EQ(e[2], (Edge{1, 2}));
+}
+
+TEST(Graph, DeepPathNoStackOverflow) {
+  // The AP DFS is iterative; a 100k-node path must not crash.
+  Graph g = make_path_graph(100000);
+  auto aps = g.articulation_points();
+  EXPECT_EQ(aps.size(), 99998u);
+}
+
+}  // namespace
+}  // namespace checkmate

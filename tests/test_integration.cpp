@@ -1,0 +1,193 @@
+// End-to-end validation of the optimal solver against exhaustive search.
+//
+// For tiny instances we enumerate every lower-triangular checkpoint matrix
+// S, back-solve the minimal R, and keep the cheapest schedule whose memory
+// accounting fits the budget. Since extra recomputation never lowers the
+// accounting peak for a fixed S, this enumeration covers an optimal
+// schedule -- so its best cost must equal the MILP optimum.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/baselines.h"
+#include "core/ilp_builder.h"
+#include "core/rounding.h"
+#include "core/scheduler.h"
+#include "lp/simplex.h"
+#include "milp/milp.h"
+#include "model/autodiff.h"
+#include "model/zoo.h"
+
+namespace checkmate {
+namespace {
+
+struct BruteForceResult {
+  double best_cost = std::numeric_limits<double>::infinity();
+  RematSolution best;
+};
+
+BruteForceResult brute_force(const RematProblem& p, double budget) {
+  const int n = p.size();
+  std::vector<std::pair<int, int>> slots;  // (t, i), i < t
+  for (int t = 1; t < n; ++t)
+    for (int i = 0; i < t; ++i) slots.emplace_back(t, i);
+  BruteForceResult out;
+  const int64_t combos = 1LL << slots.size();
+  for (int64_t mask = 0; mask < combos; ++mask) {
+    BoolMatrix s = make_bool_matrix(n, n);
+    for (size_t b = 0; b < slots.size(); ++b)
+      if (mask & (1LL << b)) s[slots[b].first][slots[b].second] = 1;
+    RematSolution sol;
+    sol.S = s;
+    sol.R = solve_r_given_s(p.graph, s);
+    if (!sol.check_feasible(p).empty()) continue;
+    if (peak_memory_usage(p, sol) > budget + 1e-9) continue;
+    const double cost = sol.compute_cost(p);
+    if (cost < out.best_cost) {
+      out.best_cost = cost;
+      out.best = sol;
+    }
+  }
+  return out;
+}
+
+TEST(Integration, IlpMatchesBruteForceOnTinyTrainingChain) {
+  auto p = RematProblem::unit_training_chain(2);  // n = 5, 10 S-bits
+  for (double budget : {4.0, 5.0, 6.0}) {
+    auto bf = brute_force(p, budget);
+    ASSERT_TRUE(std::isfinite(bf.best_cost)) << "budget " << budget;
+    IlpBuildOptions opts;
+    opts.budget_bytes = budget;
+    IlpFormulation f(p, opts);
+    auto res = milp::solve_milp(f.lp());
+    ASSERT_EQ(res.status, milp::MilpStatus::kOptimal) << "budget " << budget;
+    EXPECT_NEAR(f.unscale_cost(res.objective), bf.best_cost, 1e-5)
+        << "budget " << budget;
+  }
+}
+
+TEST(Integration, IlpMatchesBruteForceOnTinyDiamond) {
+  // Diamond: 0 -> {1, 2} -> 3, then a gradient-ish tail 3 -> 4 that needs
+  // 1 as well (forces a checkpointing decision).
+  RematProblem p;
+  p.name = "diamond";
+  p.graph = Graph(5);
+  p.graph.add_edge(0, 1);
+  p.graph.add_edge(0, 2);
+  p.graph.add_edge(1, 3);
+  p.graph.add_edge(2, 3);
+  p.graph.add_edge(3, 4);
+  p.graph.add_edge(1, 4);
+  p.cost = {1.0, 3.0, 2.0, 1.0, 1.0};  // non-uniform costs
+  p.memory = {2.0, 1.0, 1.0, 1.0, 1.0};
+  p.is_backward = {0, 0, 0, 0, 1};
+  p.grad_of = {-1, -1, -1, -1, 3};
+  p.node_names = {"a", "b", "c", "d", "gd"};
+  p.validate();
+
+  for (double budget : {4.0, 5.0, 6.0}) {
+    auto bf = brute_force(p, budget);
+    if (!std::isfinite(bf.best_cost)) continue;
+    IlpBuildOptions opts;
+    opts.budget_bytes = budget;
+    IlpFormulation f(p, opts);
+    auto res = milp::solve_milp(f.lp());
+    ASSERT_EQ(res.status, milp::MilpStatus::kOptimal);
+    EXPECT_NEAR(f.unscale_cost(res.objective), bf.best_cost, 1e-5)
+        << "budget " << budget;
+  }
+}
+
+TEST(Integration, UnpartitionedNeverWorseThanPartitioned) {
+  // The frontier-advancing constraints shrink the feasible set; the
+  // unpartitioned optimum is a lower bound (they coincide on the paper's
+  // example).
+  auto p = RematProblem::unit_training_chain(2);
+  for (double budget : {4.0, 6.0}) {
+    IlpBuildOptions part, unpart;
+    part.budget_bytes = unpart.budget_bytes = budget;
+    unpart.partitioned = false;
+    IlpFormulation fp(p, part), fu(p, unpart);
+    auto rp = milp::solve_milp(fp.lp());
+    milp::MilpOptions uopts;
+    uopts.time_limit_sec = 120.0;
+    auto ru = milp::solve_milp(fu.lp(), uopts);
+    ASSERT_EQ(rp.status, milp::MilpStatus::kOptimal);
+    ASSERT_EQ(ru.status, milp::MilpStatus::kOptimal);
+    EXPECT_LE(fu.unscale_cost(ru.objective),
+              fp.unscale_cost(rp.objective) + 1e-6);
+  }
+}
+
+TEST(Integration, PartitioningTightensLpRelaxation) {
+  // Appendix A: the partitioned form has a much smaller integrality gap.
+  auto p = RematProblem::unit_training_chain(3);
+  const double budget = 4.0;
+  IlpBuildOptions part, unpart;
+  part.budget_bytes = unpart.budget_bytes = budget;
+  unpart.partitioned = false;
+  IlpFormulation fp(p, part), fu(p, unpart);
+  auto lp_p = lp::solve_lp(fp.lp());
+  auto lp_u = lp::solve_lp(fu.lp());
+  ASSERT_EQ(lp_p.status, lp::LpStatus::kOptimal);
+  ASSERT_EQ(lp_u.status, lp::LpStatus::kOptimal);
+  auto ilp_p = milp::solve_milp(fp.lp());
+  ASSERT_EQ(ilp_p.status, milp::MilpStatus::kOptimal);
+  const double gap_part = ilp_p.objective / std::max(1e-9, lp_p.objective);
+  const double gap_unpart = ilp_p.objective / std::max(1e-9, lp_u.objective);
+  EXPECT_LT(gap_part, gap_unpart);
+}
+
+TEST(Integration, DiagFreeEliminationPreservesOptimum) {
+  // Section 4.8 removes |V|^2 FREE variables without changing the optimum.
+  auto p = RematProblem::unit_training_chain(3);
+  for (double budget : {4.0, 5.0}) {
+    IlpBuildOptions with, without;
+    with.budget_bytes = without.budget_bytes = budget;
+    without.eliminate_diag_free = false;
+    IlpFormulation fw(p, with), fo(p, without);
+    EXPECT_GT(fo.lp().num_vars(), fw.lp().num_vars());
+    auto rw = milp::solve_milp(fw.lp());
+    auto ro = milp::solve_milp(fo.lp());
+    ASSERT_EQ(rw.status, milp::MilpStatus::kOptimal);
+    ASSERT_EQ(ro.status, milp::MilpStatus::kOptimal);
+    EXPECT_NEAR(fw.unscale_cost(rw.objective), fo.unscale_cost(ro.objective),
+                1e-5);
+  }
+}
+
+TEST(Integration, FullPipelineOnMobileNetSlice) {
+  // A real (coarse) model through problem construction, ILP solve, plan
+  // generation and simulation, at a budget that forces rematerialization.
+  auto g = model::make_training_graph(model::zoo::mobilenet_v1(2, 64));
+  auto p = RematProblem::from_dnn(g, model::CostMetric::kProfiledTimeUs);
+  Scheduler sched(p);
+  auto all = sched.evaluate_schedule(
+      baselines::checkpoint_all_schedule(p), 0.0);
+  ASSERT_TRUE(all.feasible);
+  IlpSolveOptions opts;
+  opts.time_limit_sec = 90.0;
+  const double budget =
+      p.memory_floor() + 0.5 * (all.peak_memory - p.memory_floor());
+  auto res = sched.solve_optimal_ilp(budget, opts);
+  ASSERT_TRUE(res.feasible) << res.message;
+  EXPECT_LE(res.peak_memory, budget + 1.0);
+  EXPECT_GE(res.cost, all.cost - 1e-6);
+  // Solver cost accounting must agree with the simulator.
+  EXPECT_NEAR(res.cost, res.solution.compute_cost(p), 1e-6 * res.cost);
+}
+
+TEST(Integration, SolverMemoryAccountingMatchesSimulator) {
+  // For ILP-optimal schedules (no spurious work), the accounting peak and
+  // the simulated peak coincide.
+  Scheduler sched(RematProblem::unit_training_chain(6));
+  for (double budget : {6.0, 8.0, 10.0}) {
+    auto res = sched.solve_optimal_ilp(budget);
+    ASSERT_TRUE(res.feasible);
+    EXPECT_NEAR(res.peak_memory,
+                peak_memory_usage(sched.problem(), res.solution), 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace checkmate

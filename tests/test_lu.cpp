@@ -1,0 +1,200 @@
+#include "lp/lu.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+namespace checkmate::lp {
+namespace {
+
+// Helper owning column storage for factorize().
+struct ColumnSet {
+  std::vector<std::vector<int>> rows;
+  std::vector<std::vector<double>> vals;
+
+  void add(std::vector<int> r, std::vector<double> v) {
+    rows.push_back(std::move(r));
+    vals.push_back(std::move(v));
+  }
+  std::vector<BasisColumn> view() const {
+    std::vector<BasisColumn> cols;
+    for (size_t i = 0; i < rows.size(); ++i)
+      cols.push_back({rows[i], vals[i]});
+    return cols;
+  }
+};
+
+std::vector<std::vector<double>> to_dense(const ColumnSet& cs, int m) {
+  std::vector<std::vector<double>> a(m, std::vector<double>(m, 0.0));
+  for (int j = 0; j < m; ++j)
+    for (size_t k = 0; k < cs.rows[j].size(); ++k)
+      a[cs.rows[j][k]][j] = cs.vals[j][k];
+  return a;
+}
+
+TEST(LuFactorization, Identity) {
+  ColumnSet cs;
+  for (int j = 0; j < 4; ++j) cs.add({j}, {1.0});
+  LuFactorization lu;
+  ASSERT_TRUE(lu.factorize(4, cs.view()));
+  std::vector<double> x{1, 2, 3, 4};
+  lu.ftran(x);
+  EXPECT_NEAR(x[0], 1, 1e-12);
+  EXPECT_NEAR(x[3], 4, 1e-12);
+  std::vector<double> y{5, 6, 7, 8};
+  lu.btran(y);
+  EXPECT_NEAR(y[2], 7, 1e-12);
+}
+
+TEST(LuFactorization, NegatedIdentity) {
+  // The all-slack simplex basis is -I.
+  ColumnSet cs;
+  for (int j = 0; j < 3; ++j) cs.add({j}, {-1.0});
+  LuFactorization lu;
+  ASSERT_TRUE(lu.factorize(3, cs.view()));
+  std::vector<double> x{2, -4, 6};
+  lu.ftran(x);
+  EXPECT_NEAR(x[0], -2, 1e-12);
+  EXPECT_NEAR(x[1], 4, 1e-12);
+  EXPECT_NEAR(x[2], -6, 1e-12);
+}
+
+TEST(LuFactorization, Permutation) {
+  // B = permutation matrix: column j has a 1 in row (j+1) mod 3.
+  ColumnSet cs;
+  cs.add({1}, {1.0});
+  cs.add({2}, {1.0});
+  cs.add({0}, {1.0});
+  LuFactorization lu;
+  ASSERT_TRUE(lu.factorize(3, cs.view()));
+  // Solve B x = b where b = (b0,b1,b2): x_j must satisfy x appears at
+  // row (j+1)%3, i.e. x = (b1, b2, b0).
+  std::vector<double> x{10, 20, 30};
+  lu.ftran(x);
+  EXPECT_NEAR(x[0], 20, 1e-12);
+  EXPECT_NEAR(x[1], 30, 1e-12);
+  EXPECT_NEAR(x[2], 10, 1e-12);
+}
+
+TEST(LuFactorization, SingularDetected) {
+  ColumnSet cs;
+  cs.add({0, 1}, {1.0, 1.0});
+  cs.add({0, 1}, {2.0, 2.0});  // linearly dependent
+  LuFactorization lu;
+  EXPECT_FALSE(lu.factorize(2, cs.view()));
+}
+
+TEST(LuFactorization, ZeroColumnSingular) {
+  ColumnSet cs;
+  cs.add({0}, {1.0});
+  cs.add({}, {});
+  LuFactorization lu;
+  EXPECT_FALSE(lu.factorize(2, cs.view()));
+}
+
+TEST(LuFactorization, FailedFactorizationIsMemorySafe) {
+  // Regression: a singular basis used to leave pivot_row_ half-filled with
+  // -1, and a subsequent solve wrote out of bounds. After failure the
+  // factors must behave as a benign identity.
+  ColumnSet cs;
+  cs.add({0, 1}, {1.0, 1.0});
+  cs.add({0, 1}, {2.0, 2.0});
+  LuFactorization lu;
+  ASSERT_FALSE(lu.factorize(2, cs.view()));
+  std::vector<double> x{3.0, 4.0};
+  lu.ftran(x);  // must not crash
+  std::vector<double> y{5.0, 6.0};
+  lu.btran(y);  // must not crash
+  EXPECT_NEAR(x[0], 3.0, 1e-12);
+  EXPECT_NEAR(y[1], 6.0, 1e-12);
+}
+
+TEST(LuFactorization, RandomDenseRoundTrip) {
+  std::mt19937 rng(3);
+  std::uniform_real_distribution<double> val(-3.0, 3.0);
+  for (int trial = 0; trial < 40; ++trial) {
+    const int m = 1 + static_cast<int>(rng() % 12);
+    ColumnSet cs;
+    for (int j = 0; j < m; ++j) {
+      std::vector<int> rows;
+      std::vector<double> vals;
+      for (int r = 0; r < m; ++r) {
+        if (rng() % 3 != 0) continue;
+        rows.push_back(r);
+        vals.push_back(val(rng));
+      }
+      // Guarantee nonsingularity odds with a strong diagonal entry.
+      bool has_diag = false;
+      for (size_t k = 0; k < rows.size(); ++k)
+        if (rows[k] == j) {
+          vals[k] += 5.0;
+          has_diag = true;
+        }
+      if (!has_diag) {
+        rows.push_back(j);
+        vals.push_back(5.0 + val(rng));
+      }
+      cs.add(std::move(rows), std::move(vals));
+    }
+    LuFactorization lu;
+    ASSERT_TRUE(lu.factorize(m, cs.view())) << "trial " << trial;
+    const auto dense = to_dense(cs, m);
+
+    // FTRAN: pick x*, compute b = B x*, solve, compare.
+    std::vector<double> x_star(m), b(m, 0.0);
+    for (double& v : x_star) v = val(rng);
+    for (int r = 0; r < m; ++r)
+      for (int j = 0; j < m; ++j) b[r] += dense[r][j] * x_star[j];
+    std::vector<double> x = b;
+    lu.ftran(x);
+    for (int j = 0; j < m; ++j)
+      EXPECT_NEAR(x[j], x_star[j], 1e-7) << "ftran trial " << trial;
+
+    // BTRAN: pick y*, compute c = B' y*, solve, compare.
+    std::vector<double> y_star(m), c(m, 0.0);
+    for (double& v : y_star) v = val(rng);
+    for (int j = 0; j < m; ++j)
+      for (int r = 0; r < m; ++r) c[j] += dense[r][j] * y_star[r];
+    std::vector<double> y = c;
+    lu.btran(y);
+    for (int r = 0; r < m; ++r)
+      EXPECT_NEAR(y[r], y_star[r], 1e-7) << "btran trial " << trial;
+  }
+}
+
+TEST(LuFactorization, LargeSparseSystem) {
+  // Tridiagonal-ish system of size 500: verifies scalability and fill
+  // handling.
+  const int m = 500;
+  ColumnSet cs;
+  for (int j = 0; j < m; ++j) {
+    std::vector<int> rows{j};
+    std::vector<double> vals{4.0};
+    if (j > 0) {
+      rows.push_back(j - 1);
+      vals.push_back(-1.0);
+    }
+    if (j + 1 < m) {
+      rows.push_back(j + 1);
+      vals.push_back(-1.0);
+    }
+    cs.add(std::move(rows), std::move(vals));
+  }
+  LuFactorization lu;
+  ASSERT_TRUE(lu.factorize(m, cs.view()));
+  std::vector<double> ones(m, 1.0);
+  std::vector<double> x = ones;
+  lu.ftran(x);
+  // Verify B x == 1 by residual.
+  const auto dense_col = [&](int j) { return cs.vals[j]; };
+  (void)dense_col;
+  std::vector<double> residual(m, 0.0);
+  for (int j = 0; j < m; ++j)
+    for (size_t k = 0; k < cs.rows[j].size(); ++k)
+      residual[cs.rows[j][k]] += cs.vals[j][k] * x[j];
+  for (int r = 0; r < m; ++r) EXPECT_NEAR(residual[r], 1.0, 1e-8);
+}
+
+}  // namespace
+}  // namespace checkmate::lp

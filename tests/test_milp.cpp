@@ -1,0 +1,226 @@
+#include "milp/milp.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+namespace checkmate::milp {
+namespace {
+
+using lp::kInf;
+using lp::LinearProgram;
+
+std::vector<std::pair<int, double>> terms(
+    std::initializer_list<std::pair<int, double>> t) {
+  return t;
+}
+
+TEST(Milp, PureLpPassThrough) {
+  LinearProgram lp;
+  int x = lp.add_var(0, 4, -1.0);  // continuous
+  lp.add_le(terms({{x, 1.0}}), 2.5);
+  auto res = solve_milp(lp);
+  ASSERT_EQ(res.status, MilpStatus::kOptimal);
+  EXPECT_NEAR(res.objective, -2.5, 1e-7);
+}
+
+TEST(Milp, SingleIntegerRoundsDown) {
+  // max x, x integer, x <= 2.5 => 2.
+  LinearProgram lp;
+  int x = lp.add_var(0, 10, -1.0, /*integer=*/true);
+  lp.add_le(terms({{x, 1.0}}), 2.5);
+  auto res = solve_milp(lp);
+  ASSERT_EQ(res.status, MilpStatus::kOptimal);
+  EXPECT_NEAR(res.objective, -2.0, 1e-7);
+  EXPECT_NEAR(res.x[x], 2.0, 1e-6);
+}
+
+TEST(Milp, Knapsack) {
+  // max 10a + 6b + 4c s.t. a+b+c <= 2 (binary). Optimum: a+b = 16.
+  LinearProgram lp;
+  int a = lp.add_binary(-10.0);
+  int b = lp.add_binary(-6.0);
+  int c = lp.add_binary(-4.0);
+  lp.add_le(terms({{a, 1.0}, {b, 1.0}, {c, 1.0}}), 2.0);
+  auto res = solve_milp(lp);
+  ASSERT_EQ(res.status, MilpStatus::kOptimal);
+  EXPECT_NEAR(res.objective, -16.0, 1e-6);
+}
+
+TEST(Milp, WeightedKnapsack) {
+  // Weights {6,5,4}, values {10,9,9}, capacity 10. The LP relaxation is
+  // fractional (fills the leftover capacity with 1/6 of item a: -19.67);
+  // optimum is items a+c = -19.
+  LinearProgram lp;
+  int a = lp.add_binary(-10.0);
+  int b = lp.add_binary(-9.0);
+  int c = lp.add_binary(-9.0);
+  lp.add_le(terms({{a, 6.0}, {b, 5.0}, {c, 4.0}}), 10.0);
+  auto res = solve_milp(lp);
+  ASSERT_EQ(res.status, MilpStatus::kOptimal);
+  EXPECT_NEAR(res.objective, -19.0, 1e-6);
+  EXPECT_LT(res.root_relaxation, -19.0);  // relaxation strictly better
+}
+
+TEST(Milp, InfeasibleIntegrality) {
+  // 0.4 <= x <= 0.6 with x integer: infeasible.
+  LinearProgram lp;
+  int x = lp.add_var(0, 1, 1.0, /*integer=*/true);
+  lp.add_constraint(terms({{x, 1.0}}), 0.4, 0.6);
+  auto res = solve_milp(lp);
+  EXPECT_EQ(res.status, MilpStatus::kInfeasible);
+  EXPECT_FALSE(res.has_solution());
+}
+
+TEST(Milp, EqualityWithIntegers) {
+  // x + y == 3, x,y binary-ish integers in [0,2]: solutions exist; minimize
+  // 2x + y => x=1,y=2 cost 4.
+  LinearProgram lp;
+  int x = lp.add_var(0, 2, 2.0, true);
+  int y = lp.add_var(0, 2, 1.0, true);
+  lp.add_eq(terms({{x, 1.0}, {y, 1.0}}), 3.0);
+  auto res = solve_milp(lp);
+  ASSERT_EQ(res.status, MilpStatus::kOptimal);
+  EXPECT_NEAR(res.objective, 4.0, 1e-6);
+}
+
+TEST(Milp, MixedIntegerContinuous) {
+  // min -y - 0.5 x, y integer <= 3.7 - x/2, x in [0,1] continuous.
+  LinearProgram lp;
+  int x = lp.add_var(0, 1, -0.5, false);
+  int y = lp.add_var(0, 10, -1.0, true);
+  lp.add_le(terms({{x, 0.5}, {y, 1.0}}), 3.7);
+  auto res = solve_milp(lp);
+  ASSERT_EQ(res.status, MilpStatus::kOptimal);
+  // y=3, x=1 => obj -3.5.
+  EXPECT_NEAR(res.objective, -3.5, 1e-6);
+}
+
+TEST(Milp, StopAtFirstIncumbent) {
+  LinearProgram lp;
+  for (int i = 0; i < 8; ++i) lp.add_binary(-1.0 - 0.1 * i);
+  std::vector<std::pair<int, double>> all;
+  for (int i = 0; i < 8; ++i) all.emplace_back(i, 1.0);
+  lp.add_le(all, 4.0);
+  MilpOptions opts;
+  opts.stop_at_first_incumbent = true;
+  auto res = solve_milp(lp, opts);
+  EXPECT_TRUE(res.has_solution());
+  EXPECT_EQ(res.status, MilpStatus::kFeasible);
+}
+
+TEST(Milp, IncumbentHeuristicAccepted) {
+  // The heuristic immediately supplies the optimum; search should accept it
+  // and prune everything. (The root relaxation must be fractional or the
+  // heuristic is never needed -- same instance as WeightedKnapsack.)
+  LinearProgram lp;
+  int a = lp.add_binary(-10.0);
+  int b = lp.add_binary(-9.0);
+  int c = lp.add_binary(-9.0);
+  lp.add_le(terms({{a, 6.0}, {b, 5.0}, {c, 4.0}}), 10.0);
+  bool called = false;
+  auto heuristic = [&](const std::vector<double>&)
+      -> std::optional<std::vector<double>> {
+    called = true;
+    return std::vector<double>{1.0, 0.0, 1.0};
+  };
+  auto res = solve_milp(lp, {}, heuristic);
+  EXPECT_TRUE(called);
+  ASSERT_EQ(res.status, MilpStatus::kOptimal);
+  EXPECT_NEAR(res.objective, -19.0, 1e-6);
+}
+
+TEST(Milp, InvalidHeuristicCandidateRejected) {
+  LinearProgram lp;
+  int a = lp.add_binary(-1.0);
+  lp.add_le(terms({{a, 1.0}}), 1.0);
+  auto heuristic = [&](const std::vector<double>&)
+      -> std::optional<std::vector<double>> {
+    return std::vector<double>{7.0};  // violates binary bound
+  };
+  auto res = solve_milp(lp, {}, heuristic);
+  ASSERT_EQ(res.status, MilpStatus::kOptimal);
+  EXPECT_NEAR(res.objective, -1.0, 1e-6);
+}
+
+TEST(Milp, BranchPriorityRespectedForCorrectness) {
+  // Priorities must not change the optimum, only the search order.
+  LinearProgram lp;
+  int a = lp.add_binary(-3.0);
+  int b = lp.add_binary(-2.0);
+  int c = lp.add_binary(-1.0);
+  lp.add_le(terms({{a, 2.0}, {b, 2.0}, {c, 2.0}}), 3.0);
+  MilpOptions opts;
+  opts.branch_priority = {0, 5, 1};
+  auto res = solve_milp(lp, opts);
+  ASSERT_EQ(res.status, MilpStatus::kOptimal);
+  EXPECT_NEAR(res.objective, -3.0, 1e-6);
+}
+
+// Brute-force cross-validation on random binary programs.
+TEST(Milp, MatchesBruteForceOnRandomBinaryPrograms) {
+  std::mt19937 rng(23);
+  std::uniform_real_distribution<double> coef(-3.0, 3.0);
+  for (int trial = 0; trial < 60; ++trial) {
+    const int n = 2 + static_cast<int>(rng() % 6);  // up to 7 binaries
+    const int m = 1 + static_cast<int>(rng() % 4);
+    LinearProgram lp;
+    for (int j = 0; j < n; ++j) lp.add_binary(coef(rng));
+    std::vector<std::vector<double>> rows(m, std::vector<double>(n, 0.0));
+    std::vector<double> rhs(m);
+    for (int r = 0; r < m; ++r) {
+      std::vector<std::pair<int, double>> t;
+      for (int j = 0; j < n; ++j)
+        if (rng() % 2) {
+          rows[r][j] = coef(rng);
+          t.emplace_back(j, rows[r][j]);
+        }
+      rhs[r] = coef(rng);
+      lp.add_le(t, rhs[r]);
+    }
+    // Brute force over 2^n assignments.
+    double best = lp::kInf;
+    for (int mask = 0; mask < (1 << n); ++mask) {
+      double obj = 0.0;
+      bool ok = true;
+      for (int r = 0; r < m && ok; ++r) {
+        double act = 0.0;
+        for (int j = 0; j < n; ++j)
+          if (mask & (1 << j)) act += rows[r][j];
+        if (act > rhs[r] + 1e-9) ok = false;
+      }
+      if (!ok) continue;
+      for (int j = 0; j < n; ++j)
+        if (mask & (1 << j)) obj += lp.obj[j];
+      best = std::min(best, obj);
+    }
+    auto res = solve_milp(lp);
+    if (best == lp::kInf) {
+      EXPECT_EQ(res.status, MilpStatus::kInfeasible) << "trial " << trial;
+    } else {
+      ASSERT_EQ(res.status, MilpStatus::kOptimal) << "trial " << trial;
+      EXPECT_NEAR(res.objective, best, 1e-5) << "trial " << trial;
+    }
+  }
+}
+
+TEST(Milp, NodeLimitReturnsFeasibleOrNoSolution) {
+  LinearProgram lp;
+  std::mt19937 rng(5);
+  const int n = 14;
+  for (int j = 0; j < n; ++j) lp.add_binary(-1.0 - 0.01 * (rng() % 50));
+  std::vector<std::pair<int, double>> t;
+  for (int j = 0; j < n; ++j) t.emplace_back(j, 1.0 + (rng() % 3));
+  lp.add_le(t, 9.5);
+  MilpOptions opts;
+  opts.max_nodes = 3;
+  auto res = solve_milp(lp, opts);
+  EXPECT_TRUE(res.status == MilpStatus::kFeasible ||
+              res.status == MilpStatus::kNoSolution);
+  // Bound must be sound: no better than the root relaxation.
+  EXPECT_GE(res.best_bound, res.root_relaxation - 1e-6);
+}
+
+}  // namespace
+}  // namespace checkmate::milp

@@ -1,0 +1,164 @@
+#include "model/zoo.h"
+
+#include <gtest/gtest.h>
+
+#include "model/graph_builder.h"
+
+namespace checkmate::model {
+namespace {
+
+TEST(TensorShape, NumelAndBytes) {
+  auto s = TensorShape::nchw(32, 64, 56, 56);
+  EXPECT_EQ(s.numel(), 32LL * 64 * 56 * 56);
+  EXPECT_EQ(s.bytes(), s.numel() * 4);
+  EXPECT_EQ(TensorShape::scalar().numel(), 1);
+}
+
+TEST(TensorShape, ToString) {
+  EXPECT_EQ(TensorShape::nchw(1, 3, 224, 224).to_string(), "[1x3x224x224]");
+  EXPECT_EQ(TensorShape::scalar().to_string(), "[]");
+}
+
+TEST(GraphBuilder, ConvShapesAndParams) {
+  GraphBuilder b("t");
+  auto in = b.input(TensorShape::nchw(2, 3, 32, 32));
+  auto c = b.conv2d(in, 16, 3);
+  EXPECT_EQ(b.shape(c), TensorShape::nchw(2, 16, 32, 32));
+  auto g = std::move(b).build();
+  EXPECT_EQ(g.ops[c].param_count, 3 * 3 * 3 * 16 + 16);
+  EXPECT_GT(g.ops[c].forward_flops, 0);
+}
+
+TEST(GraphBuilder, StridedConvHalvesSpatial) {
+  GraphBuilder b("t");
+  auto in = b.input(TensorShape::nchw(1, 3, 224, 224));
+  auto c = b.conv2d(in, 8, 3, 2);
+  EXPECT_EQ(b.shape(c).height(), 112);
+}
+
+TEST(GraphBuilder, PoolDenseLossChain) {
+  GraphBuilder b("t");
+  auto in = b.input(TensorShape::nchw(4, 8, 8, 8));
+  auto p = b.max_pool(in, 2);
+  EXPECT_EQ(b.shape(p), TensorShape::nchw(4, 8, 4, 4));
+  auto d = b.dense(p, 10);
+  EXPECT_EQ(b.shape(d), TensorShape::flat(4, 10));
+  b.loss(d);
+  auto g = std::move(b).build();
+  EXPECT_EQ(g.dag.size(), 4);
+  EXPECT_TRUE(g.dag.is_linear());
+}
+
+TEST(GraphBuilder, AddRequiresMatchingShapes) {
+  GraphBuilder b("t");
+  auto in = b.input(TensorShape::nchw(1, 4, 8, 8));
+  auto c1 = b.conv2d(in, 4, 3);
+  auto c2 = b.conv2d(in, 8, 3);
+  EXPECT_THROW(b.add(c1, c2), std::invalid_argument);
+  EXPECT_NO_THROW(b.add(c1, in));
+}
+
+TEST(GraphBuilder, ConcatStacksChannels) {
+  GraphBuilder b("t");
+  auto in = b.input(TensorShape::nchw(1, 4, 8, 8));
+  auto c1 = b.conv2d(in, 6, 3);
+  auto cat = b.concat(in, c1);
+  EXPECT_EQ(b.shape(cat).channels(), 10);
+}
+
+TEST(GraphBuilder, UpsampleDoublesSpatial) {
+  GraphBuilder b("t");
+  auto in = b.input(TensorShape::nchw(1, 8, 8, 8));
+  auto up = b.upsample(in, 4);
+  EXPECT_EQ(b.shape(up), TensorShape::nchw(1, 4, 16, 16));
+}
+
+TEST(Zoo, LinearNetStructure) {
+  auto g = zoo::linear_net(32);
+  EXPECT_EQ(g.dag.size(), 34);  // input + 32 conv + loss
+  EXPECT_TRUE(g.dag.is_linear());
+  EXPECT_EQ(g.forward_nodes().size(), 34u);
+}
+
+TEST(Zoo, Vgg16CoarseIsLinear) {
+  auto g = zoo::vgg16(8);
+  EXPECT_TRUE(g.dag.is_linear());
+  // input + 5 blocks + 5 pools + 3 dense + loss = 15.
+  EXPECT_EQ(g.dag.size(), 15);
+}
+
+TEST(Zoo, Vgg16FineHasIndividualConvs) {
+  auto g = zoo::vgg16(8, 224, /*coarse=*/false);
+  // input + 13 conv + 5 pool + 3 dense + loss = 23.
+  EXPECT_EQ(g.dag.size(), 23);
+  EXPECT_TRUE(g.dag.is_linear());
+}
+
+TEST(Zoo, Vgg19HasThreeMoreConvsThanVgg16) {
+  auto g16 = zoo::vgg16(8, 224, false);
+  auto g19 = zoo::vgg19(8, 224, false);
+  EXPECT_EQ(g19.dag.size() - g16.dag.size(), 3);
+  // VGG19 has ~144M parameters.
+  EXPECT_NEAR(static_cast<double>(g19.total_params()), 143.6e6, 3e6);
+}
+
+TEST(Zoo, MobileNetLinearAndLight) {
+  auto g = zoo::mobilenet_v1(8);
+  EXPECT_TRUE(g.dag.is_linear());
+  // ~4.2M params.
+  EXPECT_NEAR(static_cast<double>(g.total_params()), 4.2e6, 1.5e6);
+}
+
+TEST(Zoo, ResNetHasResidualStructure) {
+  auto g = zoo::resnet(4, 224, {2, 2, 2, 2});
+  EXPECT_FALSE(g.dag.is_linear());
+  // Add nodes have two dependencies.
+  bool found_add = false;
+  for (NodeId v = 0; v < g.dag.size(); ++v)
+    if (g.ops[v].kind == OpKind::kAdd) {
+      found_add = true;
+      EXPECT_EQ(g.dag.deps(v).size(), 2u);
+    }
+  EXPECT_TRUE(found_add);
+}
+
+TEST(Zoo, UnetSkipConnections) {
+  auto g = zoo::unet(2);
+  EXPECT_FALSE(g.dag.is_linear());
+  int concats = 0;
+  for (NodeId v = 0; v < g.dag.size(); ++v)
+    if (g.ops[v].kind == OpKind::kConcat) ++concats;
+  EXPECT_EQ(concats, 4);
+  g.validate();
+}
+
+TEST(Zoo, FcnAndSegnetBuild) {
+  auto f = zoo::fcn8(2);
+  auto s = zoo::segnet(2);
+  f.validate();
+  s.validate();
+  EXPECT_FALSE(f.dag.is_linear());  // score-layer skip fusion
+  EXPECT_TRUE(s.dag.is_linear());
+}
+
+TEST(Zoo, ActivationMemoryScalesWithBatch) {
+  auto g1 = zoo::vgg16(1);
+  auto g8 = zoo::vgg16(8);
+  EXPECT_NEAR(static_cast<double>(g8.total_forward_activation_bytes()),
+              8.0 * static_cast<double>(g1.total_forward_activation_bytes()),
+              1e-6 * static_cast<double>(g8.total_forward_activation_bytes()));
+  // Params do not scale with batch.
+  EXPECT_EQ(g1.total_params(), g8.total_params());
+}
+
+TEST(Zoo, UnetActivationsDominantAtHighRes) {
+  // Paper, Fig. 5c: U-Net at batch 32 requires ~23GB without remat.
+  auto g = zoo::unet(32);
+  const double feature_gb =
+      static_cast<double>(g.total_forward_activation_bytes()) / 1e9;
+  EXPECT_GT(feature_gb, 10.0);
+  EXPECT_LT(feature_gb, 60.0);
+}
+
+}  // namespace
+}  // namespace checkmate::model

@@ -1,0 +1,140 @@
+#include "core/plan.h"
+
+#include <gtest/gtest.h>
+
+#include "baselines/baselines.h"
+#include "core/rounding.h"
+
+namespace checkmate {
+namespace {
+
+RematSolution keep_all_solution(const RematProblem& p) {
+  return baselines::checkpoint_all_schedule(p);
+}
+
+TEST(Plan, ComputeCountMatchesRMatrix) {
+  auto p = RematProblem::unit_training_chain(3);
+  auto sol = keep_all_solution(p);
+  auto plan = generate_execution_plan(p, sol);
+  EXPECT_EQ(plan.compute_count(), sol.num_computations());
+}
+
+TEST(Plan, RejectsInfeasibleSolution) {
+  auto p = RematProblem::unit_chain(3);
+  RematSolution sol;
+  sol.R = make_bool_matrix(3, 3);
+  sol.S = make_bool_matrix(3, 3);
+  // Missing diagonal.
+  EXPECT_THROW(generate_execution_plan(p, sol), std::invalid_argument);
+}
+
+TEST(Plan, RegistersAreUniquePerMaterialization) {
+  auto p = RematProblem::unit_training_chain(2);
+  BoolMatrix s = make_bool_matrix(p.size(), p.size());
+  RematSolution sol;
+  sol.S = s;
+  sol.R = solve_r_given_s(p.graph, s);  // heavy recomputation
+  auto plan = generate_execution_plan(p, sol);
+  std::vector<int> seen;
+  for (const auto& st : plan.statements)
+    if (st.kind == StatementKind::kCompute) {
+      EXPECT_EQ(std::count(seen.begin(), seen.end(), st.reg), 0);
+      seen.push_back(st.reg);
+    }
+  EXPECT_EQ(static_cast<int>(seen.size()), plan.num_registers);
+}
+
+TEST(Plan, EveryDeallocTargetsALiveRegister) {
+  auto p = RematProblem::unit_training_chain(4);
+  BoolMatrix s = make_bool_matrix(p.size(), p.size());
+  for (int t = 1; t < p.size(); ++t) s[t][0] = 1;
+  RematSolution sol;
+  sol.S = s;
+  sol.R = solve_r_given_s(p.graph, s);
+  auto plan = generate_execution_plan(p, sol);
+  std::vector<bool> live(plan.num_registers, false);
+  for (const auto& st : plan.statements) {
+    if (st.kind == StatementKind::kCompute) {
+      live[st.reg] = true;
+    } else {
+      EXPECT_TRUE(live[st.reg]);
+      live[st.reg] = false;
+    }
+  }
+}
+
+TEST(Plan, HoistingMovesSpuriousCheckpointDropsToStageStart) {
+  const int n = 3;
+  auto p = RematProblem::unit_chain(n);
+  RematSolution sol;
+  sol.R = make_bool_matrix(n, n);
+  sol.S = make_bool_matrix(n, n);
+  for (int t = 0; t < n; ++t) sol.R[t][t] = 1;
+  sol.S[1][0] = 1;
+  sol.S[2][0] = 1;  // node 0 resident during stage 2, unused there
+  sol.S[2][1] = 1;
+  ASSERT_EQ(sol.check_feasible(p), "");
+
+  PlanOptions hoist{.hoist_deallocations = true};
+  PlanOptions keep{.hoist_deallocations = false};
+  auto plan_h = generate_execution_plan(p, sol, hoist);
+  auto plan_k = generate_execution_plan(p, sol, keep);
+
+  // Hoisted: the dealloc of node 0 happens before stage 2's compute.
+  auto first_dealloc_pos = [&](const ExecutionPlan& plan) {
+    for (size_t i = 0; i < plan.statements.size(); ++i) {
+      const auto& st = plan.statements[i];
+      if (st.kind == StatementKind::kDeallocate && st.node == 0) return i;
+    }
+    return plan.statements.size();
+  };
+  auto stage2_compute_pos = [&](const ExecutionPlan& plan) {
+    for (size_t i = 0; i < plan.statements.size(); ++i) {
+      const auto& st = plan.statements[i];
+      if (st.kind == StatementKind::kCompute && st.node == 2) return i;
+    }
+    return plan.statements.size();
+  };
+  EXPECT_LT(first_dealloc_pos(plan_h), stage2_compute_pos(plan_h));
+  EXPECT_GT(first_dealloc_pos(plan_k), stage2_compute_pos(plan_k));
+}
+
+TEST(Plan, RecomputeOfLiveValueReleasesOldRegisterFirst) {
+  // S keeps node 0 while R recomputes it: plan must not leak the old
+  // register.
+  const int n = 3;
+  auto p = RematProblem::unit_chain(n);
+  RematSolution sol;
+  sol.R = make_bool_matrix(n, n);
+  sol.S = make_bool_matrix(n, n);
+  for (int t = 0; t < n; ++t) sol.R[t][t] = 1;
+  sol.S[1][0] = 1;
+  sol.S[2][1] = 1;  // stage 2 needs node 1 resident
+  sol.R[1][0] = 1;  // spurious recompute of a live value
+  ASSERT_EQ(sol.check_feasible(p), "");
+  auto plan = generate_execution_plan(p, sol);
+  // Find dealloc(0) before the second compute(0).
+  int computes_of_0 = 0;
+  bool saw_dealloc_between = false;
+  for (const auto& st : plan.statements) {
+    if (st.kind == StatementKind::kCompute && st.node == 0) ++computes_of_0;
+    if (st.kind == StatementKind::kDeallocate && st.node == 0 &&
+        computes_of_0 == 1)
+      saw_dealloc_between = true;
+  }
+  EXPECT_EQ(computes_of_0, 2);
+  EXPECT_TRUE(saw_dealloc_between);
+}
+
+TEST(Plan, ToStringContainsStagesAndNames) {
+  auto p = RematProblem::unit_training_chain(2);
+  auto sol = keep_all_solution(p);
+  auto plan = generate_execution_plan(p, sol);
+  const std::string text = plan.to_string(p);
+  EXPECT_NE(text.find("stage 0:"), std::string::npos);
+  EXPECT_NE(text.find("compute v0"), std::string::npos);
+  EXPECT_NE(text.find("deallocate"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace checkmate

@@ -1,0 +1,167 @@
+// Property-based sweeps over randomized problem instances (parameterized
+// by RNG seed). Invariants checked:
+//   P1  solve_r_given_s output is always feasible
+//   P2  simulated peak <= accounting peak; simulated cost == R-matrix cost
+//   P3  ILP optimum <= cost of every feasible baseline schedule
+//   P4  LP relaxation <= ILP optimum
+//   P5  two-phase rounding is correct (feasible schedule) for any S*
+//   P6  plans never double-free or use dead values (simulator validates)
+//   P7  tightening the budget never decreases the optimal cost
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "baselines/baselines.h"
+#include "core/ilp_builder.h"
+#include "core/rounding.h"
+#include "core/scheduler.h"
+#include "lp/simplex.h"
+#include "milp/milp.h"
+
+namespace checkmate {
+namespace {
+
+// Random layered training-DAG generator: forward DAG with random skip
+// edges, then a backward mirror (gradient of v depends on grads of users,
+// deps of v, and v).
+RematProblem random_training_problem(uint64_t seed, int max_fwd = 7) {
+  std::mt19937_64 rng(seed);
+  const int f = 3 + static_cast<int>(rng() % (max_fwd - 2));
+  Graph fwd(f);
+  for (int j = 1; j < f; ++j) {
+    fwd.add_edge(static_cast<NodeId>(j - 1), j);  // chain backbone
+    if (j >= 2 && rng() % 3 == 0)
+      fwd.add_edge(static_cast<NodeId>(rng() % (j - 1)), j);  // skip
+  }
+  const int n = 2 * f - 1;  // gradients for all but node 0
+  RematProblem p;
+  p.name = "random_" + std::to_string(seed);
+  p.graph = Graph(n);
+  for (NodeId v = 0; v < f; ++v)
+    for (NodeId u : fwd.users(v)) p.graph.add_edge(v, u);
+  p.is_backward.assign(n, 0);
+  p.grad_of.assign(n, -1);
+  std::vector<NodeId> grad_id(f, -1);
+  for (int v = f - 1; v >= 1; --v) {
+    const NodeId g = f + (f - 1 - v);
+    p.is_backward[g] = 1;
+    p.grad_of[g] = v;
+    grad_id[v] = g;
+    for (NodeId u : fwd.users(v)) p.graph.add_edge(grad_id[u], g);
+    p.graph.add_edge(v, g);
+    for (NodeId d : fwd.deps(v)) p.graph.add_edge(d, g);
+  }
+  p.cost.resize(n);
+  p.memory.resize(n);
+  for (int v = 0; v < n; ++v) {
+    p.cost[v] = 1.0 + static_cast<double>(rng() % 8);
+    p.memory[v] = 1.0 + static_cast<double>(rng() % 4);
+  }
+  p.node_names.assign(n, "");
+  p.validate();
+  return p;
+}
+
+class PropertySweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PropertySweep, SolveRFeasibleForRandomS) {
+  auto p = random_training_problem(GetParam());
+  std::mt19937_64 rng(GetParam() ^ 0xabcdef);
+  const int n = p.size();
+  for (int trial = 0; trial < 8; ++trial) {
+    BoolMatrix s = make_bool_matrix(n, n);
+    for (int t = 1; t < n; ++t)
+      for (int i = 0; i < t; ++i) s[t][i] = rng() % 2;
+    RematSolution sol;
+    sol.S = s;
+    sol.R = solve_r_given_s(p.graph, s);
+    EXPECT_EQ(sol.check_feasible(p), "");  // P1
+  }
+}
+
+TEST_P(PropertySweep, SimulatorAgreesWithAccounting) {
+  auto p = random_training_problem(GetParam());
+  auto sol = baselines::checkpoint_all_schedule(p);
+  ASSERT_EQ(sol.check_feasible(p), "");
+  auto plan = generate_execution_plan(p, sol);
+  auto sim = simulate_plan(p, plan);
+  ASSERT_TRUE(sim.valid) << sim.error;  // P6
+  EXPECT_LE(sim.peak_memory, peak_memory_usage(p, sol) + 1e-9);  // P2
+  EXPECT_NEAR(sim.total_cost, sol.compute_cost(p), 1e-9);        // P2
+}
+
+TEST_P(PropertySweep, IlpDominatesBaselinesAndLpBoundsIlp) {
+  auto p = random_training_problem(GetParam());
+  Scheduler sched(p);
+  auto all = sched.evaluate_schedule(baselines::checkpoint_all_schedule(p),
+                                     0.0);
+  ASSERT_TRUE(all.feasible);
+  const double budget =
+      p.memory_floor() + 0.6 * (all.peak_memory - p.memory_floor());
+
+  IlpSolveOptions opts;
+  opts.time_limit_sec = 20.0;
+  auto ilp = sched.solve_optimal_ilp(budget, opts);
+  if (!ilp.feasible) GTEST_SKIP() << "budget infeasible for this instance";
+
+  // P4.
+  EXPECT_LE(ilp.root_relaxation, ilp.cost + 1e-6);
+
+  // P3 over the generalized baselines.
+  using baselines::BaselineKind;
+  for (auto kind :
+       {BaselineKind::kApSqrtN, BaselineKind::kApGreedy,
+        BaselineKind::kLinearizedSqrtN, BaselineKind::kLinearizedGreedy}) {
+    for (const auto& bs : baselines::baseline_schedules(p, kind)) {
+      auto eval = sched.evaluate_schedule(bs.solution, budget);
+      if (!eval.feasible) continue;
+      EXPECT_LE(ilp.cost, eval.cost + 1e-6)
+          << baselines::to_string(kind) << " " << bs.label;
+    }
+  }
+}
+
+TEST_P(PropertySweep, RoundingAlwaysCorrectSometimesFeasible) {
+  auto p = random_training_problem(GetParam());
+  std::mt19937_64 rng(GetParam() * 31 + 7);
+  const int n = p.size();
+  std::vector<std::vector<double>> s_star(n, std::vector<double>(n, 0.0));
+  for (int t = 1; t < n; ++t)
+    for (int i = 0; i < t; ++i)
+      s_star[t][i] = static_cast<double>(rng() % 1000) / 1000.0;
+  for (bool randomized : {false, true}) {
+    RoundingOptions opts;
+    opts.randomized = randomized;
+    opts.seed = GetParam();
+    auto sol = two_phase_round(p.graph, s_star, opts);
+    EXPECT_EQ(sol.check_feasible(p), "");  // P5
+    auto sim = simulate_plan(p, generate_execution_plan(p, sol));
+    EXPECT_TRUE(sim.valid) << sim.error;  // P6
+  }
+}
+
+TEST_P(PropertySweep, BudgetMonotonicity) {
+  auto p = random_training_problem(GetParam(), /*max_fwd=*/5);
+  Scheduler sched(p);
+  auto all = sched.evaluate_schedule(baselines::checkpoint_all_schedule(p),
+                                     0.0);
+  ASSERT_TRUE(all.feasible);
+  const double floor = p.memory_floor();
+  double prev_cost = -1.0;
+  IlpSolveOptions opts;
+  opts.time_limit_sec = 20.0;
+  for (double frac : {0.9, 0.6, 0.3}) {
+    auto res = sched.solve_optimal_ilp(
+        floor + frac * (all.peak_memory - floor), opts);
+    if (!res.feasible) break;
+    if (res.milp_status != milp::MilpStatus::kOptimal) break;
+    if (prev_cost >= 0.0) EXPECT_GE(res.cost, prev_cost - 1e-6);  // P7
+    prev_cost = res.cost;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PropertySweep,
+                         ::testing::Range<uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace checkmate

@@ -1,0 +1,70 @@
+#include "core/remat_problem.h"
+
+#include <gtest/gtest.h>
+
+#include "model/zoo.h"
+
+namespace checkmate {
+namespace {
+
+RematProblem training_problem(model::DnnGraph fwd) {
+  return RematProblem::from_dnn(model::make_training_graph(fwd),
+                                model::CostMetric::kProfiledTimeUs);
+}
+
+TEST(RematProblem, UnitChain) {
+  auto p = RematProblem::unit_chain(5);
+  EXPECT_EQ(p.size(), 5);
+  EXPECT_TRUE(p.graph.is_linear());
+  EXPECT_DOUBLE_EQ(p.total_cost_all_nodes(), 5.0);
+  EXPECT_DOUBLE_EQ(p.total_memory(), 5.0);
+  EXPECT_EQ(p.first_backward_stage(), 5);
+  p.validate();
+}
+
+TEST(RematProblem, FromDnnFieldsAligned) {
+  auto p = training_problem(model::zoo::linear_net(4));
+  EXPECT_EQ(p.size(), 11);
+  EXPECT_EQ(p.first_backward_stage(), 6);
+  EXPECT_GT(p.fixed_overhead, 0.0);
+  EXPECT_EQ(p.grad_of[6], 5);  // first gradient differentiates the loss
+  p.validate();
+}
+
+TEST(RematProblem, ForwardPlusBackwardCostsPartition) {
+  auto p = training_problem(model::zoo::vgg16(4));
+  EXPECT_NEAR(p.forward_cost() + p.backward_cost(), p.total_cost_all_nodes(),
+              1e-9 * p.total_cost_all_nodes());
+  // Backward ~2x forward under the default autodiff factor.
+  EXPECT_GT(p.backward_cost(), p.forward_cost());
+}
+
+TEST(RematProblem, ValidateCatchesSizeMismatch) {
+  auto p = RematProblem::unit_chain(3);
+  p.cost.pop_back();
+  EXPECT_THROW(p.validate(), std::logic_error);
+}
+
+TEST(RematProblem, ValidateCatchesNegativeCost) {
+  auto p = RematProblem::unit_chain(3);
+  p.cost[1] = -1.0;
+  EXPECT_THROW(p.validate(), std::logic_error);
+}
+
+TEST(RematProblem, ValidateCatchesNonTopologicalLabels) {
+  auto p = RematProblem::unit_chain(3);
+  p.graph = Graph(3);
+  p.graph.add_edge(2, 0);
+  EXPECT_THROW(p.validate(), std::logic_error);
+}
+
+TEST(RematProblem, MaxNodeMemory) {
+  auto p = training_problem(model::zoo::vgg16(4));
+  double expect = 0.0;
+  for (double m : p.memory) expect = std::max(expect, m);
+  EXPECT_DOUBLE_EQ(p.max_node_memory(), expect);
+  EXPECT_GT(expect, 0.0);
+}
+
+}  // namespace
+}  // namespace checkmate

@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include "baselines/baselines.h"
+#include "core/plan.h"
+#include "core/simulator.h"
+
+namespace checkmate::baselines {
+namespace {
+
+TEST(Revolve, RejectsNonLinearAndDegenerateInputs) {
+  auto p = RematProblem::unit_training_chain(4);
+  EXPECT_THROW(revolve_schedule(p, 0), std::invalid_argument);
+  auto chain = RematProblem::unit_chain(5);  // no backward pass
+  EXPECT_THROW(revolve_schedule(chain, 2), std::invalid_argument);
+}
+
+TEST(Revolve, SchedulesAreFeasible) {
+  for (int layers : {2, 3, 5, 8, 13}) {
+    auto p = RematProblem::unit_training_chain(layers);
+    for (int s = 1; s <= std::min(6, layers); ++s) {
+      auto sol = revolve_schedule(p, s);
+      EXPECT_EQ(sol.check_feasible(p), "")
+          << "layers=" << layers << " s=" << s;
+      auto sim = simulate_plan(p, generate_execution_plan(p, sol));
+      EXPECT_TRUE(sim.valid) << sim.error;
+    }
+  }
+}
+
+TEST(Revolve, MoreSnapshotsLessRecompute) {
+  auto p = RematProblem::unit_training_chain(12);
+  double first_cost = 0.0, prev_cost = 1e300;
+  for (int s : {1, 2, 4, 8}) {
+    auto sol = revolve_schedule(p, s);
+    auto sim = simulate_plan(p, generate_execution_plan(p, sol));
+    ASSERT_TRUE(sim.valid);
+    // Weakly decreasing up to a one-recompute wobble (the binomial midpoint
+    // clamp can shift a single advance between adjacent s values).
+    EXPECT_LE(sim.total_cost, prev_cost + 1.0 + 1e-9) << "s=" << s;
+    if (first_cost == 0.0) first_cost = sim.total_cost;
+    prev_cost = sim.total_cost;
+  }
+  EXPECT_LT(prev_cost, first_cost);  // endpoints strictly improve
+}
+
+TEST(Revolve, MoreSnapshotsMoreMemory) {
+  auto p = RematProblem::unit_training_chain(12);
+  auto low = revolve_schedule(p, 1);
+  auto high = revolve_schedule(p, 8);
+  auto sim_low = simulate_plan(p, generate_execution_plan(p, low));
+  auto sim_high = simulate_plan(p, generate_execution_plan(p, high));
+  ASSERT_TRUE(sim_low.valid);
+  ASSERT_TRUE(sim_high.valid);
+  EXPECT_LT(sim_low.peak_memory, sim_high.peak_memory);
+}
+
+TEST(Revolve, LogarithmicMemoryScaling) {
+  // Griewank & Walther: O(log n) snapshots suffice for O(log n)-factor
+  // recompute overhead. With s = ceil(log2(L)) snapshots, total cost should
+  // stay well under the quadratic blowup of s = 1.
+  const int layers = 16;
+  auto p = RematProblem::unit_training_chain(layers);
+  auto s1 = revolve_schedule(p, 1);
+  auto slog = revolve_schedule(p, 4);  // log2(16)
+  auto sim1 = simulate_plan(p, generate_execution_plan(p, s1));
+  auto simlog = simulate_plan(p, generate_execution_plan(p, slog));
+  ASSERT_TRUE(sim1.valid);
+  ASSERT_TRUE(simlog.valid);
+  // s=1 degenerates toward quadratic recompute; s=log n should cost far
+  // less than half of it.
+  EXPECT_LT(simlog.total_cost, 0.5 * sim1.total_cost);
+  // ... while staying cheaper in memory than checkpoint-all (peak = L+2).
+  EXPECT_LT(simlog.peak_memory, layers + 1.0);
+}
+
+TEST(Revolve, BaselineSweepProducesDistinctPoints) {
+  auto p = RematProblem::unit_training_chain(10);
+  auto schedules = baseline_schedules(p, BaselineKind::kGriewankLogN);
+  ASSERT_GE(schedules.size(), 4u);
+  std::vector<double> costs;
+  for (const auto& s : schedules) {
+    auto sim = simulate_plan(p, generate_execution_plan(p, s.solution));
+    ASSERT_TRUE(sim.valid) << s.label;
+    costs.push_back(sim.total_cost);
+  }
+  // Strictly decreasing cost is not guaranteed at every step, but the
+  // extremes must differ.
+  EXPECT_GT(costs.front(), costs.back());
+}
+
+}  // namespace
+}  // namespace checkmate::baselines

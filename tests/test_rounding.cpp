@@ -1,0 +1,137 @@
+#include "core/rounding.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "lp/simplex.h"
+
+namespace checkmate {
+namespace {
+
+TEST(SolveRGivenS, EmptySYieldsFullRecompute) {
+  auto p = RematProblem::unit_chain(4);
+  BoolMatrix s = make_bool_matrix(4, 4);
+  BoolMatrix r = solve_r_given_s(p.graph, s);
+  // Every stage recomputes the whole prefix.
+  for (int t = 0; t < 4; ++t)
+    for (int i = 0; i <= t; ++i) EXPECT_EQ(r[t][i], 1) << t << "," << i;
+}
+
+TEST(SolveRGivenS, FullSYieldsIdentity) {
+  auto p = RematProblem::unit_chain(4);
+  BoolMatrix s = make_bool_matrix(4, 4);
+  for (int t = 0; t < 4; ++t)
+    for (int i = 0; i < t; ++i) s[t][i] = 1;
+  BoolMatrix r = solve_r_given_s(p.graph, s);
+  for (int t = 0; t < 4; ++t)
+    for (int i = 0; i <= t; ++i)
+      EXPECT_EQ(r[t][i], i == t ? 1 : 0) << t << "," << i;
+}
+
+TEST(SolveRGivenS, RepairsCheckpointLiveness) {
+  // S asks for node 0 at stage 3 but node 0 was dead at stage 2: the
+  // repair must materialize it at stage 2.
+  auto p = RematProblem::unit_chain(4);
+  BoolMatrix s = make_bool_matrix(4, 4);
+  s[1][0] = 1;  // alive after stage 0
+  s[3][0] = 1;  // revived later -- (1c) violation to repair
+  BoolMatrix r = solve_r_given_s(p.graph, s);
+  EXPECT_EQ(r[2][0], 1);
+  RematSolution sol{r, s};
+  EXPECT_EQ(sol.check_feasible(p), "");
+}
+
+TEST(SolveRGivenS, ResultAlwaysFeasibleOnRandomDags) {
+  std::mt19937 rng(17);
+  for (int trial = 0; trial < 60; ++trial) {
+    const int n = 3 + static_cast<int>(rng() % 8);
+    Graph g(n);
+    for (int j = 1; j < n; ++j) {
+      g.add_edge(static_cast<NodeId>(rng() % j), j);
+      if (rng() % 2) g.add_edge(static_cast<NodeId>(rng() % j), j);
+    }
+    BoolMatrix s = make_bool_matrix(n, n);
+    for (int t = 1; t < n; ++t)
+      for (int i = 0; i < t; ++i) s[t][i] = rng() % 2;
+
+    RematProblem p;
+    p.name = "random";
+    p.graph = g;
+    p.cost.assign(n, 1.0);
+    p.memory.assign(n, 1.0);
+    p.is_backward.assign(n, 0);
+    p.grad_of.assign(n, -1);
+    p.node_names.assign(n, "");
+
+    RematSolution sol;
+    sol.S = s;
+    sol.R = solve_r_given_s(g, s);
+    EXPECT_EQ(sol.check_feasible(p), "") << "trial " << trial;
+  }
+}
+
+TEST(SolveRGivenS, Minimality) {
+  // Every R[t][i]=1 with i != t must be justified: removing it breaks
+  // feasibility.
+  auto p = RematProblem::unit_training_chain(3);
+  BoolMatrix s = make_bool_matrix(p.size(), p.size());
+  // Sparse checkpoints.
+  for (int t = 1; t < p.size(); ++t) s[t][0] = 1;
+  RematSolution sol;
+  sol.S = s;
+  sol.R = solve_r_given_s(p.graph, s);
+  ASSERT_EQ(sol.check_feasible(p), "");
+  for (int t = 0; t < p.size(); ++t) {
+    for (int i = 0; i < t; ++i) {
+      if (!sol.R[t][i]) continue;
+      RematSolution probe = sol;
+      probe.R[t][i] = 0;
+      EXPECT_NE(probe.check_feasible(p), "") << t << "," << i;
+    }
+  }
+}
+
+TEST(TwoPhaseRounding, DeterministicThreshold) {
+  auto p = RematProblem::unit_chain(3);
+  std::vector<std::vector<double>> s_star(3, std::vector<double>(3, 0.0));
+  s_star[1][0] = 0.9;
+  s_star[2][1] = 0.4;
+  auto sol = two_phase_round(p.graph, s_star);
+  EXPECT_EQ(sol.S[1][0], 1);
+  EXPECT_EQ(sol.S[2][1], 0);
+  EXPECT_EQ(sol.check_feasible(p), "");
+}
+
+TEST(TwoPhaseRounding, RandomizedIsSeededAndFeasible) {
+  auto p = RematProblem::unit_training_chain(4);
+  const int n = p.size();
+  std::vector<std::vector<double>> s_star(n, std::vector<double>(n, 0.5));
+  RoundingOptions o1{.randomized = true, .threshold = 0.5, .seed = 7};
+  RoundingOptions o2{.randomized = true, .threshold = 0.5, .seed = 7};
+  RoundingOptions o3{.randomized = true, .threshold = 0.5, .seed = 8};
+  auto a = two_phase_round(p.graph, s_star, o1);
+  auto b = two_phase_round(p.graph, s_star, o2);
+  auto c = two_phase_round(p.graph, s_star, o3);
+  EXPECT_EQ(a.S, b.S);  // same seed, same draw
+  EXPECT_NE(a.S, c.S);  // different seed, (overwhelmingly) different draw
+  EXPECT_EQ(a.check_feasible(p), "");
+  EXPECT_EQ(c.check_feasible(p), "");
+}
+
+TEST(TwoPhaseRounding, FractionalLpSolutionRoundsFeasibly) {
+  // End-to-end slice of the approximation pipeline on a real LP relaxation.
+  auto p = RematProblem::unit_training_chain(4);
+  IlpBuildOptions opts;
+  opts.budget_bytes = 5.0;
+  IlpFormulation f(p, opts);
+  auto rel = lp::solve_lp(f.lp());
+  ASSERT_EQ(rel.status, lp::LpStatus::kOptimal);
+  auto sol = two_phase_round(p.graph, f.extract_fractional_s(rel.x));
+  EXPECT_EQ(sol.check_feasible(p), "");
+  // Rounding can only add computation relative to the fractional optimum.
+  EXPECT_GE(sol.compute_cost(p), f.unscale_cost(rel.objective) - 1e-6);
+}
+
+}  // namespace
+}  // namespace checkmate

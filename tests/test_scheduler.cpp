@@ -1,0 +1,152 @@
+#include "core/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "baselines/baselines.h"
+#include "model/autodiff.h"
+#include "model/zoo.h"
+
+namespace checkmate {
+namespace {
+
+Scheduler small_vgg_scheduler(int64_t batch = 2) {
+  auto p = RematProblem::from_dnn(
+      model::make_training_graph(model::zoo::vgg16(batch)),
+      model::CostMetric::kProfiledTimeUs);
+  return Scheduler(std::move(p));
+}
+
+TEST(Scheduler, AmpleBudgetReachesIdealCost) {
+  Scheduler sched(RematProblem::unit_training_chain(5));
+  auto res = sched.solve_optimal_ilp(1e6);
+  ASSERT_TRUE(res.feasible) << res.message;
+  EXPECT_NEAR(res.cost, sched.ideal_cost(), 1e-6);
+  EXPECT_NEAR(res.overhead, 1.0, 1e-7);
+  EXPECT_TRUE(res.sim.valid);
+}
+
+TEST(Scheduler, TightBudgetTradeoff) {
+  Scheduler sched(RematProblem::unit_training_chain(6));
+  auto tight = sched.solve_optimal_ilp(5.0);
+  auto loose = sched.solve_optimal_ilp(9.0);
+  ASSERT_TRUE(tight.feasible) << tight.message;
+  ASSERT_TRUE(loose.feasible) << loose.message;
+  EXPECT_GE(tight.cost, loose.cost - 1e-9);
+  EXPECT_LE(tight.peak_memory, 5.0 + 1e-6);
+  EXPECT_LE(loose.peak_memory, 9.0 + 1e-6);
+}
+
+TEST(Scheduler, InfeasibleBudgetReported) {
+  Scheduler sched(RematProblem::unit_training_chain(4));
+  auto res = sched.solve_optimal_ilp(2.0);
+  EXPECT_FALSE(res.feasible);
+  EXPECT_EQ(res.milp_status, milp::MilpStatus::kInfeasible);
+}
+
+TEST(Scheduler, IlpBeatsOrMatchesEveryBaseline) {
+  auto problem = RematProblem::unit_training_chain(8);
+  Scheduler sched(problem);
+  const double budget = 7.0;
+  auto ilp = sched.solve_optimal_ilp(budget);
+  ASSERT_TRUE(ilp.feasible) << ilp.message;
+  using baselines::BaselineKind;
+  for (auto kind : {BaselineKind::kChenSqrtN, BaselineKind::kChenGreedy,
+                    BaselineKind::kGriewankLogN}) {
+    for (const auto& bs :
+         baselines::baseline_schedules(sched.problem(), kind)) {
+      auto eval = sched.evaluate_schedule(bs.solution, budget);
+      if (!eval.feasible) continue;  // over budget: not comparable
+      EXPECT_LE(ilp.cost, eval.cost + 1e-6)
+          << baselines::to_string(kind) << " " << bs.label;
+    }
+  }
+}
+
+TEST(Scheduler, LpRoundingFeasibleAndBoundedBelowByRelaxation) {
+  Scheduler sched(RematProblem::unit_training_chain(8));
+  auto approx = sched.solve_lp_rounding(8.0);
+  ASSERT_TRUE(approx.feasible) << approx.message;
+  EXPECT_LE(approx.peak_memory, 8.0 + 1e-6);
+  EXPECT_GE(approx.cost, approx.root_relaxation - 1e-6);
+}
+
+TEST(Scheduler, LpRoundingNearOptimal) {
+  // Table 2: two-phase rounding lands within a few percent of the ILP.
+  Scheduler sched(RematProblem::unit_training_chain(8));
+  const double budget = 8.0;
+  auto ilp = sched.solve_optimal_ilp(budget);
+  auto approx = sched.solve_lp_rounding(budget);
+  ASSERT_TRUE(ilp.feasible);
+  ASSERT_TRUE(approx.feasible) << approx.message;
+  EXPECT_LE(approx.cost / ilp.cost, 1.5);
+  EXPECT_GE(approx.cost / ilp.cost, 1.0 - 1e-9);
+}
+
+TEST(Scheduler, RandomizedRoundingProducesFeasibleSchedules) {
+  Scheduler sched(RematProblem::unit_training_chain(6));
+  ApproxOptions opts;
+  opts.randomized = true;
+  opts.samples = 16;
+  opts.seed = 3;
+  auto res = sched.solve_lp_rounding(8.0, opts);
+  ASSERT_TRUE(res.feasible) << res.message;
+  EXPECT_LE(res.peak_memory, 8.0 + 1e-6);
+}
+
+TEST(Scheduler, EvaluateScheduleRejectsInfeasibleMatrix) {
+  Scheduler sched(RematProblem::unit_training_chain(3));
+  RematSolution bad;
+  bad.R = make_bool_matrix(7, 7);
+  bad.S = make_bool_matrix(7, 7);
+  auto res = sched.evaluate_schedule(bad, 0.0);
+  EXPECT_FALSE(res.feasible);
+  EXPECT_NE(res.message.find("infeasible"), std::string::npos);
+}
+
+TEST(Scheduler, RealModelEndToEnd) {
+  // VGG16 (coarse) training graph through the full ILP pipeline at a
+  // budget midway between the structural floor and checkpoint-all.
+  Scheduler sched = small_vgg_scheduler();
+  const auto& p = sched.problem();
+  auto all = baselines::checkpoint_all_schedule(p);
+  auto all_eval = sched.evaluate_schedule(all, 0.0);
+  ASSERT_TRUE(all_eval.feasible);
+
+  IlpSolveOptions opts;
+  opts.time_limit_sec = 60.0;
+  const double floor = p.memory_floor();
+  const double budget = floor + 0.5 * (all_eval.peak_memory - floor);
+  auto res = sched.solve_optimal_ilp(budget, opts);
+  ASSERT_TRUE(res.feasible) << res.message;
+  EXPECT_LE(res.peak_memory, budget + 1e-3);
+  EXPECT_GE(res.overhead, 1.0 - 1e-9);
+  EXPECT_LT(res.overhead, 2.0);  // remat should not double compute here
+}
+
+TEST(Scheduler, BudgetBelowFloorRejectedInstantly) {
+  Scheduler sched(RematProblem::unit_training_chain(16));
+  const auto start = std::chrono::steady_clock::now();
+  auto res = sched.solve_optimal_ilp(
+      0.9 * sched.problem().memory_floor());
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_FALSE(res.feasible);
+  EXPECT_EQ(res.milp_status, milp::MilpStatus::kInfeasible);
+  EXPECT_LT(secs, 1.0);  // no branch & bound grind
+}
+
+TEST(Scheduler, UnpartitionedReportsObjectiveOnly) {
+  Scheduler sched(RematProblem::unit_training_chain(2));
+  IlpSolveOptions opts;
+  opts.partitioned = false;
+  opts.time_limit_sec = 60.0;
+  auto res = sched.solve_optimal_ilp(5.0, opts);
+  ASSERT_TRUE(res.feasible) << res.message;
+  EXPECT_GT(res.cost, 0.0);
+}
+
+}  // namespace
+}  // namespace checkmate

@@ -1,0 +1,136 @@
+#include "core/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include "baselines/baselines.h"
+#include "core/rounding.h"
+
+namespace checkmate {
+namespace {
+
+TEST(Simulator, CheckpointAllMatchesAnalyticCostAndMemory) {
+  auto p = RematProblem::unit_training_chain(3);  // n = 7
+  auto sol = baselines::checkpoint_all_schedule(p);
+  auto plan = generate_execution_plan(p, sol);
+  auto sim = simulate_plan(p, plan);
+  ASSERT_TRUE(sim.valid) << sim.error;
+  EXPECT_DOUBLE_EQ(sim.total_cost, 7.0);  // each node once
+  EXPECT_EQ(sim.compute_count, 7);
+  // Peak: all four forward values + first gradient = 5 units.
+  EXPECT_DOUBLE_EQ(sim.peak_memory, 5.0);
+}
+
+TEST(Simulator, PeakNeverExceedsAccountingPeak) {
+  // The simulator's realized peak must be <= the ILP-style accounting peak
+  // (the plan releases replaced registers; the accounting double-counts).
+  auto p = RematProblem::unit_training_chain(4);
+  BoolMatrix s = make_bool_matrix(p.size(), p.size());
+  for (int t = 1; t < p.size(); ++t) s[t][1] = (t > 1);
+  RematSolution sol;
+  sol.S = s;
+  sol.R = solve_r_given_s(p.graph, s);
+  auto plan = generate_execution_plan(p, sol);
+  auto sim = simulate_plan(p, plan);
+  ASSERT_TRUE(sim.valid) << sim.error;
+  EXPECT_LE(sim.peak_memory, peak_memory_usage(p, sol) + 1e-9);
+}
+
+TEST(Simulator, FixedOverheadIncluded) {
+  auto p = RematProblem::unit_training_chain(2);
+  p.fixed_overhead = 100.0;
+  auto sol = baselines::checkpoint_all_schedule(p);
+  auto plan = generate_execution_plan(p, sol);
+  auto sim = simulate_plan(p, plan);
+  ASSERT_TRUE(sim.valid);
+  EXPECT_GE(sim.peak_memory, 100.0);
+}
+
+TEST(Simulator, BudgetViolationReported) {
+  auto p = RematProblem::unit_training_chain(3);
+  auto sol = baselines::checkpoint_all_schedule(p);
+  auto plan = generate_execution_plan(p, sol);
+  SimulatorOptions opts;
+  opts.budget_bytes = 3.0;  // checkpoint-all needs 5
+  auto sim = simulate_plan(p, plan, opts);
+  EXPECT_FALSE(sim.valid);
+  EXPECT_NE(sim.error.find("budget"), std::string::npos);
+}
+
+TEST(Simulator, MissingDependencyDetected) {
+  auto p = RematProblem::unit_chain(2);
+  ExecutionPlan plan;
+  plan.num_registers = 1;
+  plan.statements.push_back({StatementKind::kCompute, 1, 0, 0});  // needs 0
+  auto sim = simulate_plan(p, plan);
+  EXPECT_FALSE(sim.valid);
+  EXPECT_NE(sim.error.find("dependency"), std::string::npos);
+}
+
+TEST(Simulator, DoubleComputeOfLiveValueDetected) {
+  auto p = RematProblem::unit_chain(1);
+  ExecutionPlan plan;
+  plan.num_registers = 2;
+  plan.statements.push_back({StatementKind::kCompute, 0, 0, 0});
+  plan.statements.push_back({StatementKind::kCompute, 0, 1, 0});
+  auto sim = simulate_plan(p, plan);
+  EXPECT_FALSE(sim.valid);
+}
+
+TEST(Simulator, DeallocOfDeadRegisterDetected) {
+  auto p = RematProblem::unit_chain(1);
+  ExecutionPlan plan;
+  plan.num_registers = 1;
+  plan.statements.push_back({StatementKind::kDeallocate, 0, 0, 0});
+  auto sim = simulate_plan(p, plan);
+  EXPECT_FALSE(sim.valid);
+}
+
+TEST(Simulator, RequireAllNodesComputed) {
+  auto p = RematProblem::unit_chain(2);
+  ExecutionPlan plan;
+  plan.num_registers = 1;
+  plan.statements.push_back({StatementKind::kCompute, 0, 0, 0});
+  auto sim = simulate_plan(p, plan);
+  EXPECT_FALSE(sim.valid);
+  EXPECT_NE(sim.error.find("never computed"), std::string::npos);
+
+  SimulatorOptions opts;
+  opts.require_all_nodes_computed = false;
+  auto sim2 = simulate_plan(p, plan, opts);
+  EXPECT_TRUE(sim2.valid);
+}
+
+TEST(Simulator, MemoryTraceAlignsWithStatements) {
+  auto p = RematProblem::unit_training_chain(2);
+  auto sol = baselines::checkpoint_all_schedule(p);
+  auto plan = generate_execution_plan(p, sol);
+  auto sim = simulate_plan(p, plan);
+  ASSERT_TRUE(sim.valid);
+  ASSERT_EQ(sim.memory_trace.size(), plan.statements.size());
+  ASSERT_EQ(sim.stage_trace.size(), plan.statements.size());
+  // Trace peaks at sim.peak_memory.
+  double peak = p.fixed_overhead;
+  for (double v : sim.memory_trace) peak = std::max(peak, v);
+  EXPECT_DOUBLE_EQ(peak, sim.peak_memory);
+}
+
+TEST(Simulator, TimelineShapeRetainVsRemat) {
+  // Figure 1's shape: checkpoint-all climbs to a high peak; an aggressive
+  // rematerialization schedule (few checkpoints) stays much lower.
+  auto p = RematProblem::unit_training_chain(8);
+  auto all = baselines::checkpoint_all_schedule(p);
+  auto sim_all =
+      simulate_plan(p, generate_execution_plan(p, all));
+  auto lean_schedules =
+      baselines::baseline_schedules(p, baselines::BaselineKind::kChenSqrtN);
+  ASSERT_EQ(lean_schedules.size(), 1u);
+  auto sim_lean = simulate_plan(
+      p, generate_execution_plan(p, lean_schedules[0].solution));
+  ASSERT_TRUE(sim_all.valid);
+  ASSERT_TRUE(sim_lean.valid);
+  EXPECT_LT(sim_lean.peak_memory, sim_all.peak_memory);
+  EXPECT_GT(sim_lean.total_cost, sim_all.total_cost);
+}
+
+}  // namespace
+}  // namespace checkmate

@@ -1,0 +1,126 @@
+#include "core/solution.h"
+
+#include <gtest/gtest.h>
+
+#include "baselines/baselines.h"
+#include "core/remat_problem.h"
+
+namespace checkmate {
+namespace {
+
+// Schedule that computes everything once and keeps it (checkpoint-all on a
+// unit chain).
+RematSolution keep_all(int n) {
+  RematSolution sol;
+  sol.R = make_bool_matrix(n, n);
+  sol.S = make_bool_matrix(n, n);
+  for (int t = 0; t < n; ++t) {
+    sol.R[t][t] = 1;
+    for (int i = 0; i < t; ++i) sol.S[t][i] = 1;
+  }
+  return sol;
+}
+
+TEST(Solution, KeepAllIsFeasible) {
+  auto p = RematProblem::unit_chain(4);
+  auto sol = keep_all(4);
+  EXPECT_EQ(sol.check_feasible(p), "");
+  EXPECT_DOUBLE_EQ(sol.compute_cost(p), 4.0);
+  EXPECT_EQ(sol.num_computations(), 4);
+}
+
+TEST(Solution, DetectsMissingDiagonal) {
+  auto p = RematProblem::unit_chain(3);
+  auto sol = keep_all(3);
+  sol.R[1][1] = 0;
+  EXPECT_NE(sol.check_feasible(p).find("8a"), std::string::npos);
+}
+
+TEST(Solution, DetectsUpperTriangularViolation) {
+  auto p = RematProblem::unit_chain(3);
+  auto sol = keep_all(3);
+  sol.R[0][2] = 1;
+  EXPECT_NE(sol.check_feasible(p).find("8c"), std::string::npos);
+  sol = keep_all(3);
+  sol.S[1][2] = 1;
+  EXPECT_NE(sol.check_feasible(p).find("8b"), std::string::npos);
+}
+
+TEST(Solution, DetectsMissingDependency) {
+  auto p = RematProblem::unit_chain(3);
+  auto sol = keep_all(3);
+  sol.S[2][1] = 0;  // stage 2 computes node 2 without node 1 resident
+  EXPECT_NE(sol.check_feasible(p).find("1b"), std::string::npos);
+}
+
+TEST(Solution, DetectsDeadCheckpoint) {
+  auto p = RematProblem::unit_chain(4);
+  auto sol = keep_all(4);
+  // Node 0 is unused after stage 1: drop it at stage 2, then it cannot
+  // legally reappear as a checkpoint at stage 3.
+  sol.S[2][0] = 0;
+  sol.S[3][0] = 1;
+  EXPECT_NE(sol.check_feasible(p).find("1c"), std::string::npos);
+}
+
+TEST(Solution, FreeScheduleKeepAllFreesNothingUntilUnused) {
+  auto p = RematProblem::unit_chain(3);
+  auto sol = keep_all(3);
+  auto fs = compute_free_schedule(p, sol);
+  // Values are checkpointed forever: only the very last stage can free, and
+  // there, values with no later users are freed after the final compute.
+  for (int t = 0; t < 2; ++t)
+    for (int k = 0; k <= t; ++k)
+      EXPECT_TRUE(fs.after_compute[t][k].empty()) << t << "," << k;
+}
+
+TEST(Solution, MemoryUsageKeepAllGrowsLinearly) {
+  auto p = RematProblem::unit_chain(4);
+  auto sol = keep_all(4);
+  auto u = compute_memory_usage(p, sol);
+  // After computing node t at stage t, t+1 values are live.
+  for (int t = 0; t < 4; ++t) EXPECT_DOUBLE_EQ(u[t][t], t + 1.0);
+  EXPECT_DOUBLE_EQ(peak_memory_usage(p, sol), 4.0);
+}
+
+TEST(Solution, MemoryUsageIncludesFixedOverhead) {
+  auto p = RematProblem::unit_chain(3);
+  p.fixed_overhead = 10.0;
+  auto sol = keep_all(3);
+  EXPECT_DOUBLE_EQ(peak_memory_usage(p, sol), 13.0);
+}
+
+TEST(Solution, RecomputeEveryStageUsesConstantMemory) {
+  // S empty: every stage recomputes the whole prefix. Memory stays at 2
+  // for a unit chain (current + parent) once frees kick in.
+  const int n = 5;
+  auto p = RematProblem::unit_chain(n);
+  RematSolution sol;
+  sol.R = make_bool_matrix(n, n);
+  sol.S = make_bool_matrix(n, n);
+  for (int t = 0; t < n; ++t)
+    for (int i = 0; i <= t; ++i) sol.R[t][i] = 1;
+  EXPECT_EQ(sol.check_feasible(p), "");
+  EXPECT_DOUBLE_EQ(peak_memory_usage(p, sol), 2.0);
+  EXPECT_DOUBLE_EQ(sol.compute_cost(p), 15.0);  // 1+2+3+4+5
+}
+
+TEST(Solution, SpuriousCheckpointDroppedAtStageBoundary) {
+  const int n = 3;
+  auto p = RematProblem::unit_chain(n);
+  auto sol = keep_all(n);
+  // Keep node 0 into stage 2 but it is unused there (node 2 needs node 1).
+  // Droppable at stage 2 start under code motion.
+  sol.S[2][0] = 1;
+  auto fs = compute_free_schedule(p, sol);
+  EXPECT_EQ(fs.stage_drop[2], std::vector<NodeId>{0});
+}
+
+TEST(Solution, RenderScheduleShape) {
+  auto sol = keep_all(3);
+  const std::string art = render_schedule(sol);
+  EXPECT_EQ(art, "#..\no#.\noo#\n");
+}
+
+}  // namespace
+}  // namespace checkmate

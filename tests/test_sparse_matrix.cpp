@@ -1,0 +1,99 @@
+#include "lp/sparse_matrix.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+namespace checkmate::lp {
+namespace {
+
+TEST(SparseMatrix, EmptyMatrix) {
+  SparseMatrix m(3, 4, {});
+  EXPECT_EQ(m.rows(), 3);
+  EXPECT_EQ(m.cols(), 4);
+  EXPECT_EQ(m.nnz(), 0);
+  for (int j = 0; j < 4; ++j) EXPECT_TRUE(m.col_rows(j).empty());
+}
+
+TEST(SparseMatrix, BasicConstruction) {
+  std::vector<Triplet> t{{0, 0, 1.0}, {2, 0, -2.0}, {1, 1, 3.0}};
+  SparseMatrix m(3, 2, t);
+  EXPECT_EQ(m.nnz(), 3);
+  ASSERT_EQ(m.col_rows(0).size(), 2u);
+  EXPECT_EQ(m.col_rows(0)[0], 0);
+  EXPECT_EQ(m.col_rows(0)[1], 2);
+  EXPECT_DOUBLE_EQ(m.col_values(0)[1], -2.0);
+}
+
+TEST(SparseMatrix, DuplicatesSummed) {
+  std::vector<Triplet> t{{1, 0, 2.0}, {1, 0, 3.0}};
+  SparseMatrix m(2, 1, t);
+  EXPECT_EQ(m.nnz(), 1);
+  EXPECT_DOUBLE_EQ(m.col_values(0)[0], 5.0);
+}
+
+TEST(SparseMatrix, DuplicatesCancelToZeroDropped) {
+  std::vector<Triplet> t{{0, 0, 1.0}, {0, 0, -1.0}};
+  SparseMatrix m(1, 1, t);
+  EXPECT_EQ(m.nnz(), 0);
+}
+
+TEST(SparseMatrix, RowsSortedWithinColumn) {
+  std::vector<Triplet> t{{5, 0, 1.0}, {1, 0, 1.0}, {3, 0, 1.0}};
+  SparseMatrix m(6, 1, t);
+  auto rows = m.col_rows(0);
+  EXPECT_TRUE(std::is_sorted(rows.begin(), rows.end()));
+}
+
+TEST(SparseMatrix, OutOfRangeTripletThrows) {
+  std::vector<Triplet> t{{0, 7, 1.0}};
+  EXPECT_THROW(SparseMatrix(2, 2, t), std::out_of_range);
+}
+
+TEST(SparseMatrix, AxpyColumn) {
+  std::vector<Triplet> t{{0, 0, 2.0}, {2, 0, -1.0}};
+  SparseMatrix m(3, 1, t);
+  std::vector<double> y{1.0, 1.0, 1.0};
+  m.axpy_column(0, 3.0, y);
+  EXPECT_DOUBLE_EQ(y[0], 7.0);
+  EXPECT_DOUBLE_EQ(y[1], 1.0);
+  EXPECT_DOUBLE_EQ(y[2], -2.0);
+}
+
+TEST(SparseMatrix, DotColumn) {
+  std::vector<Triplet> t{{0, 0, 2.0}, {2, 0, -1.0}};
+  SparseMatrix m(3, 1, t);
+  std::vector<double> x{1.0, 10.0, 4.0};
+  EXPECT_DOUBLE_EQ(m.dot_column(0, x), 2.0 - 4.0);
+}
+
+TEST(SparseMatrix, MultiplyMatchesDense) {
+  std::mt19937 rng(7);
+  std::uniform_real_distribution<double> val(-2.0, 2.0);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int rows = 1 + static_cast<int>(rng() % 8);
+    const int cols = 1 + static_cast<int>(rng() % 8);
+    std::vector<std::vector<double>> dense(rows, std::vector<double>(cols, 0));
+    std::vector<Triplet> trips;
+    for (int r = 0; r < rows; ++r)
+      for (int c = 0; c < cols; ++c)
+        if (rng() % 3 == 0) {
+          const double v = val(rng);
+          dense[r][c] = v;
+          trips.push_back({r, c, v});
+        }
+    SparseMatrix m(rows, cols, trips);
+    std::vector<double> x(cols);
+    for (double& v : x) v = val(rng);
+    auto y = m.multiply(x);
+    for (int r = 0; r < rows; ++r) {
+      double expect = 0;
+      for (int c = 0; c < cols; ++c) expect += dense[r][c] * x[c];
+      EXPECT_NEAR(y[r], expect, 1e-12);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace checkmate::lp
