@@ -11,8 +11,11 @@
 using namespace checkmate;
 
 int main(int argc, char** argv) {
-  const int64_t batch = argc > 1 ? std::atoll(argv[1]) : 4;
-  const double budget_fraction = argc > 2 ? std::atof(argv[2]) : 0.7;
+  // Batch 2 at the mid-band budget proves optimality in seconds; larger
+  // batches and near-floor/near-peak budgets enter the dual-plateau regime
+  // where the solver runs as an anytime algorithm against its time limit.
+  const int64_t batch = argc > 1 ? std::atoll(argv[1]) : 2;
+  const double budget_fraction = argc > 2 ? std::atof(argv[2]) : 0.5;
 
   // 1. Build the architecture and derive the training graph (forward +
   //    backward ops) via static reverse-mode differentiation.
@@ -40,9 +43,12 @@ int main(int argc, char** argv) {
   std::printf("budget:         %.2f GB (floor %.2f GB + %.0f%% of band)\n",
               budget / 1e9, floor / 1e9, 100.0 * budget_fraction);
 
-  // 4. Solve the MILP for the optimal rematerialization schedule.
+  // 4. Solve the MILP for the optimal rematerialization schedule. A 0.05%
+  //    optimality gap: real-model instances carry a dual plateau right
+  //    below the optimum, so the last gap decade costs minutes for noise.
   IlpSolveOptions opts;
   opts.time_limit_sec = 120.0;
+  opts.relative_gap = 5e-4;
   auto result = scheduler.solve_optimal_ilp(budget, opts);
   if (!result.feasible) {
     std::printf("no feasible schedule: %s\n", result.message.c_str());

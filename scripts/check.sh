@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# CI entry point: configure, build with warnings-as-errors, run the full
+# ctest suite. Every test carries a ctest TIMEOUT property, so a hung
+# solver fails loudly instead of wedging the pipeline.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build-check}"
+GENERATOR_FLAGS=()
+if command -v ninja >/dev/null 2>&1; then
+  GENERATOR_FLAGS+=(-G Ninja)
+fi
+
+cmake -B "$BUILD_DIR" -S . "${GENERATOR_FLAGS[@]}" \
+  -DCMAKE_BUILD_TYPE=Release -DCHECKMATE_WERROR=ON
+cmake --build "$BUILD_DIR" -j
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"

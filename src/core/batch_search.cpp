@@ -50,8 +50,10 @@ MaxBatchResult max_batch_size(const ProblemFactory& factory,
 }
 
 FeasibilityProbe make_ilp_probe(double budget_bytes,
-                                double per_probe_time_limit_sec) {
-  return [budget_bytes, per_probe_time_limit_sec](const RematProblem& p) {
+                                double per_probe_time_limit_sec,
+                                const milp::MilpOptions& base_milp) {
+  return [budget_bytes, per_probe_time_limit_sec,
+          base_milp](const RematProblem& p) {
     // Cheap necessary condition: the structural working-set floor must fit.
     if (p.memory_floor() > budget_bytes) return false;
     const double cost_cap = 2.0 * p.forward_cost() + p.backward_cost();
@@ -80,7 +82,7 @@ FeasibilityProbe make_ilp_probe(double budget_bytes,
     build.cost_cap = cost_cap;
     const IlpFormulation form(p, build);
 
-    milp::MilpOptions mopts;
+    milp::MilpOptions mopts = base_milp;
     mopts.time_limit_sec = per_probe_time_limit_sec;
     mopts.stop_at_first_incumbent = true;
     mopts.branch_priority = form.branch_priorities();

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "core/remat_problem.h"
+#include "milp/milp.h"
 
 namespace checkmate {
 
@@ -49,7 +50,11 @@ MaxBatchResult max_batch_size(const ProblemFactory& factory,
 
 // Probe backed by the Checkmate MILP in first-incumbent (feasibility) mode,
 // with the Eq. 10 cost cap. `budget_bytes` matches MaxBatchOptions.
+// `base_milp` carries the solver knobs (presolve, node selection,
+// deterministic work limits); time limit and feasibility mode are overridden
+// per probe.
 FeasibilityProbe make_ilp_probe(double budget_bytes,
-                                double per_probe_time_limit_sec = 30.0);
+                                double per_probe_time_limit_sec = 30.0,
+                                const milp::MilpOptions& base_milp = {});
 
 }  // namespace checkmate

@@ -56,6 +56,11 @@ ScheduleResult Scheduler::solve_optimal_ilp(
   mopts.relative_gap = options.relative_gap;
   mopts.branch_priority = form.branch_priorities();
   mopts.stop_at_first_incumbent = options.stop_at_first_incumbent;
+  mopts.presolve = options.presolve;
+  mopts.pseudocost_branching = options.pseudocost_branching;
+  mopts.node_selection = options.node_selection;
+  if (options.max_lp_iterations > 0)
+    mopts.max_lp_iterations = options.max_lp_iterations;
 
   // Seed branch & bound with the cheapest feasible baseline schedule so
   // bound pruning is active from the root (Section 6.2: the ILP's feasible
@@ -72,7 +77,8 @@ ScheduleResult Scheduler::solve_optimal_ilp(
     };
     using baselines::BaselineKind;
     for (auto kind :
-         {BaselineKind::kCheckpointAll, BaselineKind::kLinearizedGreedy,
+         {BaselineKind::kCheckpointAll, BaselineKind::kChenSqrtN,
+          BaselineKind::kLinearizedSqrtN, BaselineKind::kLinearizedGreedy,
           BaselineKind::kApGreedy}) {
       for (const auto& bs : baselines::baseline_schedules(problem_, kind))
         offer_seed(bs.solution);
@@ -115,6 +121,7 @@ ScheduleResult Scheduler::solve_optimal_ilp(
   ScheduleResult res;
   res.milp_status = mres.status;
   res.nodes = mres.nodes;
+  res.lp_iterations = mres.lp_iterations;
   res.seconds = mres.seconds;
   res.best_bound = form.unscale_cost(mres.best_bound);
   res.root_relaxation = form.unscale_cost(mres.root_relaxation);
@@ -136,6 +143,7 @@ ScheduleResult Scheduler::solve_optimal_ilp(
       evaluate_schedule(form.extract_solution(mres.x), budget_bytes);
   eval.milp_status = mres.status;
   eval.nodes = mres.nodes;
+  eval.lp_iterations = mres.lp_iterations;
   eval.seconds = mres.seconds;
   eval.best_bound = res.best_bound;
   eval.root_relaxation = res.root_relaxation;

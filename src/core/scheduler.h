@@ -21,6 +21,15 @@ struct IlpSolveOptions {
   bool partitioned = true;             // frontier-advancing stages
   bool eliminate_diag_free = true;
   bool stop_at_first_incumbent = false;
+  // Solver machinery knobs (threaded straight into milp::MilpOptions; the
+  // defaults are the overhauled fast path, the ablation benches flip them).
+  bool presolve = true;
+  bool pseudocost_branching = true;
+  milp::NodeSelection node_selection = milp::NodeSelection::kHybrid;
+  // Deterministic work limit: stop after this many cumulative simplex
+  // iterations (0 = unlimited). Unlike the wall-clock limit this makes
+  // truncated runs machine-independent.
+  int64_t max_lp_iterations = 0;
 };
 
 struct ApproxOptions {
@@ -48,6 +57,7 @@ struct ScheduleResult {
   double best_bound = 0.0;       // problem cost units
   double root_relaxation = 0.0;  // problem cost units
   int64_t nodes = 0;
+  int64_t lp_iterations = 0;     // cumulative simplex iterations
   double seconds = 0.0;
 };
 

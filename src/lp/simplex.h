@@ -19,6 +19,7 @@
 // periodically, with product-form eta updates between refactorizations.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -64,7 +65,7 @@ class DualSimplex {
   // remaining budget).
   void set_time_limit(double seconds) { opt_.time_limit_sec = seconds; }
 
-  int iterations_total() const { return total_iterations_; }
+  int64_t iterations_total() const { return total_iterations_; }
 
  private:
   int num_total() const { return n_ + m_; }
@@ -119,7 +120,9 @@ class DualSimplex {
   bool d_dirty_ = false;
   bool used_artificial_bound_ = false;
   int pivots_since_refactor_ = 0;
-  int total_iterations_ = 0;
+  // Cumulative across every solve() on this instance; branch & bound runs
+  // millions of warm-started re-solves, so this must not wrap at int range.
+  int64_t total_iterations_ = 0;
   unsigned rng_state_ = 0x9e3779b9u;  // for anti-stalling row choice
   int stall_count_ = 0;
 

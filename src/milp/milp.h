@@ -1,35 +1,68 @@
-// Mixed-integer linear program solver: depth-first branch & bound over the
-// warm-started dual simplex engine.
+// Mixed-integer linear program solver: branch & bound over the warm-started
+// dual simplex engine, with presolve and pseudocost branching.
 //
 // This is the "off-the-shelf MILP solver" substrate the Checkmate paper
 // outsources to Gurobi / COIN-OR CBC; here it is built from scratch. Design
 // choices that matter for the rematerialization workload:
-//   - depth-first search with child ordering toward the LP fractional value
-//     (the frontier-advancing formulation has a tight relaxation, so diving
-//     finds good incumbents almost immediately);
+//   - a presolve pass (bound propagation, fixings, redundant-row removal)
+//     shrinks the LP before the first factorization -- the Checkmate
+//     formulation carries many structurally-forced zeros (e.g. the S
+//     columns killed by the frontier-advancing constraints);
+//   - diving search with configurable node selection: depth-first (LIFO),
+//     best-bound, or hybrid (dive to a leaf, then restart from the open
+//     node with the best bound). Diving finds good incumbents almost
+//     immediately because the partitioned relaxation is tight;
+//   - pseudocost branching (with caller priority tiers preserved): observed
+//     per-unit objective degradations steer the search toward decisions
+//     that move the dual bound; unobserved variables degrade gracefully to
+//     most-fractional ordering;
 //   - bound changes are applied/undone on a single simplex instance, so
 //     every node re-solve is a warm-started dual simplex run;
 //   - a caller-provided incumbent heuristic (Checkmate plugs in two-phase
-//     LP rounding) is invoked on fractional node solutions;
-//   - branching priorities let the caller steer (Checkmate branches on the
-//     checkpoint matrix S before the compute matrix R).
+//     LP rounding) is invoked on fractional node solutions on an adaptive
+//     cadence that backs off while the heuristic fails to improve;
+//   - a warm-start incumbent (Checkmate feeds its baseline schedules)
+//     enables bound pruning from the very first node.
 #pragma once
 
+#include <cstdint>
 #include <functional>
+#include <limits>
 #include <optional>
 #include <vector>
 
 #include "lp/lp_problem.h"
 #include "lp/simplex.h"
+#include "milp/presolve.h"
 
 namespace checkmate::milp {
+
+enum class NodeSelection {
+  kDepthFirst,  // LIFO: dive, backtrack to the most recent open node
+  kBestBound,   // always expand the open node with the smallest bound
+  kHybrid,      // dive to a leaf, then restart from the best-bound node
+};
+
+const char* to_string(NodeSelection mode);
 
 struct MilpOptions {
   double time_limit_sec = 3600.0;
   double relative_gap = 1e-6;
   double integrality_tol = 1e-6;
   int64_t max_nodes = 10'000'000;
-  // Invoke the incumbent heuristic at the root and then every N nodes.
+  // Deterministic work limit: stop once the cumulative simplex iteration
+  // count crosses this value. Unlike the wall-clock limit, runs with the
+  // same limit explore identical trees on every machine.
+  int64_t max_lp_iterations = std::numeric_limits<int64_t>::max();
+  // Run the presolve pass before the search (see milp/presolve.h).
+  bool presolve = true;
+  // Pseudocost-driven branching; disable to fall back to most-fractional
+  // (the pre-overhaul behavior, kept for ablation).
+  bool pseudocost_branching = true;
+  NodeSelection node_selection = NodeSelection::kDepthFirst;
+  // Invoke the incumbent heuristic at the root and then every N nodes; the
+  // effective interval backs off exponentially while the heuristic fails
+  // to improve the incumbent and snaps back on success.
   int heuristic_interval = 64;
   // Stop as soon as any incumbent is found (feasibility problems, e.g. the
   // max-batch-size search of Section 6.4).
@@ -46,7 +79,7 @@ struct MilpOptions {
 
 enum class MilpStatus {
   kOptimal,        // search completed; incumbent is optimal within gap
-  kFeasible,       // stopped early (time/nodes) with an incumbent
+  kFeasible,       // stopped early (time/nodes/iterations) with an incumbent
   kInfeasible,     // search completed with no feasible point
   kNoSolution,     // stopped early with no incumbent; inconclusive
   kError,
@@ -61,8 +94,9 @@ struct MilpResult {
   double root_relaxation = lp::kInf;
   std::vector<double> x;           // incumbent (empty if none)
   int64_t nodes = 0;
-  int lp_iterations = 0;
+  int64_t lp_iterations = 0;
   double seconds = 0.0;
+  PresolveStats presolve;          // zeroed when presolve was disabled
 
   bool has_solution() const { return !x.empty(); }
   double gap() const {

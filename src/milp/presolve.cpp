@@ -1,0 +1,214 @@
+#include "milp/presolve.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <vector>
+
+namespace checkmate::milp {
+
+namespace {
+
+struct RowView {
+  std::vector<int> cols;
+  std::vector<double> coefs;
+  double lb = -lp::kInf, ub = lp::kInf;
+  bool removed = false;
+};
+
+// Activity range of a row under current bounds, with infinity counting so
+// the one-infinite-term residual trick stays O(1) per entry.
+struct Activity {
+  double min_finite = 0.0, max_finite = 0.0;
+  int min_inf = 0, max_inf = 0;
+
+  double min() const { return min_inf ? -lp::kInf : min_finite; }
+  double max() const { return max_inf ? lp::kInf : max_finite; }
+};
+
+}  // namespace
+
+PresolveResult presolve(const lp::LinearProgram& input,
+                        const PresolveOptions& opt) {
+  PresolveResult out;
+  PresolveStats& stats = out.stats;
+  const int n = input.num_vars();
+  const int m = input.num_rows();
+
+  std::vector<double> lo = input.lb, hi = input.ub;
+
+  // Row-wise view with duplicate column entries merged.
+  std::vector<RowView> rows(m);
+  {
+    std::vector<std::unordered_map<int, double>> acc(m);
+    for (const lp::Triplet& t : input.entries) acc[t.row][t.col] += t.value;
+    for (int r = 0; r < m; ++r) {
+      rows[r].lb = input.row_lb[r];
+      rows[r].ub = input.row_ub[r];
+      for (const auto& [col, coef] : acc[r]) {
+        if (coef == 0.0) continue;
+        rows[r].cols.push_back(col);
+        rows[r].coefs.push_back(coef);
+      }
+    }
+  }
+
+  const double tol = opt.feasibility_tol;
+  const double itol = opt.integrality_tol;
+
+  auto round_integer_bounds = [&](int j, double& new_lo, double& new_hi) {
+    if (!input.is_integer[j]) return;
+    new_lo = std::ceil(new_lo - itol);
+    new_hi = std::floor(new_hi + itol);
+  };
+
+  // Tightens one side; returns false on proven infeasibility.
+  auto tighten = [&](int j, double new_lo, double new_hi) -> bool {
+    round_integer_bounds(j, new_lo, new_hi);
+    bool changed = false;
+    if (new_lo > lo[j] + opt.min_tighten) {
+      lo[j] = new_lo;
+      changed = true;
+    }
+    if (new_hi < hi[j] - opt.min_tighten) {
+      hi[j] = new_hi;
+      changed = true;
+    }
+    if (lo[j] > hi[j]) {
+      if (lo[j] - hi[j] <= tol * std::max(1.0, std::abs(lo[j]))) {
+        lo[j] = hi[j];  // numerically-equal bounds: snap to a fixing
+      } else {
+        stats.proven_infeasible = true;
+        return false;
+      }
+    }
+    if (changed) ++stats.bounds_tightened;
+    return true;
+  };
+
+  auto activity = [&](const RowView& row) {
+    Activity a;
+    for (size_t e = 0; e < row.cols.size(); ++e) {
+      const int j = row.cols[e];
+      const double c = row.coefs[e];
+      const double at_min = c > 0 ? lo[j] : hi[j];
+      const double at_max = c > 0 ? hi[j] : lo[j];
+      if (std::isinf(at_min))
+        ++a.min_inf;
+      else
+        a.min_finite += c * at_min;
+      if (std::isinf(at_max))
+        ++a.max_inf;
+      else
+        a.max_finite += c * at_max;
+    }
+    return a;
+  };
+
+  bool changed_this_round = true;
+  for (int round = 0; round < opt.max_rounds && changed_this_round; ++round) {
+    ++stats.rounds;
+    changed_this_round = false;
+    for (RowView& row : rows) {
+      if (row.removed || stats.proven_infeasible) continue;
+      const Activity act = activity(row);
+
+      // Infeasible: the reachable activity range misses [lb, ub] entirely.
+      if (act.min() > row.ub + tol || act.max() < row.lb - tol) {
+        stats.proven_infeasible = true;
+        break;
+      }
+      // Redundant: every bound-feasible point satisfies the row.
+      if (act.min() >= row.lb - tol && act.max() <= row.ub + tol) {
+        row.removed = true;
+        ++stats.rows_removed;
+        changed_this_round = true;
+        continue;
+      }
+      // Forcing: the row is only satisfiable at one extreme of every
+      // participating variable -- fix them all and drop the row.
+      const bool forces_min = !act.min_inf && act.min_finite >= row.ub - tol;
+      const bool forces_max = !act.max_inf && act.max_finite <= row.lb + tol;
+      if (forces_min || forces_max) {
+        for (size_t e = 0; e < row.cols.size(); ++e) {
+          const int j = row.cols[e];
+          const double c = row.coefs[e];
+          const bool at_lower = forces_min ? (c > 0) : (c < 0);
+          const double v = at_lower ? lo[j] : hi[j];
+          if (std::isinf(v)) continue;  // cannot force onto an infinite bound
+          if (!tighten(j, v, v)) break;
+        }
+        if (stats.proven_infeasible) break;
+        row.removed = true;
+        ++stats.rows_removed;
+        changed_this_round = true;
+        continue;
+      }
+
+      // Implied per-variable bounds from the residual activity.
+      for (size_t e = 0; e < row.cols.size(); ++e) {
+        const int j = row.cols[e];
+        const double c = row.coefs[e];
+        if (lo[j] == hi[j]) continue;
+
+        // Residual min/max of the row without variable j, or +/-inf if some
+        // *other* variable contributes an infinity.
+        const double at_min = c > 0 ? lo[j] : hi[j];
+        const double at_max = c > 0 ? hi[j] : lo[j];
+        double res_min = -lp::kInf, res_max = lp::kInf;
+        if (act.min_inf == 0)
+          res_min = act.min_finite - c * at_min;
+        else if (act.min_inf == 1 && std::isinf(at_min))
+          res_min = act.min_finite;
+        if (act.max_inf == 0)
+          res_max = act.max_finite - c * at_max;
+        else if (act.max_inf == 1 && std::isinf(at_max))
+          res_max = act.max_finite;
+
+        double new_lo = lo[j], new_hi = hi[j];
+        if (c > 0) {
+          if (!std::isinf(row.ub) && !std::isinf(res_min))
+            new_hi = std::min(new_hi, (row.ub - res_min) / c);
+          if (!std::isinf(row.lb) && !std::isinf(res_max))
+            new_lo = std::max(new_lo, (row.lb - res_max) / c);
+        } else {
+          if (!std::isinf(row.ub) && !std::isinf(res_min))
+            new_lo = std::max(new_lo, (row.ub - res_min) / c);
+          if (!std::isinf(row.lb) && !std::isinf(res_max))
+            new_hi = std::min(new_hi, (row.lb - res_max) / c);
+        }
+        const double before_lo = lo[j], before_hi = hi[j];
+        if (!tighten(j, new_lo, new_hi)) break;
+        if (lo[j] != before_lo || hi[j] != before_hi)
+          changed_this_round = true;
+      }
+      if (stats.proven_infeasible) break;
+    }
+    if (stats.proven_infeasible) break;
+  }
+
+  for (int j = 0; j < n; ++j)
+    if (lo[j] == hi[j]) ++stats.vars_fixed;
+  if (stats.proven_infeasible) return out;
+
+  // Assemble the reduced program: identical columns, surviving rows only.
+  lp::LinearProgram& red = out.lp;
+  red.obj = input.obj;
+  red.lb = std::move(lo);
+  red.ub = std::move(hi);
+  red.is_integer = input.is_integer;
+  red.var_names = input.var_names;
+  std::vector<int> row_map(m, -1);
+  for (int r = 0; r < m; ++r) {
+    if (rows[r].removed) continue;
+    row_map[r] = red.num_rows();
+    red.row_lb.push_back(rows[r].lb);
+    red.row_ub.push_back(rows[r].ub);
+  }
+  for (const lp::Triplet& t : input.entries)
+    if (row_map[t.row] >= 0)
+      red.entries.push_back({row_map[t.row], t.col, t.value});
+  return out;
+}
+
+}  // namespace checkmate::milp

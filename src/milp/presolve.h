@@ -1,0 +1,54 @@
+// MILP presolve: shrinks a LinearProgram before branch & bound touches it.
+//
+// The pass is generic (activity-based bound propagation), but it is tuned
+// for the structure the Checkmate formulation exposes:
+//   - cascade fixings: S[1][i] <= R[0][i] + S[0][i] degenerates to
+//     S[1][i] <= 0 when the right-hand variables do not exist in the
+//     partitioned form, and the fixing propagates down the whole first
+//     super-diagonal of S (and onward through (1c));
+//   - implied bounds on the memory recurrence rows tighten the continuous
+//     U variables toward the reachable range;
+//   - rows whose activity range already fits inside [row_lb, row_ub] under
+//     the tightened bounds are dropped, which shrinks every dual simplex
+//     basis the search will ever factorize.
+//
+// All reductions are valid for the *mixed-integer* feasible set: bounds on
+// integer columns are rounded inward, and no reduction relies on LP-only
+// reasoning, so every integer-feasible point of the input remains feasible
+// in the output. Columns are never renumbered -- fixings are expressed as
+// lb == ub -- so solution vectors, incumbent heuristics and branching
+// priorities carry over unchanged.
+#pragma once
+
+#include "lp/lp_problem.h"
+
+namespace checkmate::milp {
+
+struct PresolveOptions {
+  int max_rounds = 16;       // propagation sweeps before giving up on fixpoint
+  double feasibility_tol = 1e-9;
+  double integrality_tol = 1e-6;
+  // Minimum improvement for a continuous-bound tightening to be recorded
+  // (avoids churning on epsilon improvements that never fix anything).
+  double min_tighten = 1e-7;
+};
+
+struct PresolveStats {
+  int rounds = 0;
+  int vars_fixed = 0;         // columns with lb == ub after the pass
+  int bounds_tightened = 0;   // individual bound improvements applied
+  int rows_removed = 0;       // redundant rows dropped from the output
+  bool proven_infeasible = false;
+};
+
+struct PresolveResult {
+  // Reduced problem: identical columns (with tightened bounds), redundant
+  // rows removed. Meaningless when stats.proven_infeasible.
+  lp::LinearProgram lp;
+  PresolveStats stats;
+};
+
+PresolveResult presolve(const lp::LinearProgram& lp,
+                        const PresolveOptions& options = {});
+
+}  // namespace checkmate::milp

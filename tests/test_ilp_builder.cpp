@@ -8,6 +8,12 @@
 namespace checkmate {
 namespace {
 
+milp::MilpOptions bounded_milp(double time_limit_sec = 30.0) {
+  milp::MilpOptions opts;
+  opts.time_limit_sec = time_limit_sec;
+  return opts;
+}
+
 TEST(IlpBuilder, RejectsNonPositiveBudget) {
   auto p = RematProblem::unit_chain(3);
   IlpBuildOptions opts;
@@ -56,7 +62,7 @@ TEST(IlpBuilder, AmpleBudgetSolvesToCheckpointAllCost) {
   IlpBuildOptions opts;
   opts.budget_bytes = 100.0;  // ample
   IlpFormulation f(p, opts);
-  auto res = milp::solve_milp(f.lp());
+  auto res = milp::solve_milp(f.lp(), bounded_milp());
   ASSERT_EQ(res.status, milp::MilpStatus::kOptimal);
   EXPECT_NEAR(f.unscale_cost(res.objective), 5.0, 1e-5);
 }
@@ -68,7 +74,7 @@ TEST(IlpBuilder, PureForwardChainNeedsOnlyTwoSlots) {
   IlpBuildOptions opts;
   opts.budget_bytes = 2.0;
   IlpFormulation f(p, opts);
-  auto res = milp::solve_milp(f.lp());
+  auto res = milp::solve_milp(f.lp(), bounded_milp());
   ASSERT_EQ(res.status, milp::MilpStatus::kOptimal);
   EXPECT_NEAR(f.unscale_cost(res.objective), 5.0, 1e-5);
 }
@@ -82,7 +88,7 @@ TEST(IlpBuilder, TightBudgetForcesRecomputation) {
   IlpBuildOptions opts;
   opts.budget_bytes = 4.0;
   IlpFormulation f(p, opts);
-  auto res = milp::solve_milp(f.lp());
+  auto res = milp::solve_milp(f.lp(), bounded_milp());
   ASSERT_EQ(res.status, milp::MilpStatus::kOptimal);
   const double cost = f.unscale_cost(res.objective);
   EXPECT_GT(cost, 7.5);  // unit costs are integral: optimum >= 8
@@ -96,7 +102,7 @@ TEST(IlpBuilder, BudgetBelowStructuralMinimumInfeasible) {
   IlpBuildOptions opts;
   opts.budget_bytes = 3.0;  // interior gradient alone needs 4 units
   IlpFormulation f(p, opts);
-  auto res = milp::solve_milp(f.lp());
+  auto res = milp::solve_milp(f.lp(), bounded_milp());
   EXPECT_EQ(res.status, milp::MilpStatus::kInfeasible);
 }
 
@@ -105,7 +111,7 @@ TEST(IlpBuilder, InfeasibleBudgetDetected) {
   IlpBuildOptions opts;
   opts.budget_bytes = 1.5;  // cannot even hold node + parent
   IlpFormulation f(p, opts);
-  auto res = milp::solve_milp(f.lp());
+  auto res = milp::solve_milp(f.lp(), bounded_milp());
   EXPECT_EQ(res.status, milp::MilpStatus::kInfeasible);
 }
 
@@ -119,7 +125,7 @@ TEST(IlpBuilder, OverheadCountsAgainstBudget) {
   IlpBuildOptions opts;
   opts.budget_bytes = 6.5;
   IlpFormulation f(p, opts);
-  auto res = milp::solve_milp(f.lp());
+  auto res = milp::solve_milp(f.lp(), bounded_milp());
   ASSERT_EQ(res.status, milp::MilpStatus::kOptimal);
   auto sol = f.extract_solution(res.x);
   EXPECT_LE(peak_memory_usage(p, sol), 6.5 + 1e-6);
@@ -127,7 +133,7 @@ TEST(IlpBuilder, OverheadCountsAgainstBudget) {
 
   p.fixed_overhead = 0.0;
   IlpFormulation f2(p, opts);
-  auto res2 = milp::solve_milp(f2.lp());
+  auto res2 = milp::solve_milp(f2.lp(), bounded_milp());
   ASSERT_EQ(res2.status, milp::MilpStatus::kOptimal);
   EXPECT_NEAR(f2.unscale_cost(res2.objective), 7.0, 1e-5);
 }
@@ -184,7 +190,7 @@ TEST(IlpBuilder, CostCapMakesTightProblemInfeasible) {
   opts.budget_bytes = 4.0;  // optimum cost exceeds 7.5 (see above test)
   opts.cost_cap = 7.5;
   IlpFormulation f(p, opts);
-  auto res = milp::solve_milp(f.lp());
+  auto res = milp::solve_milp(f.lp(), bounded_milp());
   EXPECT_EQ(res.status, milp::MilpStatus::kInfeasible);
 }
 
@@ -195,7 +201,7 @@ TEST(IlpBuilder, LpRelaxationLowerBoundsIlp) {
   IlpFormulation f(p, opts);
   auto rel = lp::solve_lp(f.lp());
   ASSERT_EQ(rel.status, lp::LpStatus::kOptimal);
-  auto ilp = milp::solve_milp(f.lp());
+  auto ilp = milp::solve_milp(f.lp(), bounded_milp());
   ASSERT_EQ(ilp.status, milp::MilpStatus::kOptimal);
   EXPECT_LE(rel.objective, ilp.objective + 1e-7);
 }

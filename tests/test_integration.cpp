@@ -21,6 +21,15 @@
 namespace checkmate {
 namespace {
 
+
+// Explicit wall-clock limits on every MILP solve: a solver regression must
+// fail a status assertion, not wedge the suite.
+milp::MilpOptions bounded_milp(double time_limit_sec = 60.0) {
+  milp::MilpOptions opts;
+  opts.time_limit_sec = time_limit_sec;
+  return opts;
+}
+
 struct BruteForceResult {
   double best_cost = std::numeric_limits<double>::infinity();
   RematSolution best;
@@ -59,7 +68,7 @@ TEST(Integration, IlpMatchesBruteForceOnTinyTrainingChain) {
     IlpBuildOptions opts;
     opts.budget_bytes = budget;
     IlpFormulation f(p, opts);
-    auto res = milp::solve_milp(f.lp());
+    auto res = milp::solve_milp(f.lp(), bounded_milp());
     ASSERT_EQ(res.status, milp::MilpStatus::kOptimal) << "budget " << budget;
     EXPECT_NEAR(f.unscale_cost(res.objective), bf.best_cost, 1e-5)
         << "budget " << budget;
@@ -91,7 +100,7 @@ TEST(Integration, IlpMatchesBruteForceOnTinyDiamond) {
     IlpBuildOptions opts;
     opts.budget_bytes = budget;
     IlpFormulation f(p, opts);
-    auto res = milp::solve_milp(f.lp());
+    auto res = milp::solve_milp(f.lp(), bounded_milp());
     ASSERT_EQ(res.status, milp::MilpStatus::kOptimal);
     EXPECT_NEAR(f.unscale_cost(res.objective), bf.best_cost, 1e-5)
         << "budget " << budget;
@@ -108,10 +117,8 @@ TEST(Integration, UnpartitionedNeverWorseThanPartitioned) {
     part.budget_bytes = unpart.budget_bytes = budget;
     unpart.partitioned = false;
     IlpFormulation fp(p, part), fu(p, unpart);
-    auto rp = milp::solve_milp(fp.lp());
-    milp::MilpOptions uopts;
-    uopts.time_limit_sec = 120.0;
-    auto ru = milp::solve_milp(fu.lp(), uopts);
+    auto rp = milp::solve_milp(fp.lp(), bounded_milp());
+    auto ru = milp::solve_milp(fu.lp(), bounded_milp(120.0));
     ASSERT_EQ(rp.status, milp::MilpStatus::kOptimal);
     ASSERT_EQ(ru.status, milp::MilpStatus::kOptimal);
     EXPECT_LE(fu.unscale_cost(ru.objective),
@@ -131,7 +138,7 @@ TEST(Integration, PartitioningTightensLpRelaxation) {
   auto lp_u = lp::solve_lp(fu.lp());
   ASSERT_EQ(lp_p.status, lp::LpStatus::kOptimal);
   ASSERT_EQ(lp_u.status, lp::LpStatus::kOptimal);
-  auto ilp_p = milp::solve_milp(fp.lp());
+  auto ilp_p = milp::solve_milp(fp.lp(), bounded_milp());
   ASSERT_EQ(ilp_p.status, milp::MilpStatus::kOptimal);
   const double gap_part = ilp_p.objective / std::max(1e-9, lp_p.objective);
   const double gap_unpart = ilp_p.objective / std::max(1e-9, lp_u.objective);
@@ -147,8 +154,8 @@ TEST(Integration, DiagFreeEliminationPreservesOptimum) {
     without.eliminate_diag_free = false;
     IlpFormulation fw(p, with), fo(p, without);
     EXPECT_GT(fo.lp().num_vars(), fw.lp().num_vars());
-    auto rw = milp::solve_milp(fw.lp());
-    auto ro = milp::solve_milp(fo.lp());
+    auto rw = milp::solve_milp(fw.lp(), bounded_milp());
+    auto ro = milp::solve_milp(fo.lp(), bounded_milp());
     ASSERT_EQ(rw.status, milp::MilpStatus::kOptimal);
     ASSERT_EQ(ro.status, milp::MilpStatus::kOptimal);
     EXPECT_NEAR(fw.unscale_cost(rw.objective), fo.unscale_cost(ro.objective),
@@ -181,8 +188,10 @@ TEST(Integration, SolverMemoryAccountingMatchesSimulator) {
   // For ILP-optimal schedules (no spurious work), the accounting peak and
   // the simulated peak coincide.
   Scheduler sched(RematProblem::unit_training_chain(6));
+  IlpSolveOptions opts;
+  opts.time_limit_sec = 30.0;
   for (double budget : {6.0, 8.0, 10.0}) {
-    auto res = sched.solve_optimal_ilp(budget);
+    auto res = sched.solve_optimal_ilp(budget, opts);
     ASSERT_TRUE(res.feasible);
     EXPECT_NEAR(res.peak_memory,
                 peak_memory_usage(sched.problem(), res.solution), 1e-9);

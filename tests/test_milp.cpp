@@ -2,7 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include "core/ilp_builder.h"
+#include "core/remat_problem.h"
+
+#include <chrono>
 #include <cmath>
+#include <optional>
 #include <random>
 
 namespace checkmate::milp {
@@ -16,11 +21,19 @@ std::vector<std::pair<int, double>> terms(
   return t;
 }
 
+// Every MILP-solving test passes an explicit wall-clock limit so a solver
+// regression surfaces as a status assertion, never as a wedged test runner.
+MilpOptions bounded(double time_limit_sec = 30.0) {
+  MilpOptions opts;
+  opts.time_limit_sec = time_limit_sec;
+  return opts;
+}
+
 TEST(Milp, PureLpPassThrough) {
   LinearProgram lp;
   int x = lp.add_var(0, 4, -1.0);  // continuous
   lp.add_le(terms({{x, 1.0}}), 2.5);
-  auto res = solve_milp(lp);
+  auto res = solve_milp(lp, bounded());
   ASSERT_EQ(res.status, MilpStatus::kOptimal);
   EXPECT_NEAR(res.objective, -2.5, 1e-7);
 }
@@ -30,7 +43,7 @@ TEST(Milp, SingleIntegerRoundsDown) {
   LinearProgram lp;
   int x = lp.add_var(0, 10, -1.0, /*integer=*/true);
   lp.add_le(terms({{x, 1.0}}), 2.5);
-  auto res = solve_milp(lp);
+  auto res = solve_milp(lp, bounded());
   ASSERT_EQ(res.status, MilpStatus::kOptimal);
   EXPECT_NEAR(res.objective, -2.0, 1e-7);
   EXPECT_NEAR(res.x[x], 2.0, 1e-6);
@@ -43,7 +56,7 @@ TEST(Milp, Knapsack) {
   int b = lp.add_binary(-6.0);
   int c = lp.add_binary(-4.0);
   lp.add_le(terms({{a, 1.0}, {b, 1.0}, {c, 1.0}}), 2.0);
-  auto res = solve_milp(lp);
+  auto res = solve_milp(lp, bounded());
   ASSERT_EQ(res.status, MilpStatus::kOptimal);
   EXPECT_NEAR(res.objective, -16.0, 1e-6);
 }
@@ -57,7 +70,7 @@ TEST(Milp, WeightedKnapsack) {
   int b = lp.add_binary(-9.0);
   int c = lp.add_binary(-9.0);
   lp.add_le(terms({{a, 6.0}, {b, 5.0}, {c, 4.0}}), 10.0);
-  auto res = solve_milp(lp);
+  auto res = solve_milp(lp, bounded());
   ASSERT_EQ(res.status, MilpStatus::kOptimal);
   EXPECT_NEAR(res.objective, -19.0, 1e-6);
   EXPECT_LT(res.root_relaxation, -19.0);  // relaxation strictly better
@@ -68,7 +81,7 @@ TEST(Milp, InfeasibleIntegrality) {
   LinearProgram lp;
   int x = lp.add_var(0, 1, 1.0, /*integer=*/true);
   lp.add_constraint(terms({{x, 1.0}}), 0.4, 0.6);
-  auto res = solve_milp(lp);
+  auto res = solve_milp(lp, bounded());
   EXPECT_EQ(res.status, MilpStatus::kInfeasible);
   EXPECT_FALSE(res.has_solution());
 }
@@ -80,7 +93,7 @@ TEST(Milp, EqualityWithIntegers) {
   int x = lp.add_var(0, 2, 2.0, true);
   int y = lp.add_var(0, 2, 1.0, true);
   lp.add_eq(terms({{x, 1.0}, {y, 1.0}}), 3.0);
-  auto res = solve_milp(lp);
+  auto res = solve_milp(lp, bounded());
   ASSERT_EQ(res.status, MilpStatus::kOptimal);
   EXPECT_NEAR(res.objective, 4.0, 1e-6);
 }
@@ -91,7 +104,7 @@ TEST(Milp, MixedIntegerContinuous) {
   int x = lp.add_var(0, 1, -0.5, false);
   int y = lp.add_var(0, 10, -1.0, true);
   lp.add_le(terms({{x, 0.5}, {y, 1.0}}), 3.7);
-  auto res = solve_milp(lp);
+  auto res = solve_milp(lp, bounded());
   ASSERT_EQ(res.status, MilpStatus::kOptimal);
   // y=3, x=1 => obj -3.5.
   EXPECT_NEAR(res.objective, -3.5, 1e-6);
@@ -103,7 +116,7 @@ TEST(Milp, StopAtFirstIncumbent) {
   std::vector<std::pair<int, double>> all;
   for (int i = 0; i < 8; ++i) all.emplace_back(i, 1.0);
   lp.add_le(all, 4.0);
-  MilpOptions opts;
+  MilpOptions opts = bounded();
   opts.stop_at_first_incumbent = true;
   auto res = solve_milp(lp, opts);
   EXPECT_TRUE(res.has_solution());
@@ -125,7 +138,7 @@ TEST(Milp, IncumbentHeuristicAccepted) {
     called = true;
     return std::vector<double>{1.0, 0.0, 1.0};
   };
-  auto res = solve_milp(lp, {}, heuristic);
+  auto res = solve_milp(lp, bounded(), heuristic);
   EXPECT_TRUE(called);
   ASSERT_EQ(res.status, MilpStatus::kOptimal);
   EXPECT_NEAR(res.objective, -19.0, 1e-6);
@@ -139,7 +152,7 @@ TEST(Milp, InvalidHeuristicCandidateRejected) {
       -> std::optional<std::vector<double>> {
     return std::vector<double>{7.0};  // violates binary bound
   };
-  auto res = solve_milp(lp, {}, heuristic);
+  auto res = solve_milp(lp, bounded(), heuristic);
   ASSERT_EQ(res.status, MilpStatus::kOptimal);
   EXPECT_NEAR(res.objective, -1.0, 1e-6);
 }
@@ -151,7 +164,7 @@ TEST(Milp, BranchPriorityRespectedForCorrectness) {
   int b = lp.add_binary(-2.0);
   int c = lp.add_binary(-1.0);
   lp.add_le(terms({{a, 2.0}, {b, 2.0}, {c, 2.0}}), 3.0);
-  MilpOptions opts;
+  MilpOptions opts = bounded();
   opts.branch_priority = {0, 5, 1};
   auto res = solve_milp(lp, opts);
   ASSERT_EQ(res.status, MilpStatus::kOptimal);
@@ -195,7 +208,7 @@ TEST(Milp, MatchesBruteForceOnRandomBinaryPrograms) {
         if (mask & (1 << j)) obj += lp.obj[j];
       best = std::min(best, obj);
     }
-    auto res = solve_milp(lp);
+    auto res = solve_milp(lp, bounded());
     if (best == lp::kInf) {
       EXPECT_EQ(res.status, MilpStatus::kInfeasible) << "trial " << trial;
     } else {
@@ -213,13 +226,179 @@ TEST(Milp, NodeLimitReturnsFeasibleOrNoSolution) {
   std::vector<std::pair<int, double>> t;
   for (int j = 0; j < n; ++j) t.emplace_back(j, 1.0 + (rng() % 3));
   lp.add_le(t, 9.5);
-  MilpOptions opts;
+  MilpOptions opts = bounded();
   opts.max_nodes = 3;
   auto res = solve_milp(lp, opts);
   EXPECT_TRUE(res.status == MilpStatus::kFeasible ||
               res.status == MilpStatus::kNoSolution);
   // Bound must be sound: no better than the root relaxation.
   EXPECT_GE(res.best_bound, res.root_relaxation - 1e-6);
+}
+
+// ---------------------------------------------------------------------
+// Solver-overhaul machinery: pseudocost branching, node selection modes,
+// warm starts, and the deterministic/wall-clock limit semantics.
+
+// A family of random binary programs that is non-trivial for branch &
+// bound (fractional relaxations, several constraints).
+LinearProgram random_binary_program(uint32_t seed, int n, int m) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> coef(0.5, 3.0);
+  LinearProgram lp;
+  for (int j = 0; j < n; ++j) lp.add_binary(-coef(rng));
+  for (int r = 0; r < m; ++r) {
+    std::vector<std::pair<int, double>> t;
+    double total = 0.0;
+    for (int j = 0; j < n; ++j) {
+      const double w = coef(rng);
+      t.emplace_back(j, w);
+      total += w;
+    }
+    lp.add_le(t, 0.47 * total);  // roughly half the items fit
+  }
+  return lp;
+}
+
+TEST(Milp, PseudocostBranchingPreservesOptimumWithBoundedNodes) {
+  // Regression for the branching overhaul: pseudocosts must return the
+  // exact optimum of the most-fractional rule, and the tree must stay far
+  // below enumeration scale (2^16 assignments here).
+  for (uint32_t seed : {11u, 17u, 23u, 31u, 47u}) {
+    LinearProgram lp = random_binary_program(seed, 16, 3);
+    MilpOptions pc = bounded(), frac = bounded();
+    pc.pseudocost_branching = true;
+    frac.pseudocost_branching = false;
+    auto res_pc = solve_milp(lp, pc);
+    auto res_frac = solve_milp(lp, frac);
+    ASSERT_EQ(res_pc.status, MilpStatus::kOptimal) << "seed " << seed;
+    ASSERT_EQ(res_frac.status, MilpStatus::kOptimal) << "seed " << seed;
+    EXPECT_NEAR(res_pc.objective, res_frac.objective, 1e-6)
+        << "seed " << seed;
+    EXPECT_LE(res_pc.nodes, 1 << 12) << "seed " << seed;
+  }
+}
+
+TEST(Milp, PseudocostBranchingShrinksTreeOnRematInstance) {
+  // On the structured Checkmate instances (the workload the default is
+  // tuned for) pseudocosts must explore no more nodes than the
+  // most-fractional rule did, at an identical optimum.
+  auto p = RematProblem::unit_training_chain(6);  // n = 13
+  IlpBuildOptions build;
+  build.budget_bytes = 5.0;  // tight budget: forces real search
+  IlpFormulation f(p, build);
+  MilpOptions pc = bounded(), frac = bounded();
+  pc.branch_priority = frac.branch_priority = f.branch_priorities();
+  // Hybrid node selection is what the Scheduler ships; pseudocosts and the
+  // best-bound restarts are tuned together.
+  pc.node_selection = frac.node_selection = NodeSelection::kHybrid;
+  pc.pseudocost_branching = true;
+  frac.pseudocost_branching = false;
+  auto res_pc = solve_milp(f.lp(), pc);
+  auto res_frac = solve_milp(f.lp(), frac);
+  ASSERT_EQ(res_pc.status, MilpStatus::kOptimal);
+  ASSERT_EQ(res_frac.status, MilpStatus::kOptimal);
+  EXPECT_NEAR(res_pc.objective, res_frac.objective, 1e-6);
+  EXPECT_LE(res_pc.nodes, res_frac.nodes);
+}
+
+TEST(Milp, NodeSelectionModesAgreeOnOptimum) {
+  for (uint32_t seed : {3u, 9u, 27u}) {
+    LinearProgram lp = random_binary_program(seed, 14, 2);
+    std::optional<double> reference;
+    for (auto mode : {NodeSelection::kDepthFirst, NodeSelection::kBestBound,
+                      NodeSelection::kHybrid}) {
+      MilpOptions opts = bounded();
+      opts.node_selection = mode;
+      auto res = solve_milp(lp, opts);
+      ASSERT_EQ(res.status, MilpStatus::kOptimal)
+          << to_string(mode) << " seed " << seed;
+      if (!reference)
+        reference = res.objective;
+      else
+        EXPECT_NEAR(res.objective, *reference, 1e-6)
+            << to_string(mode) << " seed " << seed;
+    }
+  }
+}
+
+TEST(Milp, WarmStartIncumbentPrunesFromNodeOne) {
+  // Same instance as WeightedKnapsack; the optimum is a+c = -19 and the
+  // root relaxation is fractional (-19.67).
+  LinearProgram lp;
+  int a = lp.add_binary(-10.0);
+  int b = lp.add_binary(-9.0);
+  int c = lp.add_binary(-9.0);
+  lp.add_le(terms({{a, 6.0}, {b, 5.0}, {c, 4.0}}), 10.0);
+
+  // With a node budget of 1 the incumbent can only come from the warm
+  // start: it must be validated and reported even though the search never
+  // reached an integral leaf.
+  MilpOptions opts = bounded();
+  opts.initial_solution = {1.0, 0.0, 1.0};
+  opts.max_nodes = 1;
+  auto res = solve_milp(lp, opts);
+  ASSERT_TRUE(res.has_solution());
+  EXPECT_NEAR(res.objective, -19.0, 1e-9);
+
+  // A full run seeded with the optimum needs only bound pruning: the tree
+  // collapses to a handful of nodes.
+  MilpOptions full = bounded();
+  full.initial_solution = {1.0, 0.0, 1.0};
+  auto res_full = solve_milp(lp, full);
+  ASSERT_EQ(res_full.status, MilpStatus::kOptimal);
+  EXPECT_NEAR(res_full.objective, -19.0, 1e-9);
+  EXPECT_LE(res_full.nodes, 8);
+
+  // An infeasible warm start must be rejected, not blindly trusted.
+  MilpOptions bad = bounded();
+  bad.initial_solution = {1.0, 1.0, 1.0};  // weight 15 > 10
+  auto res_bad = solve_milp(lp, bad);
+  ASSERT_EQ(res_bad.status, MilpStatus::kOptimal);
+  EXPECT_NEAR(res_bad.objective, -19.0, 1e-6);
+}
+
+TEST(Milp, TimeLimitHonoredWithoutHalfSecondFloor) {
+  // Regression for the per-node simplex floor: the old code granted every
+  // node LP at least 0.5 s even when the global budget was exhausted, so a
+  // tiny time limit could overshoot by an order of magnitude.
+  LinearProgram lp = random_binary_program(99u, 140, 12);
+  MilpOptions opts = bounded();
+  opts.time_limit_sec = 0.05;
+  const auto start = std::chrono::steady_clock::now();
+  auto res = solve_milp(lp, opts);
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_LT(secs, 0.45);
+  // Truncated run: never claims optimality it did not prove.
+  EXPECT_NE(res.status, MilpStatus::kOptimal);
+}
+
+TEST(Milp, DeterministicLpIterationLimitIsReproducible) {
+  LinearProgram lp = random_binary_program(7u, 30, 4);
+  MilpOptions opts = bounded();
+  opts.max_lp_iterations = 200;
+  auto r1 = solve_milp(lp, opts);
+  auto r2 = solve_milp(lp, opts);
+  // The limit truncates the run (this instance needs far more iterations)...
+  EXPECT_NE(r1.status, MilpStatus::kOptimal);
+  // ...and two runs with the same limit do identical work.
+  EXPECT_EQ(r1.nodes, r2.nodes);
+  EXPECT_EQ(r1.lp_iterations, r2.lp_iterations);
+  EXPECT_EQ(r1.objective, r2.objective);
+}
+
+TEST(Milp, PresolveStatsReportedThroughResult) {
+  LinearProgram lp;
+  int x = lp.add_binary(-1.0);
+  int y = lp.add_binary(-1.0);
+  lp.add_le(terms({{x, 1.0}}), 0.0);              // fixes x = 0
+  lp.add_le(terms({{x, 1.0}, {y, 1.0}}), 5.0);    // redundant
+  auto res = solve_milp(lp, bounded());
+  ASSERT_EQ(res.status, MilpStatus::kOptimal);
+  EXPECT_NEAR(res.objective, -1.0, 1e-9);
+  EXPECT_GE(res.presolve.vars_fixed, 1);
+  EXPECT_GE(res.presolve.rows_removed, 2);
 }
 
 }  // namespace

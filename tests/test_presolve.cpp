@@ -1,0 +1,236 @@
+// Presolve correctness: fixings, implied bounds and row removal must never
+// cut off an integer-feasible point, verified both on hand-built programs
+// and against the brute-force oracle on tiny Checkmate instances.
+#include "milp/presolve.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/ilp_builder.h"
+#include "core/rounding.h"
+#include "core/solution.h"
+#include "milp/milp.h"
+
+namespace checkmate::milp {
+namespace {
+
+using lp::kInf;
+using lp::LinearProgram;
+
+std::vector<std::pair<int, double>> terms(
+    std::initializer_list<std::pair<int, double>> t) {
+  return t;
+}
+
+MilpOptions bounded(double time_limit_sec = 30.0) {
+  MilpOptions opts;
+  opts.time_limit_sec = time_limit_sec;
+  return opts;
+}
+
+TEST(Presolve, SingletonUpperRowFixesBinaryToZero) {
+  // x binary, x <= 0: the Checkmate "S forced to 0 by topology" pattern.
+  LinearProgram lp;
+  int x = lp.add_binary(-1.0);
+  lp.add_le(terms({{x, 1.0}}), 0.0);
+  auto res = presolve(lp);
+  ASSERT_FALSE(res.stats.proven_infeasible);
+  EXPECT_EQ(res.lp.lb[x], 0.0);
+  EXPECT_EQ(res.lp.ub[x], 0.0);
+  EXPECT_EQ(res.stats.vars_fixed, 1);
+  // The row is implied by the fixed bounds and must be dropped.
+  EXPECT_EQ(res.lp.num_rows(), 0);
+  EXPECT_EQ(res.stats.rows_removed, 1);
+}
+
+TEST(Presolve, FixingsCascadeThroughChainedRows) {
+  // a <= 0, b <= a, c <= b: one round fixes a, later rounds fix b then c.
+  LinearProgram lp;
+  int a = lp.add_binary(0.0);
+  int b = lp.add_binary(0.0);
+  int c = lp.add_binary(0.0);
+  lp.add_le(terms({{a, 1.0}}), 0.0);
+  lp.add_le(terms({{b, 1.0}, {a, -1.0}}), 0.0);
+  lp.add_le(terms({{c, 1.0}, {b, -1.0}}), 0.0);
+  auto res = presolve(lp);
+  ASSERT_FALSE(res.stats.proven_infeasible);
+  EXPECT_EQ(res.stats.vars_fixed, 3);
+  for (int j : {a, b, c}) EXPECT_EQ(res.lp.ub[j], 0.0);
+  EXPECT_EQ(res.lp.num_rows(), 0);
+}
+
+TEST(Presolve, IntegerBoundsRoundedInward) {
+  // 0.4 <= x <= 2.6 integer: bounds must shrink to [1, 2].
+  LinearProgram lp;
+  int x = lp.add_var(0.0, 10.0, 1.0, /*integer=*/true);
+  lp.add_constraint(terms({{x, 1.0}}), 0.4, 2.6);
+  auto res = presolve(lp);
+  ASSERT_FALSE(res.stats.proven_infeasible);
+  EXPECT_EQ(res.lp.lb[x], 1.0);
+  EXPECT_EQ(res.lp.ub[x], 2.0);
+}
+
+TEST(Presolve, IntegerHoleProvesInfeasible) {
+  // 0.4 <= x <= 0.6 with x integer: no integer fits, presolve proves it
+  // without a single simplex iteration.
+  LinearProgram lp;
+  int x = lp.add_var(0.0, 1.0, 1.0, /*integer=*/true);
+  lp.add_constraint(terms({{x, 1.0}}), 0.4, 0.6);
+  auto res = presolve(lp);
+  EXPECT_TRUE(res.stats.proven_infeasible);
+  // And solve_milp must report it identically.
+  auto mres = solve_milp(lp, bounded());
+  EXPECT_EQ(mres.status, MilpStatus::kInfeasible);
+}
+
+TEST(Presolve, ContradictoryRowsProveInfeasible) {
+  LinearProgram lp;
+  int x = lp.add_var(0.0, 1.0, 1.0);
+  int y = lp.add_var(0.0, 1.0, 1.0);
+  lp.add_ge(terms({{x, 1.0}, {y, 1.0}}), 3.0);  // max activity is 2
+  auto res = presolve(lp);
+  EXPECT_TRUE(res.stats.proven_infeasible);
+}
+
+TEST(Presolve, RedundantRowRemovedTightRowKept) {
+  LinearProgram lp;
+  int x = lp.add_var(0.0, 1.0, -1.0);
+  int y = lp.add_var(0.0, 1.0, -1.0);
+  lp.add_le(terms({{x, 1.0}, {y, 1.0}}), 5.0);  // activity can reach 2 at most
+  lp.add_le(terms({{x, 1.0}, {y, 1.0}}), 1.5);  // genuinely binding
+  auto res = presolve(lp);
+  ASSERT_FALSE(res.stats.proven_infeasible);
+  EXPECT_EQ(res.lp.num_rows(), 1);
+  EXPECT_EQ(res.lp.row_ub[0], 1.5);
+  EXPECT_EQ(res.stats.rows_removed, 1);
+}
+
+TEST(Presolve, ImpliedBoundTightensContinuousVariable) {
+  // x + y <= 4 with y >= 1 implies x <= 3.
+  LinearProgram lp;
+  int x = lp.add_var(0.0, 100.0, -1.0);
+  int y = lp.add_var(1.0, 2.0, 0.0);
+  lp.add_le(terms({{x, 1.0}, {y, 1.0}}), 4.0);
+  auto res = presolve(lp);
+  ASSERT_FALSE(res.stats.proven_infeasible);
+  EXPECT_NEAR(res.lp.ub[x], 3.0, 1e-9);
+  EXPECT_GT(res.stats.bounds_tightened, 0);
+}
+
+TEST(Presolve, ForcingRowFixesAllParticipants) {
+  // x + y >= 2 with x, y binary: only x = y = 1 works.
+  LinearProgram lp;
+  int x = lp.add_binary(1.0);
+  int y = lp.add_binary(1.0);
+  lp.add_ge(terms({{x, 1.0}, {y, 1.0}}), 2.0);
+  auto res = presolve(lp);
+  ASSERT_FALSE(res.stats.proven_infeasible);
+  EXPECT_EQ(res.lp.lb[x], 1.0);
+  EXPECT_EQ(res.lp.lb[y], 1.0);
+  EXPECT_EQ(res.stats.vars_fixed, 2);
+}
+
+TEST(Presolve, ChecksmateFormulationShrinksButKeepsOptimum) {
+  // The partitioned Checkmate ILP carries structurally-forced variables
+  // (diagonal R fixings, topology-killed S entries). Presolve must find a
+  // non-trivial reduction and leave the optimum untouched.
+  auto p = RematProblem::unit_training_chain(4);  // n = 9
+  IlpBuildOptions build;
+  build.budget_bytes = 6.0;
+  IlpFormulation f(p, build);
+
+  auto pre = presolve(f.lp());
+  ASSERT_FALSE(pre.stats.proven_infeasible);
+  EXPECT_GT(pre.stats.vars_fixed, 0);
+  EXPECT_GT(pre.stats.rows_removed, 0);
+  EXPECT_LT(pre.lp.num_rows(), f.lp().num_rows());
+
+  MilpOptions on = bounded(), off = bounded();
+  on.presolve = true;
+  off.presolve = false;
+  auto r_on = solve_milp(f.lp(), on);
+  auto r_off = solve_milp(f.lp(), off);
+  ASSERT_EQ(r_on.status, MilpStatus::kOptimal);
+  ASSERT_EQ(r_off.status, MilpStatus::kOptimal);
+  EXPECT_NEAR(r_on.objective, r_off.objective, 1e-6);
+}
+
+// ---------------------------------------------------------------------
+// Brute-force oracle corpus (same construction as test_integration.cpp):
+// enumerate every lower-triangular S, back-solve minimal R, keep the
+// cheapest in-budget schedule. Presolved solves must match it exactly.
+
+double brute_force_cost(const RematProblem& p, double budget) {
+  const int n = p.size();
+  std::vector<std::pair<int, int>> slots;
+  for (int t = 1; t < n; ++t)
+    for (int i = 0; i < t; ++i) slots.emplace_back(t, i);
+  double best = std::numeric_limits<double>::infinity();
+  const int64_t combos = 1LL << slots.size();
+  for (int64_t mask = 0; mask < combos; ++mask) {
+    BoolMatrix s = make_bool_matrix(n, n);
+    for (size_t b = 0; b < slots.size(); ++b)
+      if (mask & (1LL << b)) s[slots[b].first][slots[b].second] = 1;
+    RematSolution sol;
+    sol.S = s;
+    sol.R = solve_r_given_s(p.graph, s);
+    if (!sol.check_feasible(p).empty()) continue;
+    if (peak_memory_usage(p, sol) > budget + 1e-9) continue;
+    best = std::min(best, sol.compute_cost(p));
+  }
+  return best;
+}
+
+RematProblem tiny_diamond() {
+  RematProblem p;
+  p.name = "diamond";
+  p.graph = Graph(5);
+  p.graph.add_edge(0, 1);
+  p.graph.add_edge(0, 2);
+  p.graph.add_edge(1, 3);
+  p.graph.add_edge(2, 3);
+  p.graph.add_edge(3, 4);
+  p.graph.add_edge(1, 4);
+  p.cost = {1.0, 3.0, 2.0, 1.0, 1.0};
+  p.memory = {2.0, 1.0, 1.0, 1.0, 1.0};
+  p.is_backward = {0, 0, 0, 0, 1};
+  p.grad_of = {-1, -1, -1, -1, 3};
+  p.node_names = {"a", "b", "c", "d", "gd"};
+  p.validate();
+  return p;
+}
+
+TEST(Presolve, MatchesBruteForceOracleOnCorpus) {
+  struct Instance {
+    RematProblem problem;
+    std::vector<double> budgets;
+  };
+  std::vector<Instance> corpus;
+  corpus.push_back({RematProblem::unit_training_chain(2), {4.0, 5.0, 6.0}});
+  corpus.push_back({tiny_diamond(), {4.0, 5.0, 6.0}});
+
+  for (const Instance& inst : corpus) {
+    for (double budget : inst.budgets) {
+      const double oracle = brute_force_cost(inst.problem, budget);
+      if (!std::isfinite(oracle)) continue;
+      IlpBuildOptions build;
+      build.budget_bytes = budget;
+      IlpFormulation f(inst.problem, build);
+      for (bool with_presolve : {true, false}) {
+        MilpOptions opts = bounded();
+        opts.presolve = with_presolve;
+        auto res = solve_milp(f.lp(), opts);
+        ASSERT_EQ(res.status, MilpStatus::kOptimal)
+            << inst.problem.name << " budget " << budget << " presolve "
+            << with_presolve;
+        EXPECT_NEAR(f.unscale_cost(res.objective), oracle, 1e-5)
+            << inst.problem.name << " budget " << budget << " presolve "
+            << with_presolve;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace checkmate::milp

@@ -155,7 +155,9 @@ TEST_P(PropertySweep, BudgetMonotonicity) {
         floor + frac * (all.peak_memory - floor), opts);
     if (!res.feasible) break;
     if (res.milp_status != milp::MilpStatus::kOptimal) break;
-    if (prev_cost >= 0.0) EXPECT_GE(res.cost, prev_cost - 1e-6);  // P7
+    if (prev_cost >= 0.0) {
+      EXPECT_GE(res.cost, prev_cost - 1e-6);  // P7
+    }
     prev_cost = res.cost;
   }
 }
