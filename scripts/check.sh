@@ -1,11 +1,23 @@
 #!/usr/bin/env bash
-# CI entry point: configure, build with warnings-as-errors, run the full
-# ctest suite. Every test carries a ctest TIMEOUT property, so a hung
-# solver fails loudly instead of wedging the pipeline.
+# CI entry point: configure, build with warnings-as-errors, run the test
+# tier, then the benchmark regression gate.
+#
+#   CHECK_TIER=fast (default)  pre-merge: fast-labeled ctest tier + the
+#                              sweep-bench node-count gate
+#   CHECK_TIER=full            nightly: full ctest suite, sweep gate, and
+#                              the solver-bench gate (when google-benchmark
+#                              is available)
+#   CHECKMATE_BENCH_GATE=off   skip the benchmark gates entirely
+#
+# Every test carries a ctest TIMEOUT property, so a hung solver fails
+# loudly instead of wedging the pipeline. The bench gates re-run the
+# committed BENCH_*.json scenarios and fail on >2x node-count regressions
+# (node counts are machine-independent; wall time is never gated).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR="${BUILD_DIR:-build-check}"
+CHECK_TIER="${CHECK_TIER:-fast}"
 GENERATOR_FLAGS=()
 if command -v ninja >/dev/null 2>&1; then
   GENERATOR_FLAGS+=(-G Ninja)
@@ -14,4 +26,28 @@ fi
 cmake -B "$BUILD_DIR" -S . "${GENERATOR_FLAGS[@]}" \
   -DCMAKE_BUILD_TYPE=Release -DCHECKMATE_WERROR=ON
 cmake --build "$BUILD_DIR" -j
-ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+
+if [ "$CHECK_TIER" = "full" ]; then
+  ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+else
+  ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" -L fast
+fi
+
+if [ "${CHECKMATE_BENCH_GATE:-on}" = "off" ]; then
+  echo "bench gate skipped (CHECKMATE_BENCH_GATE=off)"
+  exit 0
+fi
+if ! command -v python3 >/dev/null 2>&1; then
+  echo "bench gate skipped (no python3)"
+  exit 0
+fi
+
+"$BUILD_DIR/sweep_bench" --json="$BUILD_DIR/BENCH_sweep_fresh.json"
+python3 scripts/compare_bench.py BENCH_sweep.json \
+  "$BUILD_DIR/BENCH_sweep_fresh.json"
+
+if [ "$CHECK_TIER" = "full" ] && [ -x "$BUILD_DIR/micro_solver_bench" ]; then
+  "$BUILD_DIR/micro_solver_bench" --json="$BUILD_DIR/BENCH_solver_fresh.json"
+  python3 scripts/compare_bench.py BENCH_solver.json \
+    "$BUILD_DIR/BENCH_solver_fresh.json"
+fi

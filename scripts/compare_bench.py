@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Benchmark regression gate: diff a fresh bench JSON against the committed
+baseline and fail on node-count blowups.
+
+Usage: compare_bench.py BASELINE FRESH [--max-node-ratio R] [--slack N]
+
+Handles both committed formats:
+  BENCH_solver.json  (micro_solver_bench --json): records keyed by
+                     (instance, config), gated on "nodes";
+  BENCH_sweep.json   (sweep_bench --json): records keyed by
+                     (instance, cold|cached), gated on total node counts;
+                     additionally fails if any fresh sweep point lost
+                     proven optimality or the cold/cached objectives
+                     diverged beyond the gap.
+
+Node counts are deterministic for completed searches (the tree does not
+depend on wall-clock speed unless a limit is hit), so a >2x jump means the
+solver or the service regressed, not that the machine was slow. Wall times
+and speedups are printed for information but never gated -- they are
+machine-dependent.
+"""
+
+import argparse
+import json
+import sys
+
+
+def solver_records(doc):
+    return {
+        (r["instance"], r["config"]): r["nodes"] for r in doc["results"]
+    }
+
+
+def sweep_records(doc):
+    out = {}
+    for inst in doc["instances"]:
+        out[(inst["instance"], "cold")] = inst["cold_nodes"]
+        out[(inst["instance"], "cached")] = inst["cached_nodes"]
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("baseline")
+    ap.add_argument("fresh")
+    ap.add_argument("--max-node-ratio", type=float, default=2.0)
+    ap.add_argument("--slack", type=int, default=100,
+                    help="absolute node slack so tiny instances do not trip "
+                         "the ratio on noise")
+    args = ap.parse_args()
+
+    with open(args.baseline) as f:
+        base_doc = json.load(f)
+    with open(args.fresh) as f:
+        fresh_doc = json.load(f)
+
+    kind = base_doc.get("benchmark")
+    if kind != fresh_doc.get("benchmark"):
+        print(f"FAIL: benchmark kinds differ: {kind} vs "
+              f"{fresh_doc.get('benchmark')}")
+        return 1
+
+    if kind == "sweep_bench":
+        base, fresh = sweep_records(base_doc), sweep_records(fresh_doc)
+    elif kind == "micro_solver_bench":
+        base, fresh = solver_records(base_doc), solver_records(fresh_doc)
+    else:
+        print(f"FAIL: unknown benchmark kind {kind!r}")
+        return 1
+
+    failures = []
+    for key, base_nodes in sorted(base.items()):
+        if key not in fresh:
+            failures.append(f"{key}: missing from fresh run")
+            continue
+        fresh_nodes = fresh[key]
+        limit = args.max_node_ratio * base_nodes + args.slack
+        status = "ok" if fresh_nodes <= limit else "REGRESSED"
+        print(f"  {'/'.join(key):44s} nodes {base_nodes:>8d} -> "
+              f"{fresh_nodes:>8d}  {status}")
+        if fresh_nodes > limit:
+            failures.append(
+                f"{key}: nodes {base_nodes} -> {fresh_nodes} "
+                f"(> {args.max_node_ratio}x + {args.slack})")
+
+    if kind == "sweep_bench":
+        for inst in fresh_doc["instances"]:
+            name = inst["instance"]
+            print(f"  {name:44s} speedup {inst['speedup']:.2f}x "
+                  f"(cold {inst['cold_wall_seconds']:.2f}s, cached "
+                  f"{inst['cached_wall_seconds']:.2f}s)")
+            if not inst.get("all_optimal", False):
+                failures.append(f"{name}: fresh sweep lost proven optimality")
+            gap = fresh_doc.get("relative_gap", 1e-3)
+            if inst.get("max_cost_rel_diff", 0.0) > gap:
+                failures.append(
+                    f"{name}: cold/cached objectives diverged by "
+                    f"{inst['max_cost_rel_diff']:.2e} (> gap {gap})")
+
+    if failures:
+        print("FAIL:")
+        for msg in failures:
+            print(f"  {msg}")
+        return 1
+    print("bench gate OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

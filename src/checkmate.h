@@ -34,3 +34,6 @@
 #include "model/graph_builder.h"
 #include "model/model_stats.h"
 #include "model/zoo.h"
+#include "service/formulation_cache.h"
+#include "service/plan_service.h"
+#include "service/solve_pool.h"

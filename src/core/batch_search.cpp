@@ -1,9 +1,13 @@
 #include "core/batch_search.h"
 
+#include <map>
+#include <memory>
+
 #include "baselines/baselines.h"
 #include "core/ilp_builder.h"
 #include "core/rounding.h"
 #include "milp/milp.h"
+#include "service/plan_service.h"
 
 namespace checkmate {
 
@@ -11,9 +15,16 @@ MaxBatchResult max_batch_size(const ProblemFactory& factory,
                               const FeasibilityProbe& probe,
                               const MaxBatchOptions& options) {
   MaxBatchResult result;
+  // Memoized probe: each batch size is built and solved at most once per
+  // search, whatever path the growth/bisection phases take, and the probe
+  // trace stays free of duplicates.
+  std::map<int64_t, bool> memo;
   auto check = [&](int64_t b) {
+    auto it = memo.find(b);
+    if (it != memo.end()) return it->second;
     const RematProblem p = factory(b);
     const bool ok = probe(p);
+    memo.emplace(b, ok);
     result.probes.push_back({b, ok});
     return ok;
   };
@@ -52,8 +63,13 @@ MaxBatchResult max_batch_size(const ProblemFactory& factory,
 FeasibilityProbe make_ilp_probe(double budget_bytes,
                                 double per_probe_time_limit_sec,
                                 const milp::MilpOptions& base_milp) {
-  return [budget_bytes, per_probe_time_limit_sec,
-          base_milp](const RematProblem& p) {
+  // One plan service per probe: each bisection step is a distinct problem
+  // (the batch scales the memories), but repeated probes of one batch size
+  // -- or a later re-bracketing pass -- hit the cached formulation. The
+  // service is shared across copies of the returned std::function.
+  auto service = std::make_shared<service::PlanService>();
+  return [budget_bytes, per_probe_time_limit_sec, base_milp,
+          service](const RematProblem& p) {
     // Cheap necessary condition: the structural working-set floor must fit.
     if (p.memory_floor() > budget_bytes) return false;
     const double cost_cap = 2.0 * p.forward_cost() + p.backward_cost();
@@ -77,28 +93,23 @@ FeasibilityProbe make_ilp_probe(double budget_bytes,
         return true;
     }
 
-    IlpBuildOptions build;
-    build.budget_bytes = budget_bytes;
-    build.cost_cap = cost_cap;
-    const IlpFormulation form(p, build);
-
-    milp::MilpOptions mopts = base_milp;
-    mopts.time_limit_sec = per_probe_time_limit_sec;
-    mopts.stop_at_first_incumbent = true;
-    mopts.branch_priority = form.branch_priorities();
-
-    milp::IncumbentHeuristic heuristic =
-        [&form, &p](const std::vector<double>& x)
-        -> std::optional<std::vector<double>> {
-      RematSolution rounded =
-          two_phase_round(p.graph, form.extract_fractional_s(x));
-      // assemble_assignment enforces the budget; the cost cap is checked by
-      // the MILP's feasibility validation of the candidate.
-      return form.assemble_assignment(rounded);
-    };
-
-    const milp::MilpResult res = milp::solve_milp(form.lp(), mopts, heuristic);
-    return res.has_solution();
+    // MILP feasibility through the plan service (cost cap keyed into the
+    // formulation cache; first-incumbent mode).
+    IlpSolveOptions opts;
+    opts.time_limit_sec = per_probe_time_limit_sec;
+    opts.stop_at_first_incumbent = true;
+    opts.cost_cap = cost_cap;
+    opts.presolve = base_milp.presolve;
+    opts.pseudocost_branching = base_milp.pseudocost_branching;
+    opts.node_selection = base_milp.node_selection;
+    opts.relative_gap = base_milp.relative_gap;
+    if (base_milp.max_lp_iterations !=
+        std::numeric_limits<int64_t>::max())
+      opts.max_lp_iterations = base_milp.max_lp_iterations;
+    if (base_milp.max_nodes != milp::MilpOptions{}.max_nodes)
+      opts.max_nodes = base_milp.max_nodes;
+    const ScheduleResult res = service->plan(p, budget_bytes, opts);
+    return res.feasible;
   };
 }
 

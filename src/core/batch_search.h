@@ -43,16 +43,22 @@ struct MaxBatchResult {
   std::vector<BatchProbe> probes;
 };
 
-// Exponential growth + binary search over the feasibility probe.
+// Exponential growth + binary search over the feasibility probe. Probes
+// are memoized by batch size, so each B is built and solved at most once
+// per search and `probes` never contains duplicates.
 MaxBatchResult max_batch_size(const ProblemFactory& factory,
                               const FeasibilityProbe& probe,
                               const MaxBatchOptions& options = {});
 
 // Probe backed by the Checkmate MILP in first-incumbent (feasibility) mode,
 // with the Eq. 10 cost cap. `budget_bytes` matches MaxBatchOptions.
-// `base_milp` carries the solver knobs (presolve, node selection,
-// deterministic work limits); time limit and feasibility mode are overridden
-// per probe.
+// `base_milp` carries the solver knobs -- honored fields: presolve,
+// pseudocost_branching, node_selection, relative_gap and the deterministic
+// max_lp_iterations / max_nodes work limits; time limit and feasibility
+// mode are overridden per probe, the remaining MilpOptions fields keep the
+// scheduler-path defaults. Solves are routed through a service::PlanService
+// shared by all copies of the returned probe, so re-probed instances hit
+// the formulation cache.
 FeasibilityProbe make_ilp_probe(double budget_bytes,
                                 double per_probe_time_limit_sec = 30.0,
                                 const milp::MilpOptions& base_milp = {});

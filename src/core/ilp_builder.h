@@ -45,6 +45,22 @@ class IlpFormulation {
   const IlpBuildOptions& options() const { return opts_; }
   const RematProblem& problem() const { return *problem_; }
 
+  // Rebinds the memory budget in place. The budget enters the formulation
+  // only as the upper bound of the U variables (memory coefficients are
+  // scaled by a factor frozen at construction time), so a sweep over
+  // budgets can reuse one built formulation: only num-U variable bounds
+  // change, every constraint row stays identical. This is what makes the
+  // plan service's formulation cache sound (src/service/).
+  void set_budget(double budget_bytes);
+
+  // Budget in the LP's scaled memory units (the U upper bound).
+  double scale_budget(double budget_bytes) const {
+    return budget_bytes / mem_scale_;
+  }
+
+  // Indices of every U variable (targets of a budget rebind), ascending.
+  const std::vector<int>& u_var_indices() const { return u_flat_; }
+
   // Branching priorities: S > R > FREE (checkpoint decisions dominate).
   std::vector<int> branch_priorities() const;
 
@@ -81,6 +97,7 @@ class IlpFormulation {
   double mem_scale_ = 1.0;
 
   std::vector<std::vector<int>> r_, s_, u_;
+  std::vector<int> u_flat_;  // all U variable indices, ascending
   // free_[t] lists (i, k, var) for every FREE variable of stage t.
   struct FreeVar {
     NodeId i, k;

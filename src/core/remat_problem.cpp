@@ -1,10 +1,30 @@
 #include "core/remat_problem.h"
 
 #include <algorithm>
+#include <bit>
 #include <numeric>
 #include <stdexcept>
 
 namespace checkmate {
+
+namespace {
+
+// FNV-1a, 64-bit.
+struct Hasher {
+  uint64_t h = 0xcbf29ce484222325ull;
+  void mix(uint64_t v) {
+    for (int b = 0; b < 8; ++b) {
+      h ^= (v >> (8 * b)) & 0xff;
+      h *= 0x100000001b3ull;
+    }
+  }
+  void mix(double v) {
+    // Normalize -0.0 so numerically-equal problems hash equally.
+    mix(std::bit_cast<uint64_t>(v == 0.0 ? 0.0 : v));
+  }
+};
+
+}  // namespace
 
 double RematProblem::total_cost_all_nodes() const {
   return std::accumulate(cost.begin(), cost.end(), 0.0);
@@ -46,6 +66,22 @@ int RematProblem::first_backward_stage() const {
   for (int v = 0; v < size(); ++v)
     if (is_backward[v]) return v;
   return size();
+}
+
+uint64_t RematProblem::fingerprint() const {
+  Hasher hash;
+  hash.mix(static_cast<uint64_t>(size()));
+  hash.mix(static_cast<uint64_t>(graph.num_edges()));
+  for (const Edge& e : graph.edges()) {
+    hash.mix(static_cast<uint64_t>(e.src));
+    hash.mix(static_cast<uint64_t>(e.dst));
+  }
+  for (double c : cost) hash.mix(c);
+  for (double m : memory) hash.mix(m);
+  hash.mix(fixed_overhead);
+  for (uint8_t b : is_backward) hash.mix(static_cast<uint64_t>(b));
+  for (NodeId g : grad_of) hash.mix(static_cast<uint64_t>(g));
+  return hash.h;
 }
 
 void RematProblem::validate() const {

@@ -43,6 +43,14 @@ struct RematProblem {
   // size() if the problem has no backward nodes.
   int first_backward_stage() const;
 
+  // Canonical content hash of everything the MILP formulation depends on:
+  // topology (edge list), per-node costs and memories (exact bit
+  // patterns), the fixed overhead, and the backward/grad structure. Names
+  // are cosmetic and excluded. Two problems with equal fingerprints yield
+  // identical formulations at any budget, so the hash keys the plan
+  // service's formulation cache (src/service/formulation_cache.h).
+  uint64_t fingerprint() const;
+
   void validate() const;
 
   // Builds an instance from a training graph produced by

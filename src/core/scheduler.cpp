@@ -10,28 +10,156 @@ Scheduler::Scheduler(RematProblem problem) : problem_(std::move(problem)) {
   problem_.validate();
 }
 
-ScheduleResult Scheduler::evaluate_schedule(const RematSolution& sol,
-                                            double budget_bytes) const {
+ScheduleResult evaluate_schedule_against(const RematProblem& problem,
+                                         const RematSolution& sol,
+                                         double budget_bytes) {
   ScheduleResult res;
   res.solution = sol;
-  const std::string err = sol.check_feasible(problem_);
+  const std::string err = sol.check_feasible(problem);
   if (!err.empty()) {
     res.message = "schedule infeasible: " + err;
     return res;
   }
-  res.plan = generate_execution_plan(problem_, sol);
+  res.plan = generate_execution_plan(problem, sol);
   SimulatorOptions sim_opts;
   sim_opts.budget_bytes = budget_bytes;
-  res.sim = simulate_plan(problem_, res.plan, sim_opts);
+  res.sim = simulate_plan(problem, res.plan, sim_opts);
   if (!res.sim.valid) {
     res.message = "simulation failed: " + res.sim.error;
     return res;
   }
   res.cost = res.sim.total_cost;
-  res.overhead = res.cost / ideal_cost();
+  res.overhead = res.cost / problem.total_cost_all_nodes();
   res.peak_memory = res.sim.peak_memory;
   res.feasible = true;
   return res;
+}
+
+ScheduleResult Scheduler::evaluate_schedule(const RematSolution& sol,
+                                            double budget_bytes) const {
+  return evaluate_schedule_against(problem_, sol, budget_bytes);
+}
+
+ScheduleResult solve_ilp_on_formulation(const IlpFormulation& form,
+                                        const IlpSolveOptions& options,
+                                        const IlpSolveReuse& reuse) {
+  const RematProblem& problem = form.problem();
+  const double budget_bytes = form.options().budget_bytes;
+  const bool partitioned = form.options().partitioned;
+
+  milp::MilpOptions mopts;
+  mopts.time_limit_sec = options.time_limit_sec;
+  mopts.relative_gap = options.relative_gap;
+  mopts.branch_priority = form.branch_priorities();
+  mopts.stop_at_first_incumbent = options.stop_at_first_incumbent;
+  mopts.presolve = options.presolve && reuse.presolved_lp == nullptr;
+  mopts.pseudocost_branching = options.pseudocost_branching;
+  mopts.node_selection = options.node_selection;
+  if (options.max_lp_iterations > 0)
+    mopts.max_lp_iterations = options.max_lp_iterations;
+  if (options.max_nodes > 0) mopts.max_nodes = options.max_nodes;
+  if (reuse.known_lower_bound_cost != -lp::kInf)
+    mopts.known_lower_bound = form.scale_cost(reuse.known_lower_bound_cost);
+
+  bool warm_started = false;
+  if (partitioned && reuse.warm_start) {
+    if (auto x = form.assemble_assignment(*reuse.warm_start)) {
+      mopts.initial_solutions.push_back(std::move(*x));
+      warm_started = true;
+    }
+  }
+
+  // Seed branch & bound with the cheapest feasible baseline schedule so
+  // bound pruning is active from the root (Section 6.2: the ILP's feasible
+  // set is a superset of every baseline's). Skipping is only honored when
+  // the warm start actually assembled -- never start incumbent-less.
+  if (partitioned && options.use_rounding_heuristic &&
+      !(reuse.skip_baseline_seeds && warm_started)) {
+    double best_seed_cost = lp::kInf;
+    std::optional<std::vector<double>> best_seed;
+    auto offer_seed = [&](const RematSolution& sol) {
+      const double cost = sol.compute_cost(problem);
+      if (cost >= best_seed_cost) return;
+      if (auto x = form.assemble_assignment(sol)) {
+        best_seed = std::move(*x);
+        best_seed_cost = cost;
+      }
+    };
+    using baselines::BaselineKind;
+    for (auto kind :
+         {BaselineKind::kCheckpointAll, BaselineKind::kChenSqrtN,
+          BaselineKind::kLinearizedSqrtN, BaselineKind::kLinearizedGreedy,
+          BaselineKind::kApGreedy}) {
+      for (const auto& bs : baselines::baseline_schedules(problem, kind))
+        offer_seed(bs.solution);
+    }
+    // Belady-style budget-aware retention covers the tight-budget regime
+    // where checkpoint-family heuristics bust the budget.
+    const double headroom = budget_bytes - problem.fixed_overhead;
+    for (double frac :
+         {0.95, 0.85, 0.75, 0.6, 0.45, 0.3, 0.2, 0.12, 0.06, 0.03})
+      offer_seed(baselines::budget_aware_schedule(problem, frac * headroom));
+    if (best_seed) mopts.initial_solutions.push_back(std::move(*best_seed));
+  }
+
+  milp::IncumbentHeuristic heuristic;
+  if (options.use_rounding_heuristic && partitioned) {
+    heuristic = [&form, &problem](const std::vector<double>& x)
+        -> std::optional<std::vector<double>> {
+      // Multi-threshold two-phase rounding: tighter thresholds checkpoint
+      // less and fit tighter budgets.
+      const auto s_star = form.extract_fractional_s(x);
+      std::optional<std::vector<double>> best;
+      double best_cost = lp::kInf;
+      for (double threshold : {0.5, 0.75, 0.9}) {
+        RoundingOptions ropts;
+        ropts.threshold = threshold;
+        RematSolution rounded = two_phase_round(problem.graph, s_star, ropts);
+        const double cost = rounded.compute_cost(problem);
+        if (cost >= best_cost) continue;
+        if (auto assignment = form.assemble_assignment(rounded)) {
+          best = std::move(assignment);
+          best_cost = cost;
+        }
+      }
+      return best;
+    };
+  }
+
+  const lp::LinearProgram& target =
+      reuse.presolved_lp ? *reuse.presolved_lp : form.lp();
+  const milp::MilpResult mres = milp::solve_milp(target, mopts, heuristic);
+
+  ScheduleResult res;
+  res.milp_status = mres.status;
+  res.nodes = mres.nodes;
+  res.lp_iterations = mres.lp_iterations;
+  res.seconds = mres.seconds;
+  res.best_bound = form.unscale_cost(mres.best_bound);
+  res.root_relaxation = form.unscale_cost(mres.root_relaxation);
+  if (!mres.has_solution()) {
+    res.message = std::string("MILP: ") + milp::to_string(mres.status);
+    return res;
+  }
+  if (!partitioned) {
+    // Unpartitioned schedules are not frontier-advancing; report objective
+    // only (used by the Appendix A study).
+    res.feasible = true;
+    res.cost = form.unscale_cost(mres.objective);
+    res.overhead = res.cost / problem.total_cost_all_nodes();
+    res.message = "unpartitioned: objective only";
+    return res;
+  }
+
+  ScheduleResult eval = evaluate_schedule_against(
+      problem, form.extract_solution(mres.x), budget_bytes);
+  eval.milp_status = mres.status;
+  eval.nodes = mres.nodes;
+  eval.lp_iterations = mres.lp_iterations;
+  eval.seconds = mres.seconds;
+  eval.best_bound = res.best_bound;
+  eval.root_relaxation = res.root_relaxation;
+  return eval;
 }
 
 ScheduleResult Scheduler::solve_optimal_ilp(
@@ -49,105 +177,9 @@ ScheduleResult Scheduler::solve_optimal_ilp(
   build.budget_bytes = budget_bytes;
   build.partitioned = options.partitioned;
   build.eliminate_diag_free = options.eliminate_diag_free;
+  build.cost_cap = options.cost_cap;
   const IlpFormulation form(problem_, build);
-
-  milp::MilpOptions mopts;
-  mopts.time_limit_sec = options.time_limit_sec;
-  mopts.relative_gap = options.relative_gap;
-  mopts.branch_priority = form.branch_priorities();
-  mopts.stop_at_first_incumbent = options.stop_at_first_incumbent;
-  mopts.presolve = options.presolve;
-  mopts.pseudocost_branching = options.pseudocost_branching;
-  mopts.node_selection = options.node_selection;
-  if (options.max_lp_iterations > 0)
-    mopts.max_lp_iterations = options.max_lp_iterations;
-
-  // Seed branch & bound with the cheapest feasible baseline schedule so
-  // bound pruning is active from the root (Section 6.2: the ILP's feasible
-  // set is a superset of every baseline's).
-  if (options.partitioned && options.use_rounding_heuristic) {
-    double best_seed_cost = lp::kInf;
-    auto offer_seed = [&](const RematSolution& sol) {
-      const double cost = sol.compute_cost(problem_);
-      if (cost >= best_seed_cost) return;
-      if (auto x = form.assemble_assignment(sol)) {
-        mopts.initial_solution = std::move(*x);
-        best_seed_cost = cost;
-      }
-    };
-    using baselines::BaselineKind;
-    for (auto kind :
-         {BaselineKind::kCheckpointAll, BaselineKind::kChenSqrtN,
-          BaselineKind::kLinearizedSqrtN, BaselineKind::kLinearizedGreedy,
-          BaselineKind::kApGreedy}) {
-      for (const auto& bs : baselines::baseline_schedules(problem_, kind))
-        offer_seed(bs.solution);
-    }
-    // Belady-style budget-aware retention covers the tight-budget regime
-    // where checkpoint-family heuristics bust the budget.
-    const double headroom = budget_bytes - problem_.fixed_overhead;
-    for (double frac :
-         {0.95, 0.85, 0.75, 0.6, 0.45, 0.3, 0.2, 0.12, 0.06, 0.03})
-      offer_seed(baselines::budget_aware_schedule(problem_, frac * headroom));
-  }
-
-  milp::IncumbentHeuristic heuristic;
-  if (options.use_rounding_heuristic && options.partitioned) {
-    heuristic = [&form, this](const std::vector<double>& x)
-        -> std::optional<std::vector<double>> {
-      // Multi-threshold two-phase rounding: tighter thresholds checkpoint
-      // less and fit tighter budgets.
-      const auto s_star = form.extract_fractional_s(x);
-      std::optional<std::vector<double>> best;
-      double best_cost = lp::kInf;
-      for (double threshold : {0.5, 0.75, 0.9}) {
-        RoundingOptions ropts;
-        ropts.threshold = threshold;
-        RematSolution rounded =
-            two_phase_round(problem_.graph, s_star, ropts);
-        const double cost = rounded.compute_cost(problem_);
-        if (cost >= best_cost) continue;
-        if (auto assignment = form.assemble_assignment(rounded)) {
-          best = std::move(assignment);
-          best_cost = cost;
-        }
-      }
-      return best;
-    };
-  }
-
-  const milp::MilpResult mres = milp::solve_milp(form.lp(), mopts, heuristic);
-
-  ScheduleResult res;
-  res.milp_status = mres.status;
-  res.nodes = mres.nodes;
-  res.lp_iterations = mres.lp_iterations;
-  res.seconds = mres.seconds;
-  res.best_bound = form.unscale_cost(mres.best_bound);
-  res.root_relaxation = form.unscale_cost(mres.root_relaxation);
-  if (!mres.has_solution()) {
-    res.message = std::string("MILP: ") + milp::to_string(mres.status);
-    return res;
-  }
-  if (!options.partitioned) {
-    // Unpartitioned schedules are not frontier-advancing; report objective
-    // only (used by the Appendix A study).
-    res.feasible = true;
-    res.cost = form.unscale_cost(mres.objective);
-    res.overhead = res.cost / ideal_cost();
-    res.message = "unpartitioned: objective only";
-    return res;
-  }
-
-  ScheduleResult eval =
-      evaluate_schedule(form.extract_solution(mres.x), budget_bytes);
-  eval.milp_status = mres.status;
-  eval.nodes = mres.nodes;
-  eval.lp_iterations = mres.lp_iterations;
-  eval.seconds = mres.seconds;
-  eval.best_bound = res.best_bound;
-  eval.root_relaxation = res.root_relaxation;
-  return eval;
+  return solve_ilp_on_formulation(form, options);
 }
 
 ScheduleResult Scheduler::solve_lp_rounding(double budget_bytes,

@@ -3,7 +3,9 @@
 // rounding) execution plan, validated end-to-end by the plan simulator.
 #pragma once
 
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "core/ilp_builder.h"
 #include "core/plan.h"
@@ -26,10 +28,15 @@ struct IlpSolveOptions {
   bool presolve = true;
   bool pseudocost_branching = true;
   milp::NodeSelection node_selection = milp::NodeSelection::kHybrid;
-  // Deterministic work limit: stop after this many cumulative simplex
-  // iterations (0 = unlimited). Unlike the wall-clock limit this makes
-  // truncated runs machine-independent.
+  // Deterministic work limits: stop after this many cumulative simplex
+  // iterations / explored nodes (0 = unlimited). Unlike the wall-clock
+  // limit these make truncated runs machine-independent.
   int64_t max_lp_iterations = 0;
+  int64_t max_nodes = 0;
+  // Optional cap on total recomputation cost (Eq. 10, original cost
+  // units), threaded into the formulation. The max-batch feasibility
+  // probes combine it with stop_at_first_incumbent.
+  std::optional<double> cost_cap;
 };
 
 struct ApproxOptions {
@@ -61,6 +68,43 @@ struct ScheduleResult {
   double seconds = 0.0;
 };
 
+// Validates and prices a schedule against a budget (0 disables the budget
+// check) without constructing a Scheduler; shared by Scheduler and the plan
+// service.
+ScheduleResult evaluate_schedule_against(const RematProblem& problem,
+                                         const RematSolution& sol,
+                                         double budget_bytes);
+
+// Work the plan service (src/service/) injects to amortize repeated
+// queries; the default-constructed struct reproduces a cold solve.
+struct IlpSolveReuse {
+  // Solve this LP instead of form.lp(): a cached presolve artifact whose U
+  // upper bounds were already clamped to the query budget. The MILP's own
+  // presolve pass is skipped.
+  const lp::LinearProgram* presolved_lp = nullptr;
+  // Extra warm-start incumbent: an adjacent budget's optimum whose
+  // simulated peak fits this budget (a schedule's memory use is
+  // budget-independent, so feasibility transfers in either direction).
+  const RematSolution* warm_start = nullptr;
+  // Caller-guaranteed lower bound on the optimal cost (problem cost
+  // units; -inf = none). The sweep path derives it from budget
+  // monotonicity: for budgets b' <= b, opt(b') >= best_bound(b).
+  double known_lower_bound_cost = -lp::kInf;
+  // Skip the baseline seeding pass. Sound whenever warm_start is the
+  // proven optimum of a smaller budget: no baseline can beat it enough to
+  // matter for pruning, and seeding costs real time per sweep point.
+  bool skip_baseline_seeds = false;
+};
+
+// Core optimal-ILP path over an already-built formulation (whose recorded
+// budget is the query budget): baseline seeding, two-phase-rounding
+// incumbent heuristic, branch & bound, end-to-end validation.
+// Scheduler::solve_optimal_ilp wraps it with a fresh build; the plan
+// service calls it against cached formulations.
+ScheduleResult solve_ilp_on_formulation(const IlpFormulation& form,
+                                        const IlpSolveOptions& options,
+                                        const IlpSolveReuse& reuse = {});
+
 class Scheduler {
  public:
   explicit Scheduler(RematProblem problem);
@@ -74,6 +118,16 @@ class Scheduler {
   // Section 4: optimal rematerialization via the MILP.
   ScheduleResult solve_optimal_ilp(double budget_bytes,
                                    const IlpSolveOptions& options = {}) const;
+
+  // Figure 5 workload: optimal plans for many budgets on one model. Routed
+  // through a plan service (src/service/plan_service.h) so the formulation
+  // and presolve artifacts are built once and each point warm-starts from
+  // its neighbor; results come back in the caller's budget order and every
+  // point's objective is identical to an independent solve_optimal_ilp
+  // call. Defined in src/service/plan_service.cpp.
+  std::vector<ScheduleResult> solve_budget_sweep(
+      const std::vector<double>& budgets,
+      const IlpSolveOptions& options = {}) const;
 
   // Section 5: LP relaxation + two-phase rounding.
   ScheduleResult solve_lp_rounding(double budget_bytes,

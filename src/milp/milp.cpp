@@ -78,13 +78,19 @@ class BranchAndBound {
   }
 
   MilpResult run() {
-    if (!opt_.initial_solution.empty()) offer_candidate(opt_.initial_solution);
+    for (const auto& seed : opt_.initial_solutions) offer_candidate(seed);
     search();
     result_.seconds = elapsed();
     result_.lp_iterations = simplex_.iterations_total();
 
     if (result_.has_solution()) {
-      if (search_complete_) {
+      if (external_bound_met_) {
+        // Terminated against the caller's lower bound: report that bound
+        // (not the incumbent) so the proven gap is stated honestly.
+        result_.best_bound =
+            std::min(opt_.known_lower_bound, result_.objective);
+        result_.status = MilpStatus::kOptimal;
+      } else if (search_complete_) {
         result_.best_bound = result_.objective;  // proved within gap
         result_.status = MilpStatus::kOptimal;
       } else {
@@ -306,9 +312,23 @@ class BranchAndBound {
     return open_.empty() ? lp::kInf : open_.front().bound;
   }
 
+  // True once the incumbent is within the relative gap of the
+  // caller-guaranteed external lower bound (if any).
+  bool external_bound_met() const {
+    if (!result_.has_solution() || opt_.known_lower_bound == -lp::kInf)
+      return false;
+    return result_.objective - opt_.known_lower_bound <=
+           opt_.relative_gap * std::max(1.0, std::abs(result_.objective)) +
+               1e-12;
+  }
+
   void search() {
     std::optional<Node> cur = Node{};  // the root: empty path, -inf bound
     for (;;) {
+      if (external_bound_met()) {
+        external_bound_met_ = true;
+        return;
+      }
       if (limits_hit()) break;
       // Gap termination: once every open subtree is bounded within the
       // relative gap of the incumbent, the incumbent is optimal-within-gap
@@ -445,6 +465,7 @@ class BranchAndBound {
 
   MilpResult result_;
   bool search_complete_ = true;
+  bool external_bound_met_ = false;
   bool stop_ = false;
   double open_bound_ = lp::kInf;
 };

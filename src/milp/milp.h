@@ -67,13 +67,25 @@ struct MilpOptions {
   // Stop as soon as any incumbent is found (feasibility problems, e.g. the
   // max-batch-size search of Section 6.4).
   bool stop_at_first_incumbent = false;
+  // Caller-guaranteed lower bound on the optimal objective (-inf = none).
+  // Once an incumbent is within relative_gap of this bound the search
+  // terminates as optimal-within-gap without proving the bound itself --
+  // the Checkmate plan service derives such bounds from budget
+  // monotonicity (a smaller budget can only raise the optimum, so the
+  // larger budget's proven bound carries over). Soundness is the caller's
+  // responsibility: a wrong bound can truncate the search early (it is
+  // never used to prune subtrees, only to stop once an incumbent meets it,
+  // so a conservative bound merely disables the shortcut).
+  double known_lower_bound = -std::numeric_limits<double>::infinity();
   // Optional per-variable branching priority (higher branches first). Empty
   // means uniform.
   std::vector<int> branch_priority;
-  // Optional warm-start incumbent (e.g. a feasible baseline schedule). The
-  // solver validates it before acceptance; an incumbent enables bound
-  // pruning from the very first node.
-  std::vector<double> initial_solution;
+  // Optional warm-start incumbents (e.g. a feasible baseline schedule, or
+  // the plan service's adjacent-budget optimum when sweeping). Every
+  // candidate is validated before acceptance and the best feasible one
+  // becomes the starting incumbent, enabling bound pruning from the very
+  // first node.
+  std::vector<std::vector<double>> initial_solutions;
   lp::SimplexOptions simplex;
 };
 

@@ -211,4 +211,21 @@ PresolveResult presolve(const lp::LinearProgram& input,
   return out;
 }
 
+bool clamp_upper_bounds(lp::LinearProgram& lp, std::span<const int> vars,
+                        double upper, double feasibility_tol) {
+  bool feasible = true;
+  for (int j : vars) {
+    if (upper >= lp.ub[j]) continue;
+    if (lp.lb[j] > upper) {
+      if (lp.lb[j] - upper <= feasibility_tol * std::max(1.0, std::abs(upper))) {
+        lp.ub[j] = lp.lb[j];  // numerically equal: snap to a fixing
+        continue;
+      }
+      feasible = false;
+    }
+    lp.ub[j] = upper;
+  }
+  return feasible;
+}
+
 }  // namespace checkmate::milp

@@ -20,6 +20,8 @@
 // priorities carry over unchanged.
 #pragma once
 
+#include <span>
+
 #include "lp/lp_problem.h"
 
 namespace checkmate::milp {
@@ -50,5 +52,21 @@ struct PresolveResult {
 
 PresolveResult presolve(const lp::LinearProgram& lp,
                         const PresolveOptions& options = {});
+
+// Rebind API for presolve-artifact reuse across related instances.
+//
+// Every reduction above is monotone in the variable bounds: if the pass ran
+// against bounds B and a caller then *shrinks* some upper bounds (the
+// feasible set only shrinks), all removed rows stay redundant and all
+// fixings/tightenings stay valid. The plan service exploits this by
+// presolving the Checkmate LP once at the largest budget of a sweep and
+// clamping the U-variable upper bounds per query instead of re-presolving.
+//
+// Clamps ub[j] = min(ub[j], upper) for each listed variable. Returns false
+// when a clamp proves the instance infeasible (some lb[j] ends up above the
+// new upper bound by more than feasibility_tol); the program is left in a
+// consistent state with lb[j] == ub[j] snapped for numerically-equal pairs.
+bool clamp_upper_bounds(lp::LinearProgram& lp, std::span<const int> vars,
+                        double upper, double feasibility_tol = 1e-9);
 
 }  // namespace checkmate::milp

@@ -1,0 +1,331 @@
+#include "service/plan_service.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace checkmate::service {
+
+namespace {
+
+ScheduleResult infeasible_result(const char* message) {
+  ScheduleResult res;
+  res.milp_status = milp::MilpStatus::kInfeasible;
+  res.message = message;
+  return res;
+}
+
+int resolve_workers(int requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return static_cast<int>(std::clamp(hw, 1u, 8u));
+}
+
+}  // namespace
+
+PlanService::PlanService(PlanServiceOptions options)
+    : opts_(options), cache_(options.max_cache_entries) {}
+
+PlanService::~PlanService() = default;
+
+std::shared_ptr<CacheEntry> PlanService::acquire(
+    const RematProblem& problem, double reference_budget_bytes,
+    const IlpSolveOptions& options) {
+  IlpBuildOptions build;
+  build.budget_bytes = reference_budget_bytes;
+  build.partitioned = options.partitioned;
+  build.eliminate_diag_free = options.eliminate_diag_free;
+  build.cost_cap = options.cost_cap;
+  bool hit = false;
+  int64_t evictions = 0;
+  auto entry = cache_.acquire(problem, build, &hit, &evictions);
+  {
+    std::lock_guard lock(stats_mu_);
+    ++(hit ? stats_.formulation_hits : stats_.formulation_misses);
+    stats_.evictions += evictions;
+  }
+  return entry;
+}
+
+void PlanService::ensure_presolve(CacheEntry& entry,
+                                  double reference_budget_bytes,
+                                  const IlpSolveOptions& options) {
+  if (!options.presolve || !opts_.reuse_presolve) return;
+  // Artifacts presolved at budget B are sound for any budget <= B (the
+  // clamp only shrinks the feasible set); only a larger budget forces a
+  // fresh pass.
+  if (entry.has_presolve &&
+      reference_budget_bytes <=
+          entry.presolve_budget_bytes * (1.0 + 1e-12))
+    return;
+  entry.form->set_budget(reference_budget_bytes);
+  milp::PresolveResult pre = milp::presolve(entry.form->lp());
+  entry.presolved = std::move(pre.lp);
+  entry.presolve_stats = pre.stats;
+  entry.presolve_budget_bytes = reference_budget_bytes;
+  entry.has_presolve = true;
+  std::lock_guard lock(stats_mu_);
+  ++stats_.presolve_runs;
+}
+
+ScheduleResult PlanService::solve_locked(CacheEntry& entry,
+                                         double budget_bytes,
+                                         const IlpSolveOptions& options) {
+  {
+    std::lock_guard lock(stats_mu_);
+    ++stats_.queries;
+  }
+  const RematProblem& problem = entry.problem;
+  if (budget_bytes < problem.memory_floor())
+    return infeasible_result("budget below structural memory floor");
+
+  // A chained schedule's memory use is budget-independent, so it is
+  // feasible here iff its simulated peak fits this budget. (The chain is
+  // only maintained for the partitioned form; unpartitioned queries solve
+  // objective-only and return no schedule.)
+  const bool chain_fits = opts_.chain_warm_starts && options.partitioned &&
+                          entry.chain_solution.has_value() &&
+                          entry.chain_peak_bytes <= budget_bytes;
+
+  // Inherited-optimum shortcut. The chained optimum is provably optimal
+  // at this budget when it fits and either
+  //   (a) this budget is <= the budget it was proven at: shrinking the
+  //       budget can only raise the optimum, so chain_best_bound is still
+  //       a valid lower bound, the schedule still attains its cost, and
+  //       that pair meets *this* query's relative_gap (a tighter-gap
+  //       query must not inherit a looser certificate); or
+  //   (b) its cost is the compute floor (every operation exactly once),
+  //       which no budget can beat -- a zero-gap certificate.
+  if (chain_fits) {
+    const double ideal = problem.total_cost_all_nodes();
+    const bool bound_carries =
+        budget_bytes <= entry.chain_budget_bytes &&
+        entry.chain_cost - entry.chain_best_bound <=
+            options.relative_gap * std::max(1.0, std::abs(entry.chain_cost));
+    const bool at_floor =
+        entry.chain_cost <= ideal + 1e-9 * std::max(1.0, ideal);
+    if (bound_carries || at_floor) {
+      ScheduleResult out = evaluate_schedule_against(
+          problem, *entry.chain_solution, budget_bytes);
+      if (out.feasible) {
+        out.milp_status = milp::MilpStatus::kOptimal;
+        out.best_bound = bound_carries ? entry.chain_best_bound : out.cost;
+        out.message = "plan service: inherited chained optimum";
+        std::lock_guard lock(stats_mu_);
+        ++stats_.warm_start_shortcuts;
+        return out;
+      }
+    }
+  }
+
+  if (entry.form->options().budget_bytes != budget_bytes) {
+    entry.form->set_budget(budget_bytes);
+    std::lock_guard lock(stats_mu_);
+    ++stats_.budget_rebinds;
+  }
+  ensure_presolve(entry, budget_bytes, options);
+
+  IlpSolveReuse reuse;
+  if (chain_fits) {
+    reuse.warm_start = &*entry.chain_solution;
+    // The chained incumbent is a proven optimum of a related budget: no
+    // baseline can usefully undercut it, so skip the per-query seeding.
+    reuse.skip_baseline_seeds = true;
+    std::lock_guard lock(stats_mu_);
+    ++stats_.warm_starts_injected;
+  }
+  // Budget monotonicity: for a smaller budget than the chained solve's,
+  // its proven bound is still a valid lower bound -- branch & bound may
+  // stop as soon as any incumbent lands within *this query's* gap of it,
+  // instead of re-proving the bound through the dual plateau.
+  if (opts_.chain_warm_starts && options.partitioned &&
+      entry.chain_solution.has_value() &&
+      budget_bytes <= entry.chain_budget_bytes)
+    reuse.known_lower_bound_cost = entry.chain_best_bound;
+
+  lp::LinearProgram clamped;
+  if (options.presolve && opts_.reuse_presolve && entry.has_presolve) {
+    if (entry.presolve_stats.proven_infeasible) {
+      // Proven infeasible at a budget >= this one; the subset relation
+      // settles every smaller budget too.
+      return infeasible_result("presolve proved the instance infeasible");
+    }
+    if (budget_bytes >= entry.presolve_budget_bytes) {
+      // Presolved at exactly this budget: the clamp would be a no-op
+      // (presolve only ever tightens U below the budget bound), so hand
+      // the cached artifact over without copying. The entry mutex is held
+      // for the whole solve.
+      reuse.presolved_lp = &entry.presolved;
+    } else {
+      clamped = entry.presolved;
+      if (!milp::clamp_upper_bounds(clamped, entry.form->u_var_indices(),
+                                    entry.form->scale_budget(budget_bytes)))
+        return infeasible_result(
+            "budget contradicts presolve-derived lower bounds");
+      // Re-propagate on the clamped artifact: the shared pass's row
+      // removals and fixings carry over, and one cheap incremental pass
+      // over the already-reduced LP recovers the tight-budget fixings a
+      // from-scratch presolve would find (a tighter U bound cascades into
+      // S/R fixings the loose-budget pass could not make).
+      milp::PresolveResult pre = milp::presolve(clamped);
+      if (pre.stats.proven_infeasible)
+        return infeasible_result("presolve proved the instance infeasible");
+      clamped = std::move(pre.lp);
+      reuse.presolved_lp = &clamped;
+    }
+    std::lock_guard lock(stats_mu_);
+    ++stats_.presolve_reuses;
+  }
+
+  ScheduleResult res = solve_ilp_on_formulation(*entry.form, options, reuse);
+
+  if (opts_.chain_warm_starts && options.partitioned && res.feasible &&
+      res.milp_status == milp::MilpStatus::kOptimal) {
+    entry.chain_solution = res.solution;
+    entry.chain_budget_bytes = budget_bytes;
+    entry.chain_peak_bytes = res.peak_memory;
+    entry.chain_cost = res.cost;
+    entry.chain_best_bound = res.best_bound;
+  }
+  return res;
+}
+
+ScheduleResult PlanService::plan(const RematProblem& problem,
+                                 double budget_bytes,
+                                 const IlpSolveOptions& options) {
+  if (budget_bytes <= 0.0 || budget_bytes < problem.memory_floor()) {
+    std::lock_guard lock(stats_mu_);
+    ++stats_.queries;
+    return infeasible_result("budget below structural memory floor");
+  }
+  auto entry = acquire(problem, budget_bytes, options);
+  std::lock_guard lock(entry->mu);
+  return solve_locked(*entry, budget_bytes, options);
+}
+
+std::vector<ScheduleResult> PlanService::sweep(
+    const RematProblem& problem, const std::vector<double>& budgets,
+    const IlpSolveOptions& options) {
+  std::vector<ScheduleResult> out(budgets.size());
+  if (budgets.empty()) return out;
+
+  // Descending solve order: the largest budget solves first (and
+  // cheapest), then each point inherits its predecessor's optimum outright
+  // whenever that schedule's peak still fits (flat regions of the
+  // overhead-vs-budget staircase), and otherwise reuses its proven bound
+  // as a termination certificate.
+  std::vector<size_t> order(budgets.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return budgets[a] > budgets[b];
+  });
+  const double max_budget = budgets[order.front()];
+  if (max_budget <= 0.0) {
+    for (auto& r : out)
+      r = infeasible_result("budget below structural memory floor");
+    std::lock_guard lock(stats_mu_);
+    stats_.queries += static_cast<int64_t>(budgets.size());
+    return out;
+  }
+
+  auto entry = acquire(problem, max_budget, options);
+  std::lock_guard lock(entry->mu);
+  // Presolve once at the sweep's largest budget; every point below reuses
+  // the artifacts through the U-bound clamp.
+  ensure_presolve(*entry, max_budget, options);
+  for (size_t idx : order)
+    out[idx] = solve_locked(*entry, budgets[idx], options);
+  return out;
+}
+
+std::vector<ScheduleResult> PlanService::plan_many(
+    const std::vector<PlanQuery>& queries) {
+  std::vector<ScheduleResult> out(queries.size());
+
+  // Group by cache identity (problem fingerprint + formulation shape):
+  // different groups are independent and run concurrently; queries within
+  // a group share a formulation, so they run as one ascending chained
+  // sweep on a single worker.
+  struct Group {
+    std::vector<size_t> indices;
+    double max_budget = 0.0;
+  };
+  std::unordered_map<FormulationKey, Group, FormulationKeyHash> groups;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const PlanQuery& q = queries[i];
+    if (q.problem == nullptr) {
+      out[i].message = "plan_many: null problem";
+      continue;
+    }
+    if (q.budget_bytes <= 0.0 ||
+        q.budget_bytes < q.problem->memory_floor()) {
+      out[i] = infeasible_result("budget below structural memory floor");
+      std::lock_guard lock(stats_mu_);
+      ++stats_.queries;
+      continue;
+    }
+    FormulationKey key;
+    key.problem_fingerprint = q.problem->fingerprint();
+    key.partitioned = q.options.partitioned;
+    key.eliminate_diag_free = q.options.eliminate_diag_free;
+    key.has_cost_cap = q.options.cost_cap.has_value();
+    key.cost_cap = q.options.cost_cap.value_or(0.0);
+    Group& g = groups[key];
+    g.indices.push_back(i);
+    g.max_budget = std::max(g.max_budget, q.budget_bytes);
+  }
+
+  auto run_group = [this, &queries, &out](const Group& g) {
+    // Descending chained order, as in sweep().
+    std::vector<size_t> order = g.indices;
+    std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return queries[a].budget_bytes > queries[b].budget_bytes;
+    });
+    try {
+      auto entry = acquire(*queries[order.front()].problem, g.max_budget,
+                           queries[order.front()].options);
+      std::lock_guard lock(entry->mu);
+      ensure_presolve(*entry, g.max_budget, queries[order.front()].options);
+      for (size_t idx : order)
+        out[idx] = solve_locked(*entry, queries[idx].budget_bytes,
+                                queries[idx].options);
+    } catch (const std::exception& e) {
+      for (size_t idx : order)
+        if (out[idx].message.empty())
+          out[idx].message = std::string("plan_many: ") + e.what();
+    }
+  };
+
+  if (groups.size() <= 1) {
+    for (auto& kv : groups) run_group(kv.second);
+    return out;
+  }
+  if (!pool_)
+    pool_ = std::make_unique<SolvePool>(resolve_workers(opts_.num_workers));
+  for (auto& kv : groups) {
+    const Group* g = &kv.second;
+    pool_->submit([&run_group, g] { run_group(*g); });
+  }
+  pool_->wait_idle();
+  return out;
+}
+
+ServiceStats PlanService::stats() const {
+  std::lock_guard lock(stats_mu_);
+  return stats_;
+}
+
+}  // namespace checkmate::service
+
+namespace checkmate {
+
+// Declared in core/scheduler.h; defined here so the core layer does not
+// depend on service headers.
+std::vector<ScheduleResult> Scheduler::solve_budget_sweep(
+    const std::vector<double>& budgets, const IlpSolveOptions& options) const {
+  service::PlanService svc;
+  return svc.sweep(problem_, budgets, options);
+}
+
+}  // namespace checkmate

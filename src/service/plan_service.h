@@ -1,0 +1,130 @@
+// Plan service: cached, incremental multi-query planning.
+//
+// Checkmate's real workloads are not one-shot solves: a Figure-5
+// overhead-vs-budget curve issues ~10 near-identical MILP queries per
+// model, and the Section 6.4 max-batch search issues a feasibility probe
+// per bisection step. The PlanService answers such query streams at full
+// MILP optimality while amortizing everything the queries share:
+//
+//   - formulation reuse: one built IlpFormulation per (problem
+//     fingerprint, formulation shape); a new budget is an in-place
+//     set_budget() rebind of the U-variable upper bounds, not a rebuild;
+//   - presolve reuse: the presolve pass runs once at the largest budget of
+//     interest; smaller budgets clamp the U upper bounds of the cached
+//     reduced LP (sound because every presolve reduction is monotone in
+//     the bounds -- see milp/presolve.h);
+//   - warm-start chaining: a sweep is solved in descending budget order.
+//     A schedule's simulated peak is budget-independent, so whenever the
+//     previous (larger-budget) optimum still fits the next budget it is
+//     *provably* optimal there too (shrinking the budget can only raise
+//     the optimum) and is returned without touching the solver -- on the
+//     flat regions of the overhead-vs-budget staircase most points are
+//     free. Where a solve is unavoidable, the previous point's proven
+//     lower bound carries over (same monotonicity) and branch & bound
+//     terminates as soon as any incumbent meets it, instead of re-proving
+//     the bound through the dual plateau; fitting chained optima are also
+//     injected as starting incumbents;
+//   - a chained optimum whose cost equals the compute floor (every
+//     operation exactly once) short-circuits larger budgets the same way;
+//   - a fixed-size worker pool solves independent queries (different
+//     models, or different formulation shapes) concurrently. Queries
+//     sharing a cache entry are serialized and chained instead.
+//
+// Determinism: every query keeps its own MilpOptions -- including the
+// deterministic max_lp_iterations work limit -- and its own simplex
+// engine, so answers are independent of worker count and arrival order
+// within a chain group (groups are internally solved in ascending budget
+// order regardless of submission order).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/remat_problem.h"
+#include "core/scheduler.h"
+#include "service/formulation_cache.h"
+#include "service/solve_pool.h"
+
+namespace checkmate::service {
+
+struct PlanServiceOptions {
+  // Worker threads for independent queries (plan_many). 0 = one per
+  // hardware thread, capped at 8.
+  int num_workers = 0;
+  // Cached formulations (LRU beyond this).
+  size_t max_cache_entries = 16;
+  // Cache presolve artifacts across budgets (clamp instead of re-run).
+  bool reuse_presolve = true;
+  // Chain warm starts across budgets of the same problem.
+  bool chain_warm_starts = true;
+};
+
+struct ServiceStats {
+  int64_t queries = 0;
+  int64_t formulation_hits = 0;
+  int64_t formulation_misses = 0;
+  int64_t budget_rebinds = 0;        // set_budget() reuses of a cached build
+  int64_t presolve_runs = 0;
+  int64_t presolve_reuses = 0;       // clamped-artifact reuses
+  int64_t warm_starts_injected = 0;  // adjacent optima handed to B&B
+  int64_t warm_start_shortcuts = 0;  // solves skipped: chained optimum at the compute floor
+  int64_t evictions = 0;
+};
+
+struct PlanQuery {
+  const RematProblem* problem = nullptr;  // must outlive the call
+  double budget_bytes = 0.0;
+  IlpSolveOptions options;
+};
+
+class PlanService {
+ public:
+  explicit PlanService(PlanServiceOptions options = {});
+  ~PlanService();
+
+  PlanService(const PlanService&) = delete;
+  PlanService& operator=(const PlanService&) = delete;
+
+  // One query through the cache. Identical (proven-optimal) objective to
+  // Scheduler::solve_optimal_ilp with the same options.
+  ScheduleResult plan(const RematProblem& problem, double budget_bytes,
+                      const IlpSolveOptions& options = {});
+
+  // Budget sweep over one model: solved in descending budget order with
+  // optimum inheritance and warm-start chaining, presolved once at the
+  // largest budget; results returned in the caller's order.
+  std::vector<ScheduleResult> sweep(const RematProblem& problem,
+                                    const std::vector<double>& budgets,
+                                    const IlpSolveOptions& options = {});
+
+  // Independent queries (many models and/or many budgets). Queries are
+  // grouped by cache entry; groups run concurrently on the worker pool and
+  // each group runs as a descending chained sweep. Results come back in
+  // submission order.
+  std::vector<ScheduleResult> plan_many(const std::vector<PlanQuery>& queries);
+
+  ServiceStats stats() const;
+  size_t cache_size() const { return cache_.size(); }
+  void clear_cache() { cache_.clear(); }
+
+ private:
+  std::shared_ptr<CacheEntry> acquire(const RematProblem& problem,
+                                      double reference_budget_bytes,
+                                      const IlpSolveOptions& options);
+  // (Re)runs presolve at reference_budget_bytes when the cached artifacts
+  // do not already cover it. Entry mutex must be held.
+  void ensure_presolve(CacheEntry& entry, double reference_budget_bytes,
+                       const IlpSolveOptions& options);
+  // Answers one query against a locked entry.
+  ScheduleResult solve_locked(CacheEntry& entry, double budget_bytes,
+                              const IlpSolveOptions& options);
+
+  PlanServiceOptions opts_;
+  FormulationCache cache_;
+  std::unique_ptr<SolvePool> pool_;  // created lazily by plan_many
+
+  mutable std::mutex stats_mu_;
+  ServiceStats stats_;
+};
+
+}  // namespace checkmate::service

@@ -1,0 +1,58 @@
+#include "service/solve_pool.h"
+
+#include <algorithm>
+
+namespace checkmate::service {
+
+SolvePool::SolvePool(int num_workers) {
+  const int n = std::max(1, num_workers);
+  workers_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+SolvePool::~SolvePool() {
+  {
+    std::unique_lock lock(mu_);
+    shutdown_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void SolvePool::submit(std::function<void()> job) {
+  {
+    std::unique_lock lock(mu_);
+    queue_.push_back(std::move(job));
+  }
+  work_ready_.notify_one();
+}
+
+void SolvePool::wait_idle() {
+  std::unique_lock lock(mu_);
+  all_idle_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+}
+
+void SolvePool::worker_loop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock lock(mu_);
+      work_ready_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      // Drain outstanding work even when shutting down: destruction must
+      // not drop submitted queries.
+      if (queue_.empty()) return;
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      ++in_flight_;
+    }
+    job();
+    {
+      std::unique_lock lock(mu_);
+      --in_flight_;
+      if (queue_.empty() && in_flight_ == 0) all_idle_.notify_all();
+    }
+  }
+}
+
+}  // namespace checkmate::service

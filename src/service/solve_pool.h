@@ -1,0 +1,50 @@
+// Fixed-size worker pool for mutually independent planning queries.
+//
+// Minimal by design: jobs are type-erased thunks, submission never blocks,
+// and wait_idle() is the barrier the batch APIs need. Determinism: the pool
+// adds no shared solver state -- every MILP query owns its simplex engine
+// and carries its own deterministic work limit (max_lp_iterations), so a
+// query's search tree is identical whatever the worker count or
+// interleaving; only wall-clock attribution varies.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace checkmate::service {
+
+class SolvePool {
+ public:
+  // num_workers < 1 is clamped to 1.
+  explicit SolvePool(int num_workers);
+  // Drains every queued job, then joins the workers.
+  ~SolvePool();
+
+  SolvePool(const SolvePool&) = delete;
+  SolvePool& operator=(const SolvePool&) = delete;
+
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+
+  // Enqueues a job; workers pick jobs up in FIFO order. Jobs must not
+  // throw -- there is no result channel for exceptions.
+  void submit(std::function<void()> job);
+
+  // Blocks until every submitted job has finished running.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable work_ready_, all_idle_;
+  std::deque<std::function<void()>> queue_;
+  int in_flight_ = 0;
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace checkmate::service

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "baselines/baselines.h"
 #include "core/plan.h"
 #include "core/simulator.h"
@@ -45,6 +47,29 @@ TEST(MaxBatch, FeasibleEverywhereReturnsMax) {
   opts.max_batch = 64;
   auto res = max_batch_size(factory, probe, opts);
   EXPECT_EQ(res.max_batch, 64);
+}
+
+TEST(MaxBatch, EachBatchSizeBuiltAndProbedAtMostOnce) {
+  // Probes are memoized: every factory build corresponds to one recorded
+  // probe and no batch size appears twice, whatever path the growth and
+  // bisection phases take.
+  int builds = 0;
+  auto counting_factory = [&builds](int64_t batch) {
+    ++builds;
+    auto p = RematProblem::unit_training_chain(3);
+    for (double& m : p.memory) m *= static_cast<double>(batch);
+    return p;
+  };
+  FeasibilityProbe probe = [](const RematProblem& p) {
+    return p.memory[0] <= 37.0;
+  };
+  MaxBatchOptions opts;
+  opts.max_batch = 1024;
+  auto res = max_batch_size(counting_factory, probe, opts);
+  EXPECT_EQ(res.max_batch, 37);
+  EXPECT_EQ(builds, static_cast<int>(res.probes.size()));
+  std::set<int64_t> seen;
+  for (const auto& pr : res.probes) EXPECT_TRUE(seen.insert(pr.batch).second);
 }
 
 TEST(MaxBatch, ProbeCountLogarithmic) {

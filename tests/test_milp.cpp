@@ -334,7 +334,7 @@ TEST(Milp, WarmStartIncumbentPrunesFromNodeOne) {
   // start: it must be validated and reported even though the search never
   // reached an integral leaf.
   MilpOptions opts = bounded();
-  opts.initial_solution = {1.0, 0.0, 1.0};
+  opts.initial_solutions = {{1.0, 0.0, 1.0}};
   opts.max_nodes = 1;
   auto res = solve_milp(lp, opts);
   ASSERT_TRUE(res.has_solution());
@@ -343,7 +343,7 @@ TEST(Milp, WarmStartIncumbentPrunesFromNodeOne) {
   // A full run seeded with the optimum needs only bound pruning: the tree
   // collapses to a handful of nodes.
   MilpOptions full = bounded();
-  full.initial_solution = {1.0, 0.0, 1.0};
+  full.initial_solutions = {{1.0, 0.0, 1.0}};
   auto res_full = solve_milp(lp, full);
   ASSERT_EQ(res_full.status, MilpStatus::kOptimal);
   EXPECT_NEAR(res_full.objective, -19.0, 1e-9);
@@ -351,10 +351,39 @@ TEST(Milp, WarmStartIncumbentPrunesFromNodeOne) {
 
   // An infeasible warm start must be rejected, not blindly trusted.
   MilpOptions bad = bounded();
-  bad.initial_solution = {1.0, 1.0, 1.0};  // weight 15 > 10
+  bad.initial_solutions = {{1.0, 1.0, 1.0}};  // weight 15 > 10
   auto res_bad = solve_milp(lp, bad);
   ASSERT_EQ(res_bad.status, MilpStatus::kOptimal);
   EXPECT_NEAR(res_bad.objective, -19.0, 1e-6);
+}
+
+TEST(Milp, KnownLowerBoundTerminatesWithoutProof) {
+  // Same knapsack; optimum -19. A caller-guaranteed lower bound plus a
+  // matching warm start must terminate the search before the first node.
+  LinearProgram lp;
+  int a = lp.add_binary(-10.0);
+  (void)lp.add_binary(-9.0);
+  int c = lp.add_binary(-9.0);
+  lp.add_le(terms({{a, 6.0}, {1, 5.0}, {c, 4.0}}), 10.0);
+
+  MilpOptions opts = bounded();
+  opts.initial_solutions = {{1.0, 0.0, 1.0}};
+  opts.known_lower_bound = -19.0;
+  auto res = solve_milp(lp, opts);
+  ASSERT_EQ(res.status, MilpStatus::kOptimal);
+  EXPECT_NEAR(res.objective, -19.0, 1e-9);
+  EXPECT_EQ(res.nodes, 0);
+  // The reported bound is the external certificate, not the incumbent.
+  EXPECT_NEAR(res.best_bound, -19.0, 1e-9);
+
+  // A conservative (far-too-low) bound must not trigger the shortcut or
+  // change the answer.
+  MilpOptions loose = bounded();
+  loose.known_lower_bound = -1000.0;
+  auto res_loose = solve_milp(lp, loose);
+  ASSERT_EQ(res_loose.status, MilpStatus::kOptimal);
+  EXPECT_NEAR(res_loose.objective, -19.0, 1e-6);
+  EXPECT_GT(res_loose.nodes, 0);
 }
 
 TEST(Milp, TimeLimitHonoredWithoutHalfSecondFloor) {

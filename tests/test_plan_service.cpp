@@ -1,0 +1,296 @@
+// Plan service: problem fingerprints, formulation-cache budget rebinds,
+// presolve-artifact clamping, warm-start chaining and the worker pool.
+#include "service/plan_service.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+
+#include "core/ilp_builder.h"
+#include "core/remat_problem.h"
+#include "core/scheduler.h"
+#include "milp/milp.h"
+#include "milp/presolve.h"
+
+namespace checkmate {
+namespace {
+
+IlpSolveOptions fast_opts() {
+  IlpSolveOptions opts;
+  opts.time_limit_sec = 30.0;
+  return opts;
+}
+
+TEST(Fingerprint, CanonicalOverContentNotNames) {
+  auto a = RematProblem::unit_training_chain(5);
+  auto b = RematProblem::unit_training_chain(5);
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+
+  // Names are cosmetic: same formulation, same fingerprint.
+  b.name = "renamed";
+  b.node_names[0] = "other";
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+
+  // Size, costs, memories, overhead and topology all key the hash.
+  EXPECT_NE(a.fingerprint(),
+            RematProblem::unit_training_chain(6).fingerprint());
+  auto cost_bumped = a;
+  cost_bumped.cost[2] += 0.5;
+  EXPECT_NE(a.fingerprint(), cost_bumped.fingerprint());
+  auto mem_bumped = a;
+  mem_bumped.memory[3] *= 2.0;
+  EXPECT_NE(a.fingerprint(), mem_bumped.fingerprint());
+  auto overhead_bumped = a;
+  overhead_bumped.fixed_overhead += 1.0;
+  EXPECT_NE(a.fingerprint(), overhead_bumped.fingerprint());
+  auto rewired = a;
+  ASSERT_FALSE(rewired.graph.has_edge(0, 5));
+  rewired.graph.add_edge(0, 5);
+  EXPECT_NE(a.fingerprint(), rewired.fingerprint());
+}
+
+TEST(FormulationRebind, SetBudgetMovesOnlyUVariableBounds) {
+  auto p = RematProblem::unit_training_chain(4);
+  IlpBuildOptions build;
+  build.budget_bytes = 8.0;
+  IlpFormulation rebound(p, build);
+  rebound.set_budget(5.0);
+
+  IlpBuildOptions fresh_build;
+  fresh_build.budget_bytes = 5.0;
+  IlpFormulation fresh(p, fresh_build);
+
+  // Same variable space; non-U bounds untouched by the rebind.
+  ASSERT_EQ(rebound.lp().num_vars(), fresh.lp().num_vars());
+  const auto& u_vars = rebound.u_var_indices();
+  EXPECT_FALSE(u_vars.empty());
+  for (int j = 0; j < rebound.lp().num_vars(); ++j) {
+    if (std::find(u_vars.begin(), u_vars.end(), j) != u_vars.end()) {
+      EXPECT_DOUBLE_EQ(rebound.lp().ub[j], rebound.scale_budget(5.0));
+    } else {
+      EXPECT_DOUBLE_EQ(rebound.lp().lb[j], fresh.lp().lb[j]);
+      EXPECT_DOUBLE_EQ(rebound.lp().ub[j], fresh.lp().ub[j]);
+    }
+  }
+  EXPECT_DOUBLE_EQ(rebound.options().budget_bytes, 5.0);
+}
+
+TEST(FormulationRebind, RebindEquivalentToFreshBuild) {
+  // The scaling differs (frozen at construction) but the feasible set and
+  // optimum must be identical: solve both MILPs and compare unscaled cost.
+  auto p = RematProblem::unit_training_chain(5);
+  IlpBuildOptions build;
+  build.budget_bytes = 10.0;
+  IlpFormulation rebound(p, build);
+  rebound.set_budget(6.0);
+
+  IlpBuildOptions fresh_build;
+  fresh_build.budget_bytes = 6.0;
+  IlpFormulation fresh(p, fresh_build);
+
+  milp::MilpOptions mopts;
+  mopts.time_limit_sec = 30.0;
+  const auto res_rebound = milp::solve_milp(rebound.lp(), mopts);
+  const auto res_fresh = milp::solve_milp(fresh.lp(), mopts);
+  ASSERT_EQ(res_rebound.status, milp::MilpStatus::kOptimal);
+  ASSERT_EQ(res_fresh.status, milp::MilpStatus::kOptimal);
+  EXPECT_NEAR(rebound.unscale_cost(res_rebound.objective),
+              fresh.unscale_cost(res_fresh.objective), 1e-6);
+}
+
+TEST(PresolveRebind, ClampUpperBounds) {
+  lp::LinearProgram prog;
+  prog.add_var(0.0, 10.0, 1.0);
+  prog.add_var(2.0, 10.0, 1.0);
+  prog.add_var(0.0, 1.0, 1.0);
+  const int vars[] = {0, 1};
+  EXPECT_TRUE(milp::clamp_upper_bounds(prog, vars, 4.0));
+  EXPECT_DOUBLE_EQ(prog.ub[0], 4.0);
+  EXPECT_DOUBLE_EQ(prog.ub[1], 4.0);
+  EXPECT_DOUBLE_EQ(prog.ub[2], 1.0);  // not listed: untouched
+  // Clamping below a lower bound proves infeasibility.
+  EXPECT_FALSE(milp::clamp_upper_bounds(prog, vars, 1.0));
+}
+
+TEST(PlanService, SweepMatchesColdSolvesAndIsMonotone) {
+  auto p = RematProblem::unit_training_chain(6);
+  Scheduler sched(p);
+  const std::vector<double> budgets = {5.0, 6.0, 8.0, 11.0};
+
+  service::PlanService svc;
+  const auto swept = svc.sweep(p, budgets, fast_opts());
+  ASSERT_EQ(swept.size(), budgets.size());
+
+  double prev_cost = lp::kInf;
+  for (size_t i = 0; i < budgets.size(); ++i) {
+    const auto cold = sched.solve_optimal_ilp(budgets[i], fast_opts());
+    ASSERT_TRUE(swept[i].feasible) << swept[i].message;
+    ASSERT_EQ(swept[i].milp_status, milp::MilpStatus::kOptimal);
+    ASSERT_EQ(cold.milp_status, milp::MilpStatus::kOptimal);
+    // Identical proven-optimal objective at every point.
+    EXPECT_NEAR(swept[i].cost, cold.cost, 1e-6) << "budget " << budgets[i];
+    // Chaining must preserve monotonicity: more memory never costs more.
+    EXPECT_LE(swept[i].cost, prev_cost + 1e-9);
+    prev_cost = swept[i].cost;
+  }
+
+  const auto st = svc.stats();
+  EXPECT_EQ(st.queries, 4);
+  EXPECT_EQ(st.formulation_misses, 1);
+  EXPECT_EQ(st.presolve_runs, 1);  // once, at the largest budget
+  EXPECT_GE(st.presolve_reuses + st.warm_start_shortcuts, 3);
+}
+
+TEST(PlanService, SweepResultsComeBackInCallerOrder) {
+  auto p = RematProblem::unit_training_chain(5);
+  const std::vector<double> shuffled = {9.0, 5.0, 12.0, 6.0};
+  service::PlanService svc;
+  const auto res = svc.sweep(p, shuffled, fast_opts());
+  ASSERT_EQ(res.size(), shuffled.size());
+  Scheduler sched(p);
+  for (size_t i = 0; i < shuffled.size(); ++i) {
+    ASSERT_EQ(res[i].milp_status, milp::MilpStatus::kOptimal);
+    EXPECT_NEAR(res[i].cost,
+                sched.solve_optimal_ilp(shuffled[i], fast_opts()).cost, 1e-6);
+  }
+}
+
+TEST(PlanService, RepeatedPlansHitTheFormulationCache) {
+  auto p = RematProblem::unit_training_chain(5);
+  service::PlanService svc;
+  const auto a = svc.plan(p, 12.0, fast_opts());
+  const auto b = svc.plan(p, 6.0, fast_opts());
+  ASSERT_EQ(a.milp_status, milp::MilpStatus::kOptimal);
+  ASSERT_EQ(b.milp_status, milp::MilpStatus::kOptimal);
+  EXPECT_GE(b.cost, a.cost);
+
+  const auto st = svc.stats();
+  EXPECT_EQ(st.formulation_misses, 1);
+  EXPECT_EQ(st.formulation_hits, 1);
+  EXPECT_EQ(svc.cache_size(), 1u);
+
+  Scheduler sched(p);
+  EXPECT_NEAR(b.cost, sched.solve_optimal_ilp(6.0, fast_opts()).cost, 1e-6);
+}
+
+TEST(PlanService, CostCapIsPartOfTheCacheKey) {
+  auto p = RematProblem::unit_training_chain(4);
+  service::PlanService svc;
+  IlpSolveOptions capped = fast_opts();
+  capped.cost_cap = 2.0 * p.forward_cost() + p.backward_cost();
+  (void)svc.plan(p, 9.0, fast_opts());
+  (void)svc.plan(p, 9.0, capped);
+  const auto st = svc.stats();
+  EXPECT_EQ(st.formulation_misses, 2);
+  EXPECT_EQ(st.formulation_hits, 0);
+}
+
+TEST(PlanService, BelowFloorBudgetIsInfeasibleWithoutABuild) {
+  auto p = RematProblem::unit_training_chain(4);
+  service::PlanService svc;
+  const auto res = svc.plan(p, 0.5 * p.memory_floor(), fast_opts());
+  EXPECT_FALSE(res.feasible);
+  EXPECT_EQ(res.milp_status, milp::MilpStatus::kInfeasible);
+  EXPECT_EQ(svc.cache_size(), 0u);
+}
+
+TEST(PlanService, GenerousBudgetsInheritTheChainedOptimum) {
+  // At generous budgets the optimum sits at the compute floor; once one
+  // point is solved, its schedule is provably optimal for the rest of the
+  // flat region and the solver is skipped outright.
+  auto p = RematProblem::unit_training_chain(6);
+  const double total = p.total_memory();
+  service::PlanService svc;
+  const auto res =
+      svc.sweep(p, {0.7 * total, 0.8 * total, 0.9 * total, total},
+                fast_opts());
+  for (const auto& r : res) {
+    ASSERT_EQ(r.milp_status, milp::MilpStatus::kOptimal);
+    EXPECT_NEAR(r.overhead, 1.0, 1e-9);
+  }
+  EXPECT_GE(svc.stats().warm_start_shortcuts, 3);
+}
+
+TEST(PlanService, PlanManyMatchesSequentialAcrossWorkerCounts) {
+  const auto pa = RematProblem::unit_training_chain(4);
+  const auto pb = RematProblem::unit_training_chain(5);
+  std::vector<service::PlanQuery> queries;
+  for (double budget : {9.0, 5.0, 7.0})
+    queries.push_back({&pa, budget, fast_opts()});
+  for (double budget : {11.0, 6.0})
+    queries.push_back({&pb, budget, fast_opts()});
+
+  service::PlanServiceOptions solo;
+  solo.num_workers = 1;
+  service::PlanService svc_solo(solo);
+  service::PlanServiceOptions wide;
+  wide.num_workers = 4;
+  service::PlanService svc_wide(wide);
+
+  const auto r1 = svc_solo.plan_many(queries);
+  const auto r4 = svc_wide.plan_many(queries);
+  ASSERT_EQ(r1.size(), queries.size());
+  ASSERT_EQ(r4.size(), queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    ASSERT_EQ(r1[i].milp_status, milp::MilpStatus::kOptimal) << i;
+    ASSERT_EQ(r4[i].milp_status, milp::MilpStatus::kOptimal) << i;
+    // Worker count must not change any answer.
+    EXPECT_NEAR(r1[i].cost, r4[i].cost, 1e-9) << i;
+    Scheduler sched(*queries[i].problem);
+    EXPECT_NEAR(
+        r1[i].cost,
+        sched.solve_optimal_ilp(queries[i].budget_bytes, fast_opts()).cost,
+        1e-6)
+        << i;
+  }
+  EXPECT_EQ(svc_wide.stats().formulation_misses, 2);  // one per model
+}
+
+TEST(PlanService, LruEvictionKeepsAnswersCorrect) {
+  const auto pa = RematProblem::unit_training_chain(4);
+  const auto pb = RematProblem::unit_training_chain(5);
+  service::PlanServiceOptions tiny;
+  tiny.max_cache_entries = 1;
+  service::PlanService svc(tiny);
+  const auto a1 = svc.plan(pa, 9.0, fast_opts());
+  const auto b1 = svc.plan(pb, 11.0, fast_opts());
+  const auto a2 = svc.plan(pa, 9.0, fast_opts());  // rebuilt after eviction
+  ASSERT_EQ(a1.milp_status, milp::MilpStatus::kOptimal);
+  ASSERT_EQ(b1.milp_status, milp::MilpStatus::kOptimal);
+  ASSERT_EQ(a2.milp_status, milp::MilpStatus::kOptimal);
+  EXPECT_NEAR(a1.cost, a2.cost, 1e-9);
+  const auto st = svc.stats();
+  EXPECT_EQ(st.formulation_misses, 3);
+  EXPECT_GE(st.evictions, 2);
+  EXPECT_EQ(svc.cache_size(), 1u);
+}
+
+TEST(SolvePool, RunsEveryJobAndWaitsIdle) {
+  service::SolvePool pool(3);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 64; ++i)
+    pool.submit([&counter] { counter.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 64);
+  // Reusable after a drain.
+  pool.submit([&counter] { counter.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 65);
+}
+
+TEST(SchedulerSweep, ConvenienceWrapperMatchesService) {
+  auto p = RematProblem::unit_training_chain(5);
+  Scheduler sched(p);
+  const std::vector<double> budgets = {6.0, 9.0, 12.0};
+  const auto swept = sched.solve_budget_sweep(budgets, fast_opts());
+  ASSERT_EQ(swept.size(), budgets.size());
+  for (size_t i = 0; i < budgets.size(); ++i) {
+    ASSERT_EQ(swept[i].milp_status, milp::MilpStatus::kOptimal);
+    EXPECT_NEAR(swept[i].cost,
+                sched.solve_optimal_ilp(budgets[i], fast_opts()).cost, 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace checkmate
