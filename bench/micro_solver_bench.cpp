@@ -208,17 +208,23 @@ struct SolverConfig {
   bool presolve;
   bool pseudocost;
   milp::NodeSelection node_selection;
+  int num_threads;
 };
 
 // "seed" is the pre-overhaul configuration (most-fractional depth-first
 // search on the raw formulation); the others each flip one knob off the
-// shipped configuration.
+// shipped configuration. threads2/threads4 are the shipped configuration
+// with more tree-search workers: the epoch-lockstep determinism guarantee
+// means their node counts MUST equal overhaul's exactly (the CI gate in
+// scripts/compare_bench.py enforces it), only wall-clock may differ.
 constexpr SolverConfig kConfigs[] = {
-    {"overhaul", true, true, milp::NodeSelection::kHybrid},
-    {"no_presolve", false, true, milp::NodeSelection::kHybrid},
-    {"no_pseudocost", true, false, milp::NodeSelection::kHybrid},
-    {"depth_first", true, true, milp::NodeSelection::kDepthFirst},
-    {"seed", false, false, milp::NodeSelection::kDepthFirst},
+    {"overhaul", true, true, milp::NodeSelection::kHybrid, 1},
+    {"threads2", true, true, milp::NodeSelection::kHybrid, 2},
+    {"threads4", true, true, milp::NodeSelection::kHybrid, 4},
+    {"no_presolve", false, true, milp::NodeSelection::kHybrid, 1},
+    {"no_pseudocost", true, false, milp::NodeSelection::kHybrid, 1},
+    {"depth_first", true, true, milp::NodeSelection::kDepthFirst, 1},
+    {"seed", false, false, milp::NodeSelection::kDepthFirst, 1},
 };
 
 struct JsonInstance {
@@ -281,15 +287,17 @@ int run_json_suite(const std::string& path) {
       opts.presolve = cfg.presolve;
       opts.pseudocost_branching = cfg.pseudocost;
       opts.node_selection = cfg.node_selection;
+      opts.num_threads = cfg.num_threads;
       auto res = sched.solve_optimal_ilp(inst.budget, opts);
       if (!first) std::fprintf(f, ",\n");
       first = false;
       std::fprintf(f,
                    "    {\"instance\": \"%s\", \"config\": \"%s\", "
+                   "\"threads\": %d, "
                    "\"status\": \"%s\", \"nodes\": %lld, "
                    "\"lp_iterations\": %lld, \"seconds\": %.3f, "
                    "\"cost\": %.6g, \"best_bound\": %.6g}",
-                   inst.name.c_str(), cfg.name,
+                   inst.name.c_str(), cfg.name, cfg.num_threads,
                    milp::to_string(res.milp_status),
                    static_cast<long long>(res.nodes),
                    static_cast<long long>(res.lp_iterations), res.seconds,

@@ -33,6 +33,21 @@ else
   ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" -L fast
 fi
 
+# Nightly ThreadSanitizer stage: rebuild the threading-heavy suites with
+# -DCHECKMATE_TSAN=ON and run the parallel-determinism tests under TSan.
+# Epoch-lockstep determinism is only trustworthy if the barrier protocol is
+# race-free; a TSan report here fails the tier.
+if [ "$CHECK_TIER" = "full" ]; then
+  TSAN_DIR="${TSAN_BUILD_DIR:-build-tsan}"
+  cmake -B "$TSAN_DIR" -S . "${GENERATOR_FLAGS[@]}" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo -DCHECKMATE_TSAN=ON
+  cmake --build "$TSAN_DIR" -j \
+    --target test_milp_parallel test_plan_service test_simplex
+  TSAN_OPTIONS="halt_on_error=1" ctest --test-dir "$TSAN_DIR" \
+    -R 'test_milp_parallel|test_plan_service|test_simplex' \
+    --output-on-failure
+fi
+
 if [ "${CHECKMATE_BENCH_GATE:-on}" = "off" ]; then
   echo "bench gate skipped (CHECKMATE_BENCH_GATE=off)"
   exit 0

@@ -1,0 +1,216 @@
+#!/usr/bin/env python3
+"""Render the BENCH_*.json performance trajectory across PRs to an SVG.
+
+Walks the git history of the committed benchmark baselines (every commit
+that touched them is one point -- i.e. one PR's refresh), and draws, per
+instance, the node count and wall time of the shipped solver configuration
+over time. Closes the ROADMAP "plot the trajectory across PRs" item.
+
+Usage:
+  plot_bench.py [--out BENCH_trajectory.svg] [--repo .]
+                [--solver BENCH_solver.json] [--sweep BENCH_sweep.json]
+
+Stdlib only (hand-rolled SVG): the CI container has no plotting stack.
+"""
+
+import argparse
+import json
+import subprocess
+import sys
+
+PALETTE = ["#4269d0", "#efb118", "#ff725c", "#6cc5b0", "#3ca951",
+           "#ff8ab7", "#a463f2", "#97bbf5"]
+
+
+def git(repo, *args):
+    return subprocess.run(["git", "-C", repo, *args], check=True,
+                          capture_output=True, text=True).stdout
+
+
+def history(repo, path):
+    """[(short_sha, subject, parsed_json)] oldest -> newest for `path`."""
+    out = []
+    log = git(repo, "log", "--reverse", "--format=%h%x00%s", "--", path)
+    for line in log.splitlines():
+        sha, _, subject = line.partition("\x00")
+        try:
+            doc = json.loads(git(repo, "show", f"{sha}:{path}"))
+        except (subprocess.CalledProcessError, json.JSONDecodeError):
+            continue  # file absent or unparsable at that commit: skip point
+        out.append((sha, subject, doc))
+    return out
+
+
+def solver_series(hist, config="overhaul"):
+    """{instance: [(commit_idx, nodes, seconds)]} for one solver config."""
+    series = {}
+    for idx, (_, _, doc) in enumerate(hist):
+        for r in doc.get("results", []):
+            if r.get("config") != config:
+                continue
+            series.setdefault(r["instance"], []).append(
+                (idx, r.get("nodes"), r.get("seconds")))
+    return series
+
+
+def sweep_series(hist):
+    """{instance/mode: [(commit_idx, nodes, seconds)]} from sweep docs."""
+    series = {}
+    for idx, (_, _, doc) in enumerate(hist):
+        for inst in doc.get("instances", []):
+            for mode in ("cold", "cached"):
+                key = f"{inst['instance']}/{mode}"
+                series.setdefault(key, []).append(
+                    (idx, inst.get(f"{mode}_nodes"),
+                     inst.get(f"{mode}_wall_seconds")))
+    return series
+
+
+class Svg:
+    def __init__(self, width, height):
+        self.w, self.h = width, height
+        self.parts = [
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+            f'height="{height}" viewBox="0 0 {width} {height}" '
+            f'font-family="system-ui, sans-serif">',
+            f'<rect width="{width}" height="{height}" fill="#ffffff"/>']
+
+    def text(self, x, y, s, size=11, anchor="start", color="#1a1a1a",
+             weight="normal"):
+        self.parts.append(
+            f'<text x="{x:.1f}" y="{y:.1f}" font-size="{size}" '
+            f'text-anchor="{anchor}" fill="{color}" '
+            f'font-weight="{weight}">{s}</text>')
+
+    def line(self, x1, y1, x2, y2, color="#d0d0d0", width=1.0):
+        self.parts.append(
+            f'<line x1="{x1:.1f}" y1="{y1:.1f}" x2="{x2:.1f}" y2="{y2:.1f}" '
+            f'stroke="{color}" stroke-width="{width}"/>')
+
+    def polyline(self, pts, color, width=1.8):
+        p = " ".join(f"{x:.1f},{y:.1f}" for x, y in pts)
+        self.parts.append(
+            f'<polyline points="{p}" fill="none" stroke="{color}" '
+            f'stroke-width="{width}"/>')
+
+    def circle(self, x, y, r, color):
+        self.parts.append(
+            f'<circle cx="{x:.1f}" cy="{y:.1f}" r="{r}" fill="{color}"/>')
+
+    def render(self):
+        return "\n".join(self.parts + ["</svg>"])
+
+
+def draw_panel(svg, x0, y0, w, h, title, series, value_index, unit,
+               commits, log_scale):
+    import math
+    svg.text(x0, y0 - 8, title, size=13, weight="bold")
+    svg.line(x0, y0 + h, x0 + w, y0 + h, color="#888888")  # x axis
+    svg.line(x0, y0, x0, y0 + h, color="#888888")          # y axis
+
+    values = [v[value_index] for pts in series.values() for v in pts
+              if v[value_index] is not None]
+    if not values:
+        svg.text(x0 + w / 2, y0 + h / 2, "no data", anchor="middle",
+                 color="#888888")
+        return
+    vmax = max(values)
+    vmin = min(values)
+    if log_scale:
+        lo = math.log10(max(vmin, 1e-3))
+        hi = math.log10(max(vmax, 1e-3))
+        if hi - lo < 1e-9:
+            hi = lo + 1.0
+        def ypos(v):
+            return y0 + h - (math.log10(max(v, 1e-3)) - lo) / (hi - lo) * h
+        ticks = sorted({10 ** t for t in range(int(math.floor(lo)),
+                                               int(math.ceil(hi)) + 1)})
+    else:
+        hi = vmax * 1.05 or 1.0
+        def ypos(v):
+            return y0 + h - v / hi * h
+        ticks = [hi * f for f in (0.0, 0.25, 0.5, 0.75, 1.0)]
+    for t in ticks:
+        y = ypos(t)
+        if y0 - 2 <= y <= y0 + h + 2:
+            svg.line(x0, y, x0 + w, y, color="#eeeeee")
+            label = f"{t:g}" if t < 1000 else f"{t / 1000:g}k"
+            svg.text(x0 - 6, y + 3.5, label, size=9, anchor="end",
+                     color="#666666")
+
+    n = max(2, len(commits))
+    def xpos(i):
+        return x0 + i / (n - 1) * w
+    for i, (sha, _sub) in enumerate(commits):
+        svg.line(xpos(i), y0 + h, xpos(i), y0 + h + 4, color="#888888")
+        svg.text(xpos(i), y0 + h + 16, sha, size=9, anchor="middle",
+                 color="#666666")
+
+    for k, (name, pts) in enumerate(sorted(series.items())):
+        color = PALETTE[k % len(PALETTE)]
+        coords = [(xpos(p[0]), ypos(p[value_index])) for p in pts
+                  if p[value_index] is not None]
+        if len(coords) > 1:
+            svg.polyline(coords, color)
+        for x, y in coords:
+            svg.circle(x, y, 2.4, color)
+        svg.text(x0 + w + 10, y0 + 14 + 14 * k, name, size=10, color=color)
+    svg.text(x0 - 34, y0 + h / 2, unit, size=10, anchor="middle",
+             color="#666666")
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--repo", default=".")
+    ap.add_argument("--out", default="BENCH_trajectory.svg")
+    ap.add_argument("--solver", default="BENCH_solver.json")
+    ap.add_argument("--sweep", default="BENCH_sweep.json")
+    ap.add_argument("--config", default="overhaul",
+                    help="solver config to track across PRs")
+    args = ap.parse_args()
+
+    solver_hist = history(args.repo, args.solver)
+    sweep_hist = history(args.repo, args.sweep)
+    if not solver_hist and not sweep_hist:
+        print("no committed bench baselines found in git history",
+              file=sys.stderr)
+        return 1
+
+    panels = []  # (title, series, value_index, unit, commits, log_scale)
+    if solver_hist:
+        commits = [(sha, sub) for sha, sub, _ in solver_hist]
+        s = solver_series(solver_hist, args.config)
+        panels.append((f"solver nodes ({args.config})", s, 1, "nodes",
+                       commits, True))
+        panels.append((f"solver wall time ({args.config})", s, 2, "sec",
+                       commits, True))
+    if sweep_hist:
+        commits = [(sha, sub) for sha, sub, _ in sweep_hist]
+        s = sweep_series(sweep_hist)
+        panels.append(("sweep nodes (cold vs cached)", s, 1, "nodes",
+                       commits, True))
+        panels.append(("sweep wall time (cold vs cached)", s, 2, "sec",
+                       commits, True))
+
+    panel_w, panel_h, margin_l, margin_r = 430, 170, 70, 230
+    pad_v = 60
+    width = margin_l + panel_w + margin_r
+    height = pad_v + len(panels) * (panel_h + pad_v)
+    svg = Svg(width, height)
+    svg.text(margin_l, 24, "Checkmate benchmark trajectory across PRs",
+             size=15, weight="bold")
+    for i, (title, series, vidx, unit, commits, log_scale) in \
+            enumerate(panels):
+        y0 = pad_v + i * (panel_h + pad_v) + 14
+        draw_panel(svg, margin_l, y0, panel_w, panel_h, title, series, vidx,
+                   unit, commits, log_scale)
+
+    with open(args.out, "w") as f:
+        f.write(svg.render())
+    print(f"wrote {args.out} ({len(panels)} panels, "
+          f"{len(solver_hist)} solver + {len(sweep_hist)} sweep snapshots)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -58,6 +58,7 @@ ScheduleResult solve_ilp_on_formulation(const IlpFormulation& form,
   if (options.max_lp_iterations > 0)
     mopts.max_lp_iterations = options.max_lp_iterations;
   if (options.max_nodes > 0) mopts.max_nodes = options.max_nodes;
+  mopts.num_threads = options.num_threads;
   if (reuse.known_lower_bound_cost != -lp::kInf)
     mopts.known_lower_bound = form.scale_cost(reuse.known_lower_bound_cost);
 

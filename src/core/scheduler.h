@@ -33,6 +33,14 @@ struct IlpSolveOptions {
   // limit these make truncated runs machine-independent.
   int64_t max_lp_iterations = 0;
   int64_t max_nodes = 0;
+  // Worker threads for the in-solve parallel tree search (0 = one per
+  // hardware thread). The search is epoch-lockstep deterministic: node
+  // counts, incumbents and objectives are bit-identical for every value
+  // (unless the wall-clock time limit truncates the run -- deterministic
+  // work limits, max_lp_iterations/max_nodes, keep the invariance even
+  // when truncated), so this is purely a wall-clock knob. The PlanService
+  // overrides 0 with its share of the service-wide thread budget.
+  int num_threads = 0;
   // Optional cap on total recomputation cost (Eq. 10, original cost
   // units), threaded into the formulation. The max-batch feasibility
   // probes combine it with stop_at_first_incumbent.

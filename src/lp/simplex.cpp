@@ -85,6 +85,86 @@ void DualSimplex::set_var_bounds(int var, double lower, double upper) {
   d_dirty_ = true;
 }
 
+BasisSnapshot DualSimplex::snapshot() const {
+  BasisSnapshot s;
+  s.valid = basis_valid_;
+  // Bound overrides are captured even before the first solve (invalid
+  // basis): a clone taken after set_var_bounds but before solve() must
+  // still see the same feasible region as the original.
+  for (int j = 0; j < num_total(); ++j) {
+    const double base_lo = j < n_ ? lp_->lb[j] : lp_->row_lb[j - n_];
+    const double base_hi = j < n_ ? lp_->ub[j] : lp_->row_ub[j - n_];
+    if (lo_[j] != base_lo || hi_[j] != base_hi)
+      s.bounds.push_back({j, lo_[j], hi_[j]});
+  }
+  if (!s.valid) return s;
+  s.status.assign(status_.begin(), status_.end());
+  s.basic_var = basic_var_;
+  s.used_artificial_bound = used_artificial_bound_;
+  for (int j = 0; j < num_total(); ++j)
+    if (status_[j] == kFree && x_[j] != 0.0)
+      s.free_values.emplace_back(j, x_[j]);
+  return s;
+}
+
+void DualSimplex::restore(const BasisSnapshot& snap) {
+  // Reset bounds to the base LP, then overlay the snapshot's overrides.
+  // (The engine constructor may never have run make_initial_basis, and a
+  // prior make_initial_basis may have installed artificial bounds; both are
+  // wiped here so the restored state carries no history.)
+  for (int j = 0; j < n_; ++j) {
+    lo_[j] = lp_->lb[j];
+    hi_[j] = lp_->ub[j];
+  }
+  for (int i = 0; i < m_; ++i) {
+    lo_[n_ + i] = lp_->row_lb[i];
+    hi_[n_ + i] = lp_->row_ub[i];
+  }
+  etas_.clear();
+  pivots_since_refactor_ = 0;
+  stall_count_ = 0;
+  std::fill(d_.begin(), d_.end(), 0.0);
+  for (const auto& b : snap.bounds) {
+    lo_[b.col] = b.lo;
+    hi_[b.col] = b.hi;
+  }
+  if (!snap.valid) {
+    // No basis to adopt: reset to the fresh-engine state (the next solve
+    // builds the slack basis), keeping only the bound overrides above.
+    basis_valid_ = false;
+    needs_refactor_ = false;
+    d_dirty_ = false;
+    xb_dirty_ = true;
+    used_artificial_bound_ = false;
+    std::fill(status_.begin(), status_.end(),
+              static_cast<int8_t>(kNonbasicLower));
+    std::fill(x_.begin(), x_.end(), 0.0);
+    std::fill(basic_var_.begin(), basic_var_.end(), -1);
+    return;
+  }
+  std::copy(snap.status.begin(), snap.status.end(), status_.begin());
+  basic_var_ = snap.basic_var;
+  used_artificial_bound_ = snap.used_artificial_bound;
+  for (int j = 0; j < num_total(); ++j) {
+    if (status_[j] == kBasic) continue;
+    if (status_[j] == kFree)
+      x_[j] = 0.0;
+    else
+      x_[j] = status_[j] == kNonbasicUpper ? hi_[j] : lo_[j];
+  }
+  for (const auto& [j, v] : snap.free_values) x_[j] = v;
+  basis_valid_ = true;
+  needs_refactor_ = true;  // LU rebuilt lazily by the next solve()
+  d_dirty_ = true;
+  xb_dirty_ = true;
+}
+
+DualSimplex DualSimplex::clone() const {
+  DualSimplex copy(*lp_, opt_);
+  copy.restore(snapshot());
+  return copy;
+}
+
 double DualSimplex::dot_work_column(int col,
                                     const std::vector<double>& dense) const {
   if (is_slack(col)) return -dense[col - n_];
@@ -352,6 +432,7 @@ LpResult DualSimplex::solve() {
   LpResult result;
   if (!basis_valid_) {
     make_initial_basis();
+    needs_refactor_ = false;
     if (!refactorize()) {
       // Leave the engine marked invalid so the next solve() rebuilds from
       // scratch instead of touching the failed factorization.
@@ -361,6 +442,20 @@ LpResult DualSimplex::solve() {
     }
     recompute_reduced_costs();
     d_dirty_ = false;
+  } else if (needs_refactor_) {
+    // A restored basis: rebuild the factorization now; a singular restored
+    // basis (numerically degenerate snapshot) falls back to a clean slack
+    // basis rather than failing the solve.
+    needs_refactor_ = false;
+    if (!refactorize()) {
+      make_initial_basis();
+      if (!refactorize()) {
+        basis_valid_ = false;
+        result.status = LpStatus::kNumericalError;
+        return result;
+      }
+    }
+    d_dirty_ = true;
   }
   if (d_dirty_) {
     // Refresh reduced costs and re-place nonbasic columns on their

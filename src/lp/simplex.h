@@ -48,6 +48,31 @@ struct SimplexOptions {
   double artificial_bound = 1e7;
 };
 
+// Engine-independent capture of the warm-start-relevant simplex state:
+// basis status, the basic-position assignment, bound overrides relative to
+// the base LinearProgram, and the values of free nonbasic columns. The LU
+// factors and eta file are deliberately NOT captured -- a restoring engine
+// refactorizes lazily on its next solve(), so a snapshot is a few dozen KB
+// even for the large rematerialization LPs and two sibling B&B nodes can
+// share one via shared_ptr. Restoring into ANY engine built over the same
+// LinearProgram (same options) yields the same solve trajectory, which is
+// what lets the parallel tree search hand a child node to whichever worker
+// thread picks it up.
+struct BasisSnapshot {
+  struct BoundOverride {
+    int col;  // structural j in [0, n) or slack n + row
+    double lo, hi;
+  };
+  std::vector<int8_t> status;                       // size n + m
+  std::vector<int> basic_var;                       // size m
+  std::vector<BoundOverride> bounds;                // cols differing from the LP
+  std::vector<std::pair<int, double>> free_values;  // x of kFree columns
+  bool used_artificial_bound = false;
+  // False (the default-constructed snapshot): restore() resets the engine
+  // to its freshly-constructed state (next solve builds the slack basis).
+  bool valid = false;
+};
+
 class DualSimplex {
  public:
   explicit DualSimplex(const LinearProgram& lp, SimplexOptions options = {});
@@ -60,6 +85,25 @@ class DualSimplex {
 
   // Solves (or re-solves after bound changes) to optimality.
   LpResult solve();
+
+  // Captures the current basis + bound state (see BasisSnapshot). Taken
+  // before the first solve() the snapshot is marked invalid and restores to
+  // the fresh-engine state.
+  BasisSnapshot snapshot() const;
+
+  // Adopts a snapshot previously captured from this engine or any clone
+  // over the same LinearProgram: bounds are reset to the base LP and the
+  // snapshot's overrides reapplied, the basis is adopted as-is, and the
+  // factorization is rebuilt lazily on the next solve(). Reduced costs are
+  // cleared (recomputed on the next solve), so the post-restore trajectory
+  // is independent of this engine's prior history -- the determinism
+  // contract the parallel branch & bound relies on.
+  void restore(const BasisSnapshot& snap);
+
+  // A fresh engine over the same LinearProgram restored to snapshot().
+  // Iteration accounting starts at zero in the clone; each engine's
+  // iterations_total() is monotone over its own solves only.
+  DualSimplex clone() const;
 
   // Adjusts the per-solve wall-clock cap (branch & bound shrinks it to its
   // remaining budget).
@@ -116,6 +160,7 @@ class DualSimplex {
   std::vector<Eta> etas_;
 
   bool basis_valid_ = false;
+  bool needs_refactor_ = false;  // restored basis awaiting a lazy refactorize
   bool xb_dirty_ = true;
   bool d_dirty_ = false;
   bool used_artificial_bound_ = false;

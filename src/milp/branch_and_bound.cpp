@@ -1,0 +1,756 @@
+#include "milp/branch_and_bound.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+
+#include "lp/simplex.h"
+
+namespace checkmate::milp {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// A slot never solves more than this many nodes per epoch: long dives would
+// otherwise leave the epoch's other workers idle at the barrier, but SHORT
+// dives are worse -- cutting a dive before it reaches an integral leaf
+// starves the search of incumbents and was measured pathological on
+// vgg16_mid_budget (64: 13694 nodes; 256: 4091 nodes, 3x less wall time;
+// dives there never exceed 256, so larger caps change nothing). The cap is
+// a fixed constant -- like epoch_width it is part of the deterministic
+// search semantics and must not depend on the worker count.
+constexpr int64_t kMaxDiveNodes = 256;
+
+struct BoundChange {
+  int var;
+  double lo, hi;
+};
+
+// Bound changes live in an append-only arena; each entry points at its
+// parent, so a node's root path is its parent chain and children share
+// every prefix without copying. Workers read the arena during the solve
+// phase (it is frozen then) and create local entries that the coordinator
+// rebases into the shared arena at commit.
+struct PathEntry {
+  int parent;  // arena index, -1 at the root
+  BoundChange change;
+};
+
+// An open node: an arena path, the branching decision that created it (for
+// the pseudocost update when its LP is solved), the parent's final basis to
+// warm-start from, and a commit sequence number for deterministic queue
+// tie-breaks.
+struct OpenNode {
+  int path = -1;
+  double bound = -lp::kInf;  // parent relaxation: lower bound for the subtree
+  int branch_var = -1;
+  bool branch_up = false;
+  double branch_frac = 0.0;
+  int64_t seq = 0;
+  std::shared_ptr<const lp::BasisSnapshot> warm;  // null at the root
+};
+
+struct PseudocostStore {
+  std::vector<double> sum[2];
+  std::vector<int64_t> cnt[2];
+  double global_sum[2] = {0.0, 0.0};
+  int64_t global_cnt[2] = {0, 0};
+
+  void init(int num_vars) {
+    for (int d = 0; d < 2; ++d) {
+      sum[d].assign(num_vars, 0.0);
+      cnt[d].assign(num_vars, 0);
+    }
+  }
+  // Average observed per-unit objective degradation for branching var j in
+  // direction d (0 = down, 1 = up). Unobserved variables inherit the global
+  // average; with no observations at all the default of 1.0 makes the
+  // pseudocost score degenerate to most-fractional ordering.
+  double rate(int d, int j) const {
+    if (cnt[d][j] > 0) return sum[d][j] / static_cast<double>(cnt[d][j]);
+    if (global_cnt[d] > 0)
+      return global_sum[d] / static_cast<double>(global_cnt[d]);
+    return 1.0;
+  }
+  void add(int d, int j, double unit) {
+    sum[d][j] += unit;
+    cnt[d][j] += 1;
+    global_sum[d] += unit;
+    global_cnt[d] += 1;
+  }
+};
+
+struct PcObservation {
+  int dir;
+  int var;
+  double unit;
+};
+
+struct IncumbentCandidate {
+  double objective;
+  std::vector<double> x;
+};
+
+// Everything a slot produced, committed in slot order at the barrier.
+struct SlotResult {
+  int64_t nodes = 0;
+  int64_t lp_iterations = 0;
+  std::vector<PathEntry> entries;  // local arena entries (refs >= shared base)
+  std::vector<OpenNode> children;  // for the open queue (paths may be local)
+  std::vector<PcObservation> pc_obs;
+  std::vector<IncumbentCandidate> incumbents;
+  std::vector<double> heur_x;  // first fractional LP solution of the slot
+  double heur_obj = lp::kInf;
+  bool solved_root = false;
+  bool root_lp_ok = false;
+  double root_relaxation = lp::kInf;
+  // Subtrees lost to LP numerical trouble / per-node limits: the search is
+  // incomplete and these bounds cap the reportable global bound.
+  bool dropped = false;
+  double dropped_bound = lp::kInf;
+};
+
+class EpochSearch {
+ public:
+  EpochSearch(const lp::LinearProgram& lp, const MilpOptions& options,
+              const IncumbentHeuristic& heuristic)
+      : lp_(lp),
+        opt_(options),
+        heuristic_(heuristic),
+        start_(Clock::now()),
+        heur_interval_(std::max(1, options.heuristic_interval)) {
+    epoch_width_ = std::max(1, opt_.epoch_width);
+    num_workers_ = resolve_tree_threads(opt_);
+    max_dive_nodes_ =
+        opt_.node_selection == NodeSelection::kBestBound ? 1 : kMaxDiveNodes;
+    for (int j = 0; j < lp.num_vars(); ++j)
+      if (lp.is_integer[j]) int_vars_.push_back(j);
+    pc_.init(lp.num_vars());
+    workers_.resize(static_cast<size_t>(num_workers_));
+  }
+
+  ~EpochSearch() {
+    {
+      std::lock_guard lock(pool_mu_);
+      pool_shutdown_ = true;
+    }
+    pool_cv_.notify_all();
+    for (std::thread& t : pool_) t.join();
+  }
+
+  MilpResult run() {
+    for (const auto& seed : opt_.initial_solutions) offer_candidate(seed);
+    search();
+    result_.seconds = elapsed();
+
+    if (result_.has_solution()) {
+      if (external_bound_met_) {
+        // Terminated against the caller's lower bound: report that bound
+        // (not the incumbent) so the proven gap is stated honestly.
+        result_.best_bound =
+            std::min(opt_.known_lower_bound, result_.objective);
+        result_.status = MilpStatus::kOptimal;
+      } else if (search_complete_) {
+        result_.best_bound = result_.objective;  // proved within gap
+        result_.status = MilpStatus::kOptimal;
+      } else {
+        result_.best_bound = sound_incomplete_bound();
+        result_.status = MilpStatus::kFeasible;
+      }
+    } else {
+      result_.status =
+          search_complete_ ? MilpStatus::kInfeasible : MilpStatus::kNoSolution;
+      result_.best_bound =
+          search_complete_ ? lp::kInf : sound_incomplete_bound();
+    }
+    return result_;
+  }
+
+ private:
+  // ------------------------------------------------------------- shared
+  double elapsed() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  // Lower bound valid when the search tree was truncated: unexplored
+  // subtrees are bounded by their parent relaxations; if the stop happened
+  // before any node finished (e.g. first-incumbent mode at a seed), fall
+  // back to the root relaxation.
+  double sound_incomplete_bound() const {
+    double b = open_bound_;
+    if (b == lp::kInf) {
+      b = result_.root_relaxation != lp::kInf ? result_.root_relaxation
+                                              : -lp::kInf;
+    }
+    return std::min(b, result_.objective);
+  }
+
+  bool limits_hit() {
+    if (stop_) return true;
+    if (result_.nodes >= opt_.max_nodes ||
+        result_.lp_iterations >= opt_.max_lp_iterations ||
+        elapsed() > opt_.time_limit_sec) {
+      stop_ = true;
+      search_complete_ = false;
+    }
+    return stop_;
+  }
+
+  static double prune_threshold_for(double incumbent_obj, double gap) {
+    if (incumbent_obj == lp::kInf) return lp::kInf;
+    return incumbent_obj - gap * std::max(1.0, std::abs(incumbent_obj)) -
+           1e-9;
+  }
+  double prune_threshold() const {
+    return prune_threshold_for(result_.objective, opt_.relative_gap);
+  }
+
+  void try_incumbent(const std::vector<double>& x, double objective) {
+    if (objective >= result_.objective - 1e-12) return;
+    result_.objective = objective;
+    result_.x = x;
+    if (opt_.stop_at_first_incumbent) {
+      stop_ = true;
+      search_complete_ = false;
+    }
+  }
+
+  // Validates and possibly accepts a heuristic/rounded/seeded candidate.
+  void offer_candidate(const std::vector<double>& x) {
+    if (static_cast<int>(x.size()) != lp_.num_vars()) return;
+    for (int j : int_vars_) {
+      const double f = x[j] - std::floor(x[j]);
+      if (std::min(f, 1.0 - f) > opt_.integrality_tol) return;
+    }
+    if (lp_.max_violation(x) > 1e-6) return;
+    try_incumbent(x, lp_.objective_value(x));
+  }
+
+  // True once the incumbent is within the relative gap of the
+  // caller-guaranteed external lower bound (if any).
+  bool external_bound_met() const {
+    if (!result_.has_solution() || opt_.known_lower_bound == -lp::kInf)
+      return false;
+    return result_.objective - opt_.known_lower_bound <=
+           opt_.relative_gap * std::max(1.0, std::abs(result_.objective)) +
+               1e-12;
+  }
+
+  bool best_bound_pop() const {
+    return opt_.node_selection != NodeSelection::kDepthFirst;
+  }
+
+  static bool open_after(const OpenNode& a, const OpenNode& b) {
+    // Min-heap on (bound, creation sequence): the existing best-bound order
+    // with an explicit deterministic tie-break.
+    if (a.bound != b.bound) return a.bound > b.bound;
+    return a.seq > b.seq;
+  }
+
+  void push_open(OpenNode&& node) {
+    node.seq = next_seq_++;
+    open_.push_back(std::move(node));
+    if (best_bound_pop())
+      std::push_heap(open_.begin(), open_.end(), open_after);
+  }
+
+  OpenNode pop_open() {
+    if (best_bound_pop())
+      std::pop_heap(open_.begin(), open_.end(), open_after);
+    OpenNode n = std::move(open_.back());
+    open_.pop_back();
+    return n;
+  }
+
+  double open_min_bound() const {
+    if (open_.empty()) return lp::kInf;
+    if (best_bound_pop()) return open_.front().bound;
+    double b = lp::kInf;
+    for (const OpenNode& n : open_) b = std::min(b, n.bound);
+    return b;
+  }
+
+  // ------------------------------------------------------------ epochs
+  void search() {
+    std::vector<OpenNode> slots;
+    std::vector<SlotResult> results;
+    for (;;) {
+      if (external_bound_met()) {
+        external_bound_met_ = true;
+        return;
+      }
+      if (limits_hit()) break;
+      // Gap termination: once every open subtree is bounded within the
+      // relative gap of the incumbent, the incumbent is optimal-within-gap
+      // -- no need to grind the remaining nodes. (Only best-bound-ordered
+      // modes terminate on the gap; plain DFS keeps the serial behavior.)
+      if (best_bound_pop() && result_.has_solution() && root_done_ &&
+          open_min_bound() >= prune_threshold())
+        return;
+
+      slots.clear();
+      if (!root_done_) {
+        slots.push_back(OpenNode{});  // the root: empty path, -inf bound
+      } else {
+        const double thresh = prune_threshold();
+        while (static_cast<int>(slots.size()) < epoch_width_ &&
+               !open_.empty()) {
+          OpenNode n = pop_open();
+          if (n.bound >= thresh) continue;  // pruned on pop, not counted
+          slots.push_back(std::move(n));
+        }
+        if (slots.empty()) return;  // tree exhausted: search complete
+      }
+
+      shared_base_ = static_cast<int>(arena_.size());
+      // Deterministic work-limit projection: split the remaining global
+      // node/iteration budget evenly across the epoch's slots (the slot
+      // count is worker-count independent), so the committed totals
+      // overshoot a limit by at most one LP solve per slot instead of a
+      // full dive per slot.
+      const auto share = [&](int64_t limit, int64_t used) {
+        if (limit == std::numeric_limits<int64_t>::max()) return limit;
+        const int64_t remaining = std::max<int64_t>(0, limit - used);
+        return std::max<int64_t>(
+            1, remaining / static_cast<int64_t>(slots.size()));
+      };
+      slot_node_allowance_ = share(opt_.max_nodes, result_.nodes);
+      slot_iter_allowance_ =
+          share(opt_.max_lp_iterations, result_.lp_iterations);
+      run_epoch(slots, results);
+      const bool had_root = !root_done_;
+      commit(results);
+      maybe_run_heuristic(results, had_root);
+      if (stop_) break;
+    }
+
+    // Truncated: account every open subtree so best_bound stays sound.
+    for (const OpenNode& n : open_) open_bound_ = std::min(open_bound_, n.bound);
+  }
+
+  void commit(std::vector<SlotResult>& results) {
+    for (SlotResult& r : results) {
+      // Rebase this slot's local arena entries / child paths past the
+      // entries earlier slots committed this epoch.
+      const int off = static_cast<int>(arena_.size()) - shared_base_;
+      for (PathEntry e : r.entries) {
+        if (e.parent >= shared_base_) e.parent += off;
+        arena_.push_back(e);
+      }
+      for (OpenNode& c : r.children) {
+        if (c.path >= shared_base_) c.path += off;
+        push_open(std::move(c));
+      }
+      for (const PcObservation& o : r.pc_obs) pc_.add(o.dir, o.var, o.unit);
+      for (IncumbentCandidate& inc : r.incumbents)
+        try_incumbent(inc.x, inc.objective);
+      result_.nodes += r.nodes;
+      result_.lp_iterations += r.lp_iterations;
+      if (r.solved_root) {
+        root_done_ = true;
+        if (r.root_lp_ok) result_.root_relaxation = r.root_relaxation;
+      }
+      if (r.dropped) {
+        search_complete_ = false;
+        open_bound_ = std::min(open_bound_, r.dropped_bound);
+      }
+    }
+  }
+
+  // Adaptive cadence, evaluated once per epoch on the coordinator (the
+  // caller-provided heuristic is never invoked concurrently): always after
+  // the root epoch, then whenever the committed node count crosses the
+  // backoff interval; the epoch's best-bound fractional solution is the
+  // rounding target.
+  void maybe_run_heuristic(const std::vector<SlotResult>& results,
+                           bool had_root) {
+    if (!heuristic_ || stop_) return;
+    if (!had_root && result_.nodes < next_heur_node_) return;
+    const SlotResult* pick = nullptr;
+    for (const SlotResult& r : results)
+      if (!r.heur_x.empty() && (!pick || r.heur_obj < pick->heur_obj))
+        pick = &r;
+    if (!pick) return;
+    const double before = result_.objective;
+    if (auto cand = heuristic_(pick->heur_x)) offer_candidate(*cand);
+    const int64_t base = std::max(1, opt_.heuristic_interval);
+    if (result_.objective < before - 1e-12) {
+      heur_interval_ = base;
+    } else {
+      heur_interval_ = std::min(heur_interval_ * 2, base * 64);
+    }
+    next_heur_node_ = result_.nodes + heur_interval_;
+  }
+
+  // ------------------------------------------------------------- slots
+  struct Worker {
+    std::unique_ptr<lp::DualSimplex> engine;
+    PseudocostStore pc;  // epoch-start copy + this slot's own observations
+  };
+
+  int pick_branch_var(const PseudocostStore& pc, const std::vector<double>& x,
+                      double* est_down_out, double* est_up_out) const {
+    int best = -1;
+    int best_prio = std::numeric_limits<int>::min();
+    double best_score = -1.0;
+    double best_down = 0.0, best_up = 0.0;
+    for (int j : int_vars_) {
+      const double f = x[j] - std::floor(x[j]);
+      const double dist = std::min(f, 1.0 - f);
+      if (dist <= opt_.integrality_tol) continue;
+      const int prio =
+          opt_.branch_priority.empty() ? 0 : opt_.branch_priority[j];
+      double score, est_down = f, est_up = 1.0 - f;
+      if (opt_.pseudocost_branching) {
+        est_down = pc.rate(0, j) * f;
+        est_up = pc.rate(1, j) * (1.0 - f);
+        score = std::max(est_down, 1e-9) * std::max(est_up, 1e-9);
+      } else {
+        score = dist;  // closest to 0.5 is largest
+      }
+      if (prio > best_prio || (prio == best_prio && score > best_score)) {
+        best = j;
+        best_prio = prio;
+        best_score = score;
+        best_down = est_down;
+        best_up = est_up;
+      }
+    }
+    if (est_down_out) *est_down_out = best_down;
+    if (est_up_out) *est_up_out = best_up;
+    return best;
+  }
+
+  // Processes one popped node on worker `wid`: restore the parent basis,
+  // reapply the node's root path, then dive depth-first. Reads only frozen
+  // shared state (arena_ up to shared_base_, pc_, the epoch-start
+  // result_.{objective,nodes,lp_iterations}) -- everything it produces goes
+  // through the SlotResult for ordered commit.
+  SlotResult process_slot(int wid, const OpenNode& start) {
+    Worker& w = workers_[static_cast<size_t>(wid)];
+    if (!w.engine)
+      w.engine = std::make_unique<lp::DualSimplex>(lp_, opt_.simplex);
+    lp::DualSimplex& eng = *w.engine;
+    SlotResult out;
+
+    eng.restore(start.warm ? *start.warm : lp::BasisSnapshot{});
+    {
+      // Reapply the node's bound changes root -> leaf. start.path always
+      // points into the committed arena (children created this epoch are
+      // not poppable until the next one).
+      std::vector<int> chain;
+      for (int r = start.path; r >= 0; r = arena_[r].parent)
+        chain.push_back(r);
+      for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+        const BoundChange& c = arena_[*it].change;
+        eng.set_var_bounds(c.var, c.lo, c.hi);
+      }
+    }
+
+    // Epoch-start pseudocosts; this slot's own observations layer on top.
+    // The copy must be per SLOT, not per worker-epoch: two slots of one
+    // epoch may land on the same worker under one thread count and on
+    // different workers under another, so a slot must never see a sibling
+    // slot's local observations. The vectors keep their capacity across
+    // slots, so this is a memcpy of a few tens of KB -- noise next to one
+    // node's LP re-solve.
+    w.pc = pc_;
+    double best_obj = result_.objective;  // epoch-start incumbent (or +inf)
+    const int64_t nodes_base = result_.nodes;
+    const int64_t iters_base = result_.lp_iterations;
+
+    struct Cursor {
+      int path;
+      double bound;
+      int branch_var;
+      bool branch_up;
+      double branch_frac;
+      std::shared_ptr<const lp::BasisSnapshot> warm;
+    };
+    Cursor cur{start.path,      start.bound,      start.branch_var,
+               start.branch_up, start.branch_frac, start.warm};
+
+    auto requeue_cursor = [&]() {
+      // The cursor's bounds are already applied to the engine; capture the
+      // (parent-basis, cursor-bounds) state so any worker can resume it.
+      OpenNode n;
+      n.path = cur.path;
+      n.bound = cur.bound;
+      n.branch_var = cur.branch_var;
+      n.branch_up = cur.branch_up;
+      n.branch_frac = cur.branch_frac;
+      n.warm = cur.warm ? cur.warm
+                        : std::make_shared<lp::BasisSnapshot>(eng.snapshot());
+      out.children.push_back(std::move(n));
+    };
+
+    for (;;) {
+      // Work limits, projected from epoch-start committed totals plus this
+      // slot's own work (never other in-flight slots) and capped by this
+      // slot's even share of the remaining budget -- both deterministic
+      // for any worker count.
+      if (out.nodes >= slot_node_allowance_ ||
+          out.lp_iterations >= slot_iter_allowance_ ||
+          nodes_base + out.nodes >= opt_.max_nodes ||
+          iters_base + out.lp_iterations >= opt_.max_lp_iterations ||
+          elapsed() > opt_.time_limit_sec) {
+        requeue_cursor();
+        break;
+      }
+      // Never let one node LP outlive the solver's remaining budget. The
+      // floor only guards against a non-positive limit -- it must not grant
+      // time the global budget no longer has.
+      eng.set_time_limit(std::max(0.01, opt_.time_limit_sec - elapsed()));
+      ++out.nodes;
+      const lp::LpResult rel = eng.solve();
+      out.lp_iterations += rel.iterations;
+      const bool is_root = cur.path < 0;
+      if (is_root) {
+        out.solved_root = true;
+        if (rel.status == lp::LpStatus::kOptimal) {
+          out.root_lp_ok = true;
+          out.root_relaxation = rel.objective;
+        }
+      }
+      if (rel.status == lp::LpStatus::kInfeasible) break;
+      if (rel.status != lp::LpStatus::kOptimal) {
+        // Numerical trouble or LP time cap: the subtree is dropped but its
+        // parent relaxation still bounds it (the root has no parent).
+        out.dropped = true;
+        out.dropped_bound = std::min(out.dropped_bound, cur.bound);
+        break;
+      }
+
+      if (cur.branch_var >= 0 && cur.bound != -lp::kInf) {
+        const int d = cur.branch_up ? 1 : 0;
+        const double dist =
+            cur.branch_up ? 1.0 - cur.branch_frac : cur.branch_frac;
+        const double unit =
+            std::max(0.0, rel.objective - cur.bound) / std::max(dist, 1e-6);
+        w.pc.add(d, cur.branch_var, unit);
+        out.pc_obs.push_back({d, cur.branch_var, unit});
+      }
+      if (rel.objective >=
+          prune_threshold_for(best_obj, opt_.relative_gap))
+        break;
+
+      double est_down = 0.0, est_up = 0.0;
+      const int bv = pick_branch_var(w.pc, rel.x, &est_down, &est_up);
+      if (bv < 0) {
+        // Integral: candidate incumbent (accepted in commit order).
+        if (rel.objective < best_obj - 1e-12) {
+          best_obj = rel.objective;
+          out.incumbents.push_back({rel.objective, rel.x});
+          if (opt_.stop_at_first_incumbent) break;
+        }
+        break;
+      }
+      if (out.heur_x.empty() && heuristic_) {
+        out.heur_x = rel.x;
+        out.heur_obj = rel.objective;
+      }
+
+      // Branch. Dive into the child with the smaller estimated objective
+      // degradation; the sibling joins the open queue with a snapshot of
+      // this (parent) basis so any worker can pick it up later.
+      const double frac = rel.x[bv];
+      const double floor_val = std::floor(frac);
+      const double cur_lo = eng.var_lower(bv);
+      const double cur_hi = eng.var_upper(bv);
+      const double f = frac - floor_val;
+      const bool down_first =
+          opt_.pseudocost_branching ? est_down <= est_up : f <= 0.5;
+      const bool down_ok = floor_val >= cur_lo - 1e-12;
+      const bool up_ok = floor_val + 1.0 <= cur_hi + 1e-12;
+
+      const bool preferred_up = !down_first;
+      std::optional<bool> dive_dir, open_dir;
+      if (preferred_up ? up_ok : down_ok) dive_dir = preferred_up;
+      if (preferred_up ? down_ok : up_ok) {
+        if (dive_dir)
+          open_dir = !preferred_up;
+        else
+          dive_dir = !preferred_up;
+      }
+      if (!dive_dir) break;  // the fractional value has no feasible side
+
+      auto add_entry = [&](bool up) {
+        out.entries.push_back(
+            {cur.path, up ? BoundChange{bv, floor_val + 1.0, cur_hi}
+                          : BoundChange{bv, cur_lo, floor_val}});
+        return shared_base_ + static_cast<int>(out.entries.size()) - 1;
+      };
+      std::shared_ptr<const lp::BasisSnapshot> parent_snap;
+      auto snapshot_parent = [&]() {
+        if (!parent_snap)
+          parent_snap =
+              std::make_shared<const lp::BasisSnapshot>(eng.snapshot());
+        return parent_snap;
+      };
+      auto make_open_child = [&](bool up) {
+        OpenNode c;
+        c.path = add_entry(up);
+        c.bound = rel.objective;
+        c.branch_var = bv;
+        c.branch_up = up;
+        c.branch_frac = f;
+        c.warm = snapshot_parent();
+        return c;
+      };
+
+      const bool can_dive = opt_.node_selection != NodeSelection::kBestBound &&
+                            out.nodes < max_dive_nodes_;
+      if (!can_dive) {
+        if (open_dir) out.children.push_back(make_open_child(*open_dir));
+        out.children.push_back(make_open_child(*dive_dir));
+        break;
+      }
+      if (open_dir) out.children.push_back(make_open_child(*open_dir));
+      const int child_path = add_entry(*dive_dir);
+      const BoundChange& c = out.entries.back().change;
+      eng.set_var_bounds(c.var, c.lo, c.hi);
+      cur = Cursor{child_path, rel.objective, bv, *dive_dir, f, nullptr};
+    }
+    return out;
+  }
+
+  // ---------------------------------------------------------- dispatch
+  // Epoch barrier: slots are claimed from a shared index under the pool
+  // mutex (dynamic load balance is safe because a slot's result does not
+  // depend on which engine runs it), results land at the slot's index, and
+  // the coordinator both participates (worker id 0) and waits for the
+  // countdown to reach zero before committing.
+  void run_epoch(const std::vector<OpenNode>& slots,
+                 std::vector<SlotResult>& results) {
+    results.clear();
+    results.resize(slots.size());
+    const int want =
+        std::min<int>(num_workers_, static_cast<int>(slots.size()));
+    if (want <= 1) {
+      for (size_t i = 0; i < slots.size(); ++i)
+        results[i] = process_slot(0, slots[i]);
+      return;
+    }
+    ensure_pool(want - 1);
+    {
+      std::lock_guard lock(pool_mu_);
+      epoch_slots_ = &slots;
+      epoch_results_ = &results;
+      epoch_slot_count_ = slots.size();
+      epoch_next_ = 0;
+      epoch_pending_ = static_cast<int>(slots.size());
+      ++epoch_id_;
+    }
+    pool_cv_.notify_all();
+    for (;;) {
+      size_t i;
+      {
+        std::lock_guard lock(pool_mu_);
+        if (epoch_next_ >= slots.size()) break;
+        i = epoch_next_++;
+      }
+      results[i] = process_slot(0, slots[i]);
+      std::lock_guard lock(pool_mu_);
+      if (--epoch_pending_ == 0) pool_done_cv_.notify_all();
+    }
+    std::unique_lock lock(pool_mu_);
+    pool_done_cv_.wait(lock, [this] { return epoch_pending_ == 0; });
+  }
+
+  void ensure_pool(int threads) {
+    while (static_cast<int>(pool_.size()) < threads) {
+      const int wid = static_cast<int>(pool_.size()) + 1;  // 0 = coordinator
+      pool_.emplace_back([this, wid] { pool_loop(wid); });
+    }
+  }
+
+  void pool_loop(int wid) {
+    uint64_t seen = 0;
+    for (;;) {
+      std::unique_lock lock(pool_mu_);
+      pool_cv_.wait(lock,
+                    [&] { return pool_shutdown_ || epoch_id_ > seen; });
+      if (pool_shutdown_) return;
+      seen = epoch_id_;
+      for (;;) {
+        if (epoch_next_ >= epoch_slot_count_) break;
+        const size_t i = epoch_next_++;
+        lock.unlock();
+        (*epoch_results_)[i] = process_slot(wid, (*epoch_slots_)[i]);
+        lock.lock();
+        if (--epoch_pending_ == 0) pool_done_cv_.notify_all();
+      }
+    }
+  }
+
+  // ------------------------------------------------------------ members
+  const lp::LinearProgram& lp_;
+  MilpOptions opt_;
+  const IncumbentHeuristic& heuristic_;
+  Clock::time_point start_;
+  int epoch_width_ = 4;
+  int num_workers_ = 1;
+  int64_t max_dive_nodes_ = kMaxDiveNodes;
+  std::vector<int> int_vars_;
+
+  // Committed shared state: frozen during an epoch's solve phase, mutated
+  // only by the coordinator at the barrier.
+  std::vector<PathEntry> arena_;
+  int shared_base_ = 0;  // arena size at the current epoch's start
+  // Per-slot even shares of the remaining node/iteration budget for the
+  // current epoch (set by the coordinator before dispatch).
+  int64_t slot_node_allowance_ = std::numeric_limits<int64_t>::max();
+  int64_t slot_iter_allowance_ = std::numeric_limits<int64_t>::max();
+  std::vector<OpenNode> open_;
+  int64_t next_seq_ = 0;
+  PseudocostStore pc_;
+  MilpResult result_;
+  bool root_done_ = false;
+  bool search_complete_ = true;
+  bool external_bound_met_ = false;
+  bool stop_ = false;
+  double open_bound_ = lp::kInf;
+  int64_t heur_interval_;
+  int64_t next_heur_node_ = 0;
+
+  std::vector<Worker> workers_;
+
+  // Epoch dispatch (all guarded by pool_mu_ except the per-index result
+  // writes, which are ordered by the mutex acquire/release pairs).
+  std::mutex pool_mu_;
+  std::condition_variable pool_cv_, pool_done_cv_;
+  std::vector<std::thread> pool_;
+  const std::vector<OpenNode>* epoch_slots_ = nullptr;
+  std::vector<SlotResult>* epoch_results_ = nullptr;
+  size_t epoch_slot_count_ = 0;  // workers test this, never slots->size()
+  size_t epoch_next_ = 0;
+  int epoch_pending_ = 0;
+  uint64_t epoch_id_ = 0;
+  bool pool_shutdown_ = false;
+};
+
+}  // namespace
+
+int resolve_tree_threads(const MilpOptions& options) {
+  int n = options.num_threads;
+  if (n <= 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    n = hw == 0 ? 1 : static_cast<int>(hw);
+  }
+  return std::clamp(n, 1, std::max(1, options.epoch_width));
+}
+
+MilpResult branch_and_bound(const lp::LinearProgram& lp,
+                            const MilpOptions& options,
+                            const IncumbentHeuristic& heuristic) {
+  EpochSearch search(lp, options, heuristic);
+  return search.run();
+}
+
+}  // namespace checkmate::milp

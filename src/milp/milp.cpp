@@ -1,8 +1,8 @@
 #include "milp/milp.h"
 
 #include <algorithm>
-#include <chrono>
-#include <cmath>
+
+#include "milp/branch_and_bound.h"
 
 namespace checkmate::milp {
 
@@ -26,452 +26,6 @@ const char* to_string(NodeSelection mode) {
   return "unknown";
 }
 
-namespace {
-
-using Clock = std::chrono::steady_clock;
-
-struct BoundChange {
-  int var;
-  double lo, hi;
-};
-
-// Bound changes live in an append-only arena; each entry points at its
-// parent, so a node's root path is its parent chain. Children share every
-// prefix without copying: node creation is O(1) and a dive of depth d does
-// O(d) work total (large rematerialization instances fix thousands of
-// binaries, one per level). The arena is bounded by two entries per
-// explored node.
-struct PathEntry {
-  int parent;  // arena index, -1 at the root
-  BoundChange change;
-};
-
-// An open node is an arena reference plus the branching decision that
-// created it (kept for the pseudocost update when its LP is eventually
-// solved).
-struct Node {
-  int path = -1;             // deepest PathEntry, -1 = root
-  double bound = -lp::kInf;  // parent relaxation: lower bound for the subtree
-  int branch_var = -1;
-  bool branch_up = false;
-  double branch_frac = 0.0;  // fractional part of the parent LP value
-};
-
-class BranchAndBound {
- public:
-  BranchAndBound(const lp::LinearProgram& lp, const MilpOptions& options,
-                 IncumbentHeuristic heuristic)
-      : lp_(lp),
-        opt_(options),
-        heuristic_(std::move(heuristic)),
-        simplex_(lp, options.simplex),
-        start_(Clock::now()),
-        heur_interval_(std::max(1, options.heuristic_interval)) {
-    for (int j = 0; j < lp.num_vars(); ++j)
-      if (lp.is_integer[j]) int_vars_.push_back(j);
-    root_lo_ = lp.lb;
-    root_hi_ = lp.ub;
-    pc_sum_[0].assign(lp.num_vars(), 0.0);
-    pc_sum_[1].assign(lp.num_vars(), 0.0);
-    pc_cnt_[0].assign(lp.num_vars(), 0);
-    pc_cnt_[1].assign(lp.num_vars(), 0);
-  }
-
-  MilpResult run() {
-    for (const auto& seed : opt_.initial_solutions) offer_candidate(seed);
-    search();
-    result_.seconds = elapsed();
-    result_.lp_iterations = simplex_.iterations_total();
-
-    if (result_.has_solution()) {
-      if (external_bound_met_) {
-        // Terminated against the caller's lower bound: report that bound
-        // (not the incumbent) so the proven gap is stated honestly.
-        result_.best_bound =
-            std::min(opt_.known_lower_bound, result_.objective);
-        result_.status = MilpStatus::kOptimal;
-      } else if (search_complete_) {
-        result_.best_bound = result_.objective;  // proved within gap
-        result_.status = MilpStatus::kOptimal;
-      } else {
-        result_.best_bound = sound_incomplete_bound();
-        result_.status = MilpStatus::kFeasible;
-      }
-    } else {
-      result_.status =
-          search_complete_ ? MilpStatus::kInfeasible : MilpStatus::kNoSolution;
-      result_.best_bound =
-          search_complete_ ? lp::kInf : sound_incomplete_bound();
-    }
-    return result_;
-  }
-
- private:
-  double elapsed() const {
-    return std::chrono::duration<double>(Clock::now() - start_).count();
-  }
-
-  // Lower bound valid when the search tree was truncated: unexplored
-  // subtrees are bounded by their parent relaxations (open_bound_); if the
-  // stop happened before any truncation bookkeeping (e.g. first-incumbent
-  // mode), fall back to the root relaxation.
-  double sound_incomplete_bound() const {
-    double b = open_bound_;
-    if (b == lp::kInf) {
-      b = result_.root_relaxation != lp::kInf ? result_.root_relaxation
-                                              : -lp::kInf;
-    }
-    return std::min(b, result_.objective);
-  }
-
-  bool limits_hit() {
-    if (stop_) return true;
-    if (result_.nodes >= opt_.max_nodes ||
-        simplex_.iterations_total() >= opt_.max_lp_iterations ||
-        elapsed() > opt_.time_limit_sec) {
-      stop_ = true;
-      search_complete_ = false;
-    }
-    return stop_;
-  }
-
-  double prune_threshold() const {
-    if (!result_.has_solution()) return lp::kInf;
-    return result_.objective -
-           opt_.relative_gap * std::max(1.0, std::abs(result_.objective)) -
-           1e-9;
-  }
-
-  // Average observed per-unit objective degradation for branching var j in
-  // direction d (0 = down, 1 = up). Unobserved variables inherit the global
-  // average; with no observations at all the default of 1.0 makes the
-  // pseudocost score degenerate to most-fractional ordering.
-  double pseudocost(int d, int j) const {
-    if (pc_cnt_[d][j] > 0) return pc_sum_[d][j] / pc_cnt_[d][j];
-    if (pc_global_cnt_[d] > 0) return pc_global_sum_[d] / pc_global_cnt_[d];
-    return 1.0;
-  }
-
-  void update_pseudocost(const Node& node, double objective) {
-    if (node.branch_var < 0 || node.bound == -lp::kInf) return;
-    const int d = node.branch_up ? 1 : 0;
-    const double dist =
-        node.branch_up ? 1.0 - node.branch_frac : node.branch_frac;
-    const double unit =
-        std::max(0.0, objective - node.bound) / std::max(dist, 1e-6);
-    pc_sum_[d][node.branch_var] += unit;
-    pc_cnt_[d][node.branch_var] += 1;
-    pc_global_sum_[d] += unit;
-    pc_global_cnt_[d] += 1;
-  }
-
-  // Returns the fractional integer variable to branch on, or -1 if the
-  // point is integral. Highest priority wins; within a tier the pseudocost
-  // product score (or plain fractionality when pseudocosts are disabled)
-  // decides.
-  int pick_branch_var(const std::vector<double>& x, double* est_down_out,
-                      double* est_up_out) const {
-    int best = -1;
-    int best_prio = std::numeric_limits<int>::min();
-    double best_score = -1.0;
-    double best_down = 0.0, best_up = 0.0;
-    for (int j : int_vars_) {
-      const double f = x[j] - std::floor(x[j]);
-      const double dist = std::min(f, 1.0 - f);
-      if (dist <= opt_.integrality_tol) continue;
-      const int prio =
-          opt_.branch_priority.empty() ? 0 : opt_.branch_priority[j];
-      double score, est_down = f, est_up = 1.0 - f;
-      if (opt_.pseudocost_branching) {
-        est_down = pseudocost(0, j) * f;
-        est_up = pseudocost(1, j) * (1.0 - f);
-        score = std::max(est_down, 1e-9) * std::max(est_up, 1e-9);
-      } else {
-        score = dist;  // closest to 0.5 is largest
-      }
-      if (prio > best_prio || (prio == best_prio && score > best_score)) {
-        best = j;
-        best_prio = prio;
-        best_score = score;
-        best_down = est_down;
-        best_up = est_up;
-      }
-    }
-    if (est_down_out) *est_down_out = best_down;
-    if (est_up_out) *est_up_out = best_up;
-    return best;
-  }
-
-  void try_incumbent(const std::vector<double>& x, double objective) {
-    if (objective >= result_.objective - 1e-12) return;
-    result_.objective = objective;
-    result_.x = x;
-    if (opt_.stop_at_first_incumbent) {
-      stop_ = true;
-      search_complete_ = false;
-    }
-  }
-
-  // Validates and possibly accepts a heuristic/rounded candidate.
-  void offer_candidate(const std::vector<double>& x) {
-    if (static_cast<int>(x.size()) != lp_.num_vars()) return;
-    for (int j : int_vars_) {
-      const double f = x[j] - std::floor(x[j]);
-      if (std::min(f, 1.0 - f) > opt_.integrality_tol) return;
-    }
-    if (lp_.max_violation(x) > 1e-6) return;
-    try_incumbent(x, lp_.objective_value(x));
-  }
-
-  // Adaptive cadence: always at the root, then every heur_interval_ nodes;
-  // the interval doubles while the heuristic fails to improve the incumbent
-  // (rounding the same fractional neighborhood rarely pays twice) and snaps
-  // back to the configured base on success.
-  void maybe_run_heuristic(const std::vector<double>& x, bool is_root) {
-    if (!heuristic_ || stop_) return;
-    if (!is_root && result_.nodes < next_heur_node_) return;
-    const double before = result_.objective;
-    if (auto cand = heuristic_(x)) offer_candidate(*cand);
-    const int64_t base = std::max(1, opt_.heuristic_interval);
-    if (result_.objective < before - 1e-12) {
-      heur_interval_ = base;
-    } else {
-      heur_interval_ = std::min(heur_interval_ * 2, base * 64);
-    }
-    next_heur_node_ = result_.nodes + heur_interval_;
-  }
-
-  // Rewinds/advances the simplex bound state from the currently applied
-  // path to `target_ref`. Shared prefixes are left untouched, so a dive
-  // step costs exactly one set_var_bounds call.
-  void switch_to(int target_ref) {
-    if (target_ref == cur_ref_) return;
-    // Fast path: descending into a direct child of the current node.
-    if (target_ref >= 0 && arena_[target_ref].parent == cur_ref_) {
-      const BoundChange& c = arena_[target_ref].change;
-      simplex_.set_var_bounds(c.var, c.lo, c.hi);
-      cur_chain_.push_back(target_ref);
-      cur_ref_ = target_ref;
-      return;
-    }
-    target_chain_.clear();
-    for (int r = target_ref; r >= 0; r = arena_[r].parent)
-      target_chain_.push_back(r);
-    std::reverse(target_chain_.begin(), target_chain_.end());
-    size_t k = 0;
-    while (k < cur_chain_.size() && k < target_chain_.size() &&
-           cur_chain_[k] == target_chain_[k])
-      ++k;
-    reset_scratch_.clear();
-    for (size_t i = k; i < cur_chain_.size(); ++i) {
-      const int v = arena_[cur_chain_[i]].change.var;
-      simplex_.set_var_bounds(v, root_lo_[v], root_hi_[v]);
-      reset_scratch_.push_back(v);
-    }
-    std::sort(reset_scratch_.begin(), reset_scratch_.end());
-    reset_scratch_.erase(
-        std::unique(reset_scratch_.begin(), reset_scratch_.end()),
-        reset_scratch_.end());
-    // Re-apply the target path. Entries in the untouched prefix only need a
-    // refresh when their variable was just reset to root bounds.
-    for (size_t j = 0; j < target_chain_.size(); ++j) {
-      const BoundChange& c = arena_[target_chain_[j]].change;
-      if (j >= k || std::binary_search(reset_scratch_.begin(),
-                                       reset_scratch_.end(), c.var))
-        simplex_.set_var_bounds(c.var, c.lo, c.hi);
-    }
-    cur_chain_ = target_chain_;
-    cur_ref_ = target_ref;
-  }
-
-  bool best_bound_pop() const {
-    return opt_.node_selection != NodeSelection::kDepthFirst;
-  }
-
-  void push_open(Node&& node) {
-    open_.push_back(std::move(node));
-    if (best_bound_pop())
-      std::push_heap(open_.begin(), open_.end(),
-                     [](const Node& a, const Node& b) { return a.bound > b.bound; });
-  }
-
-  std::optional<Node> pop_open() {
-    if (open_.empty()) return std::nullopt;
-    if (best_bound_pop())
-      std::pop_heap(open_.begin(), open_.end(),
-                    [](const Node& a, const Node& b) { return a.bound > b.bound; });
-    Node n = std::move(open_.back());
-    open_.pop_back();
-    return n;
-  }
-
-  // Smallest bound among open subtrees (heap-ordered under best-bound
-  // selection, so O(1)), or +inf with nothing open. Together with the node
-  // in flight this is a valid global lower bound.
-  double open_min_bound() const {
-    return open_.empty() ? lp::kInf : open_.front().bound;
-  }
-
-  // True once the incumbent is within the relative gap of the
-  // caller-guaranteed external lower bound (if any).
-  bool external_bound_met() const {
-    if (!result_.has_solution() || opt_.known_lower_bound == -lp::kInf)
-      return false;
-    return result_.objective - opt_.known_lower_bound <=
-           opt_.relative_gap * std::max(1.0, std::abs(result_.objective)) +
-               1e-12;
-  }
-
-  void search() {
-    std::optional<Node> cur = Node{};  // the root: empty path, -inf bound
-    for (;;) {
-      if (external_bound_met()) {
-        external_bound_met_ = true;
-        return;
-      }
-      if (limits_hit()) break;
-      // Gap termination: once every open subtree is bounded within the
-      // relative gap of the incumbent, the incumbent is optimal-within-gap
-      // -- no need to grind the remaining nodes. (Only best-bound-ordered
-      // modes know the global bound cheaply; plain DFS keeps a LIFO.)
-      if (best_bound_pop() && result_.has_solution()) {
-        double global = open_min_bound();
-        if (cur) global = std::min(global, cur->bound);
-        if (global >= prune_threshold()) return;
-      }
-      if (!cur) {
-        cur = pop_open();
-        if (!cur) return;  // tree exhausted: search complete
-        if (cur->bound >= prune_threshold()) {
-          cur.reset();
-          continue;
-        }
-      }
-
-      switch_to(cur->path);
-      const bool is_root = cur->path < 0;
-      // Never let one node LP outlive the solver's remaining budget. The
-      // floor only guards against a non-positive limit -- it must not grant
-      // time the global budget no longer has.
-      simplex_.set_time_limit(
-          std::max(0.01, opt_.time_limit_sec - elapsed()));
-      ++result_.nodes;
-      const lp::LpResult rel = simplex_.solve();
-      if (is_root && rel.status == lp::LpStatus::kOptimal)
-        result_.root_relaxation = rel.objective;
-
-      if (rel.status == lp::LpStatus::kInfeasible) {
-        cur.reset();
-        continue;
-      }
-      if (rel.status != lp::LpStatus::kOptimal) {
-        // Numerical trouble or LP time cap: the subtree stays open; its
-        // parent relaxation still bounds it (the root has no parent).
-        search_complete_ = false;
-        open_bound_ = std::min(open_bound_, cur->bound);
-        cur.reset();
-        continue;
-      }
-
-      update_pseudocost(*cur, rel.objective);
-      if (rel.objective >= prune_threshold()) {
-        cur.reset();
-        continue;
-      }
-
-      double est_down = 0.0, est_up = 0.0;
-      const int bv = pick_branch_var(rel.x, &est_down, &est_up);
-      if (bv < 0) {
-        try_incumbent(rel.x, rel.objective);
-        cur.reset();
-        continue;
-      }
-      maybe_run_heuristic(rel.x, is_root);
-      if (stop_ || rel.objective >= prune_threshold()) {
-        cur.reset();
-        continue;
-      }
-
-      // Branch. Dive into the child with the smaller estimated objective
-      // degradation; the sibling joins the open list.
-      const double frac = rel.x[bv];
-      const double floor_val = std::floor(frac);
-      const double cur_lo = simplex_.var_lower(bv);
-      const double cur_hi = simplex_.var_upper(bv);
-      const double f = frac - floor_val;
-      const bool down_first = opt_.pseudocost_branching
-                                  ? est_down <= est_up
-                                  : f <= 0.5;
-
-      auto make_child = [&](bool up) {
-        Node child;
-        arena_.push_back(
-            {cur->path, up ? BoundChange{bv, floor_val + 1.0, cur_hi}
-                           : BoundChange{bv, cur_lo, floor_val}});
-        child.path = static_cast<int>(arena_.size()) - 1;
-        child.bound = rel.objective;
-        child.branch_var = bv;
-        child.branch_up = up;
-        child.branch_frac = f;
-        return child;
-      };
-      const bool down_ok = floor_val >= cur_lo - 1e-12;
-      const bool up_ok = floor_val + 1.0 <= cur_hi + 1e-12;
-
-      std::optional<Node> dive;
-      const bool preferred_up = !down_first;
-      if (preferred_up ? up_ok : down_ok) dive = make_child(preferred_up);
-      if (!preferred_up ? up_ok : down_ok) {
-        Node other = make_child(!preferred_up);
-        if (dive)
-          push_open(std::move(other));
-        else
-          dive = std::move(other);
-      }
-      if (dive && opt_.node_selection == NodeSelection::kBestBound) {
-        // Pure best-bound: no diving, both children go through the heap.
-        push_open(std::move(*dive));
-        dive.reset();
-      }
-      cur = std::move(dive);
-    }
-
-    // Truncated: account every open subtree so best_bound stays sound.
-    if (cur) open_bound_ = std::min(open_bound_, cur->bound);
-    for (const Node& n : open_) open_bound_ = std::min(open_bound_, n.bound);
-  }
-
-  const lp::LinearProgram& lp_;
-  MilpOptions opt_;
-  IncumbentHeuristic heuristic_;
-  lp::DualSimplex simplex_;
-  Clock::time_point start_;
-
-  std::vector<int> int_vars_;
-  std::vector<double> root_lo_, root_hi_;
-  std::vector<PathEntry> arena_;
-  int cur_ref_ = -1;              // deepest applied arena entry (-1 = root)
-  std::vector<int> cur_chain_;    // applied arena entries, root -> deepest
-  std::vector<int> target_chain_, reset_scratch_;  // switch_to scratch
-  std::vector<Node> open_;
-
-  std::vector<double> pc_sum_[2];
-  std::vector<int> pc_cnt_[2];
-  double pc_global_sum_[2] = {0.0, 0.0};
-  int pc_global_cnt_[2] = {0, 0};
-
-  int64_t heur_interval_;
-  int64_t next_heur_node_ = 0;
-
-  MilpResult result_;
-  bool search_complete_ = true;
-  bool external_bound_met_ = false;
-  bool stop_ = false;
-  double open_bound_ = lp::kInf;
-};
-
-}  // namespace
-
 MilpResult solve_milp(const lp::LinearProgram& lp, const MilpOptions& options,
                       IncumbentHeuristic heuristic) {
   MilpOptions opts = options;
@@ -479,10 +33,7 @@ MilpResult solve_milp(const lp::LinearProgram& lp, const MilpOptions& options,
   opts.simplex.time_limit_sec =
       std::min(opts.simplex.time_limit_sec, opts.time_limit_sec);
 
-  if (!opts.presolve) {
-    BranchAndBound bnb(lp, opts, std::move(heuristic));
-    return bnb.run();
-  }
+  if (!opts.presolve) return branch_and_bound(lp, opts, heuristic);
 
   PresolveOptions popts;
   popts.integrality_tol = opts.integrality_tol;
@@ -496,8 +47,7 @@ MilpResult solve_milp(const lp::LinearProgram& lp, const MilpOptions& options,
   }
   // Columns are identity-mapped through presolve, so incumbents, heuristics
   // and priorities transfer without translation.
-  BranchAndBound bnb(pre.lp, opts, std::move(heuristic));
-  MilpResult res = bnb.run();
+  MilpResult res = branch_and_bound(pre.lp, opts, heuristic);
   res.presolve = pre.stats;
   return res;
 }

@@ -16,8 +16,12 @@
 //     per-unit objective degradations steer the search toward decisions
 //     that move the dual bound; unobserved variables degrade gracefully to
 //     most-fractional ordering;
-//   - bound changes are applied/undone on a single simplex instance, so
-//     every node re-solve is a warm-started dual simplex run;
+//   - the tree search is an epoch-lockstep deterministic parallel branch &
+//     bound (milp/branch_and_bound.h): worker threads each own a simplex
+//     engine, nodes warm-start from their parent's basis snapshot, a dive
+//     step is a single bound change on the live engine, and results commit
+//     in deterministic order at epoch barriers -- node counts and
+//     incumbents are bit-identical for any num_threads;
 //   - a caller-provided incumbent heuristic (Checkmate plugs in two-phase
 //     LP rounding) is invoked on fractional node solutions on an adaptive
 //     cadence that backs off while the heuristic fails to improve;
@@ -56,6 +60,23 @@ struct MilpOptions {
   int64_t max_lp_iterations = std::numeric_limits<int64_t>::max();
   // Run the presolve pass before the search (see milp/presolve.h).
   bool presolve = true;
+  // Worker threads for the in-solve tree search (0 = one per hardware
+  // thread, clamped to epoch_width). The search is an epoch-lockstep
+  // parallel branch & bound (milp/branch_and_bound.h): the explored tree,
+  // node counts, incumbents and the deterministic work-limit semantics
+  // (max_nodes, max_lp_iterations) are bit-identical for EVERY value of
+  // num_threads -- only wall-clock time changes. The one exception is
+  // wall-clock truncation itself: a run that hits time_limit_sec stops at
+  // a machine-dependent point, exactly as in the serial solver. Values
+  // above epoch_width buy nothing (an epoch never has more concurrent
+  // node solves than its width).
+  int num_threads = 0;
+  // Nodes deterministically popped from the shared queue per lockstep
+  // epoch. Unlike num_threads this IS part of the search semantics:
+  // changing the width changes which nodes are explored (a wider epoch
+  // expands more frontier nodes against the same epoch-start incumbent).
+  // Values < 1 are clamped to 1.
+  int epoch_width = 4;
   // Pseudocost-driven branching; disable to fall back to most-fractional
   // (the pre-overhaul behavior, kept for ablation).
   bool pseudocost_branching = true;

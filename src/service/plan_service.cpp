@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <unordered_map>
 
 namespace checkmate::service {
@@ -16,16 +17,16 @@ ScheduleResult infeasible_result(const char* message) {
   return res;
 }
 
-int resolve_workers(int requested) {
-  if (requested > 0) return requested;
-  const unsigned hw = std::thread::hardware_concurrency();
-  return static_cast<int>(std::clamp(hw, 1u, 8u));
-}
-
 }  // namespace
 
 PlanService::PlanService(PlanServiceOptions options)
     : opts_(options), cache_(options.max_cache_entries) {}
+
+int PlanService::thread_budget() const {
+  if (opts_.num_threads > 0) return opts_.num_threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
 
 PlanService::~PlanService() = default;
 
@@ -71,7 +72,14 @@ void PlanService::ensure_presolve(CacheEntry& entry,
 
 ScheduleResult PlanService::solve_locked(CacheEntry& entry,
                                          double budget_bytes,
-                                         const IlpSolveOptions& options) {
+                                         const IlpSolveOptions& options_in,
+                                         int tree_threads) {
+  // The query's share of the service thread budget feeds the in-solve
+  // parallel tree search unless the caller pinned num_threads explicitly.
+  // Either way the answer is identical (epoch-lockstep determinism); only
+  // wall-clock attribution changes.
+  IlpSolveOptions options = options_in;
+  if (options.num_threads == 0) options.num_threads = tree_threads;
   {
     std::lock_guard lock(stats_mu_);
     ++stats_.queries;
@@ -201,7 +209,8 @@ ScheduleResult PlanService::plan(const RematProblem& problem,
   }
   auto entry = acquire(problem, budget_bytes, options);
   std::lock_guard lock(entry->mu);
-  return solve_locked(*entry, budget_bytes, options);
+  // A lone query owns the whole budget.
+  return solve_locked(*entry, budget_bytes, options, thread_budget());
 }
 
 std::vector<ScheduleResult> PlanService::sweep(
@@ -234,8 +243,10 @@ std::vector<ScheduleResult> PlanService::sweep(
   // Presolve once at the sweep's largest budget; every point below reuses
   // the artifacts through the U-bound clamp.
   ensure_presolve(*entry, max_budget, options);
+  // Sweep points share one cache entry and run serially, so each solve
+  // gets the full budget as tree workers.
   for (size_t idx : order)
-    out[idx] = solve_locked(*entry, budgets[idx], options);
+    out[idx] = solve_locked(*entry, budgets[idx], options, thread_budget());
   return out;
 }
 
@@ -276,7 +287,7 @@ std::vector<ScheduleResult> PlanService::plan_many(
     g.max_budget = std::max(g.max_budget, q.budget_bytes);
   }
 
-  auto run_group = [this, &queries, &out](const Group& g) {
+  auto run_group = [this, &queries, &out](const Group& g, int tree_threads) {
     // Descending chained order, as in sweep().
     std::vector<size_t> order = g.indices;
     std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
@@ -289,7 +300,7 @@ std::vector<ScheduleResult> PlanService::plan_many(
       ensure_presolve(*entry, g.max_budget, queries[order.front()].options);
       for (size_t idx : order)
         out[idx] = solve_locked(*entry, queries[idx].budget_bytes,
-                                queries[idx].options);
+                                queries[idx].options, tree_threads);
     } catch (const std::exception& e) {
       for (size_t idx : order)
         if (out[idx].message.empty())
@@ -297,15 +308,35 @@ std::vector<ScheduleResult> PlanService::plan_many(
     }
   };
 
+  const int budget = thread_budget();
   if (groups.size() <= 1) {
-    for (auto& kv : groups) run_group(kv.second);
+    for (auto& kv : groups) run_group(kv.second, budget);
     return out;
   }
-  if (!pool_)
-    pool_ = std::make_unique<SolvePool>(resolve_workers(opts_.num_workers));
+  // Split the budget between the two levels: query-level workers take as
+  // many groups as fit, and whatever remains per worker goes to the
+  // in-solve tree search (a 2-group batch on 8 cores runs 2 queries x 4
+  // tree workers; 16 groups on 8 cores run 8 x 1). The pool is sized once
+  // from the BUDGET (service lifetime, created under a lock -- plan_many
+  // may be called from concurrent threads); each batch then divides the
+  // budget by its own ACTIVE worker count, so neither a small first batch
+  // nor a small later batch pins the split. Per-solve shares beyond the
+  // tree search's epoch width are clamped by resolve_tree_threads -- with
+  // fewer groups than budgeted cores the surplus is inherently unusable.
+  {
+    std::lock_guard lock(pool_mu_);
+    if (!pool_) {
+      const int q = opts_.num_workers > 0 ? opts_.num_workers
+                                          : std::max(1, std::min(budget, 8));
+      pool_ = std::make_unique<SolvePool>(q);
+    }
+  }
+  const int active = std::min(pool_->num_workers(),
+                              static_cast<int>(groups.size()));
+  const int tree_threads = std::max(1, budget / std::max(1, active));
   for (auto& kv : groups) {
     const Group* g = &kv.second;
-    pool_->submit([&run_group, g] { run_group(*g); });
+    pool_->submit([&run_group, g, tree_threads] { run_group(*g, tree_threads); });
   }
   pool_->wait_idle();
   return out;

@@ -48,8 +48,19 @@
 namespace checkmate::service {
 
 struct PlanServiceOptions {
-  // Worker threads for independent queries (plan_many). 0 = one per
-  // hardware thread, capped at 8.
+  // Global thread budget shared by BOTH levels of parallelism: SolvePool
+  // query-level workers (plan_many groups) and per-solve tree-search
+  // workers inside each MILP (milp/branch_and_bound.h). 0 = one per
+  // hardware thread. A lone hard query (plan / sweep) gets the whole
+  // budget as tree workers; a plan_many batch splits it as
+  //   query workers Q = min(#groups, budget, 8)   (unless num_workers set)
+  //   tree workers per solve = max(1, budget / Q)
+  // Determinism is unaffected either way: the tree search is epoch-
+  // lockstep (identical nodes/incumbents for any worker count) and query
+  // groups are independent, so the budget only moves wall-clock time.
+  int num_threads = 0;
+  // Explicit override for the query-level worker count (plan_many). 0 =
+  // derive from the thread budget as above.
   int num_workers = 0;
   // Cached formulations (LRU beyond this).
   size_t max_cache_entries = 16;
@@ -115,12 +126,18 @@ class PlanService {
   // do not already cover it. Entry mutex must be held.
   void ensure_presolve(CacheEntry& entry, double reference_budget_bytes,
                        const IlpSolveOptions& options);
-  // Answers one query against a locked entry.
+  // Answers one query against a locked entry. `tree_threads` is this
+  // query's share of the service thread budget; it only applies when the
+  // query left IlpSolveOptions::num_threads at 0 (auto).
   ScheduleResult solve_locked(CacheEntry& entry, double budget_bytes,
-                              const IlpSolveOptions& options);
+                              const IlpSolveOptions& options,
+                              int tree_threads);
+  // The resolved service-wide thread budget (>= 1).
+  int thread_budget() const;
 
   PlanServiceOptions opts_;
   FormulationCache cache_;
+  std::mutex pool_mu_;               // guards pool_ creation
   std::unique_ptr<SolvePool> pool_;  // created lazily by plan_many
 
   mutable std::mutex stats_mu_;

@@ -4,8 +4,15 @@
 
 namespace checkmate::service {
 
+int SolvePool::resolve_worker_count(int requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0) return 1;  // unknown hardware: still guarantee one worker
+  return static_cast<int>(std::min(hw, 8u));
+}
+
 SolvePool::SolvePool(int num_workers) {
-  const int n = std::max(1, num_workers);
+  const int n = resolve_worker_count(num_workers);
   workers_.reserve(static_cast<size_t>(n));
   for (int i = 0; i < n; ++i)
     workers_.emplace_back([this] { worker_loop(); });

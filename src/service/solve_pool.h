@@ -19,7 +19,14 @@ namespace checkmate::service {
 
 class SolvePool {
  public:
-  // num_workers < 1 is clamped to 1.
+  // Resolves a requested worker count: values > 0 pass through; 0 (auto)
+  // and negatives map to the hardware thread count capped at 8. Guaranteed
+  // >= 1 even when std::thread::hardware_concurrency() reports 0 (the
+  // standard allows it on containers/exotic platforms, and a zero-worker
+  // pool would deadlock every wait_idle).
+  static int resolve_worker_count(int requested);
+
+  // num_workers <= 0 selects resolve_worker_count's auto value.
   explicit SolvePool(int num_workers);
   // Drains every queued job, then joins the workers.
   ~SolvePool();

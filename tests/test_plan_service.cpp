@@ -266,6 +266,58 @@ TEST(PlanService, LruEvictionKeepsAnswersCorrect) {
   EXPECT_EQ(svc.cache_size(), 1u);
 }
 
+TEST(SolvePool, AutoWorkerCountIsAlwaysPositive) {
+  // Regression: std::thread::hardware_concurrency() may legally return 0
+  // (containers, exotic platforms); a zero-worker pool would deadlock every
+  // wait_idle(). resolve_worker_count must guarantee >= 1 for any request,
+  // and 0/negative requests select the auto value instead of a 1-thread
+  // floor clamping.
+  EXPECT_GE(service::SolvePool::resolve_worker_count(0), 1);
+  EXPECT_LE(service::SolvePool::resolve_worker_count(0), 8);
+  EXPECT_GE(service::SolvePool::resolve_worker_count(-4), 1);
+  EXPECT_EQ(service::SolvePool::resolve_worker_count(3), 3);
+  EXPECT_EQ(service::SolvePool::resolve_worker_count(17), 17);  // explicit wins
+
+  service::SolvePool auto_pool(0);
+  EXPECT_GE(auto_pool.num_workers(), 1);
+  std::atomic<int> ran{0};
+  auto_pool.submit([&ran] { ran.fetch_add(1); });
+  auto_pool.wait_idle();  // would hang forever with zero workers
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(PlanService, ThreadBudgetDoesNotChangeAnswers) {
+  // The unified thread budget splits between query workers and in-solve
+  // tree workers; epoch-lockstep determinism means every split returns
+  // bit-identical plans and node counts.
+  auto p = RematProblem::unit_training_chain(6);
+  service::PlanServiceOptions solo;
+  solo.num_threads = 1;
+  service::PlanService svc_solo(solo);
+  service::PlanServiceOptions wide;
+  wide.num_threads = 4;
+  service::PlanService svc_wide(wide);
+
+  const auto a = svc_solo.plan(p, 5.0, fast_opts());
+  const auto b = svc_wide.plan(p, 5.0, fast_opts());
+  ASSERT_EQ(a.milp_status, milp::MilpStatus::kOptimal);
+  ASSERT_EQ(b.milp_status, milp::MilpStatus::kOptimal);
+  EXPECT_EQ(a.cost, b.cost);
+  EXPECT_EQ(a.nodes, b.nodes);
+  EXPECT_EQ(a.lp_iterations, b.lp_iterations);
+
+  // An explicit per-query num_threads overrides the budget share and still
+  // changes nothing. (Fresh service: a repeat query against svc_wide would
+  // legitimately answer from the warm-start chain without solving.)
+  service::PlanService svc_pinned;
+  IlpSolveOptions pinned = fast_opts();
+  pinned.num_threads = 2;
+  const auto c = svc_pinned.plan(p, 5.0, pinned);
+  ASSERT_EQ(c.milp_status, milp::MilpStatus::kOptimal);
+  EXPECT_EQ(a.cost, c.cost);
+  EXPECT_EQ(a.nodes, c.nodes);
+}
+
 TEST(SolvePool, RunsEveryJobAndWaitsIdle) {
   service::SolvePool pool(3);
   std::atomic<int> counter{0};

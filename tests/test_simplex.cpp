@@ -169,6 +169,195 @@ TEST(DualSimplex, MatchesDenseReferenceOnRandomLps) {
   EXPECT_GT(optimal_count, 30);
 }
 
+// ---------------------------------------------------------------------
+// Snapshot / clone API: the substrate of the parallel branch & bound
+// (children warm-start from the parent basis on whichever worker picks
+// them up).
+
+LinearProgram clone_test_lp(int n, uint32_t seed) {
+  std::mt19937 rng(seed);
+  LinearProgram lp;
+  for (int j = 0; j < n; ++j)
+    lp.add_var(0.0, 4.0 + (rng() % 4), 1.0 + static_cast<double>(rng() % 7));
+  for (int r = 0; r < n; ++r) {
+    std::vector<std::pair<int, double>> t{{r, 1.0}};
+    if (r + 1 < n) t.emplace_back(r + 1, 0.5 + (rng() % 2));
+    if (r + 5 < n) t.emplace_back(r + 5, 0.25);
+    lp.add_ge(t, 2.0 + (rng() % 3));
+  }
+  return lp;
+}
+
+TEST(DualSimplex, CloneResolvesToIdenticalObjectiveAndBasis) {
+  // After an arbitrary set_var_bounds sequence, a clone must re-solve to
+  // the identical objective and primal point: the original sits at an
+  // optimal basis, the clone restores that basis (lazy refactorize) and
+  // its first solve must accept it without further pivoting.
+  LinearProgram lp = clone_test_lp(24, 3u);
+  DualSimplex original(lp);
+  ASSERT_EQ(original.solve().status, LpStatus::kOptimal);
+
+  std::mt19937 rng(17);
+  LpResult last;
+  for (int step = 0; step < 12; ++step) {
+    const int j = static_cast<int>(rng() % 24);
+    const double lo = static_cast<double>(rng() % 3);
+    original.set_var_bounds(j, lo, lo + 1.0 + (rng() % 3));
+    last = original.solve();
+  }
+  ASSERT_EQ(last.status, LpStatus::kOptimal);
+
+  // The clone adopts the same optimal basis and re-solves to the same
+  // optimum. (Not bitwise vs the original: the clone refactorizes fresh
+  // while the original accumulated an eta file, so the numerics differ at
+  // the last ulp -- what IS bitwise is clone-vs-clone, below.)
+  DualSimplex copy = original.clone();
+  const LpResult re = copy.solve();
+  ASSERT_EQ(re.status, LpStatus::kOptimal);
+  EXPECT_NEAR(re.objective, last.objective, 1e-9);
+  ASSERT_EQ(re.x.size(), last.x.size());
+  for (size_t j = 0; j < re.x.size(); ++j)
+    EXPECT_NEAR(re.x[j], last.x[j], 1e-9);
+  // Identical bound state came along with the basis.
+  for (int j = 0; j < lp.num_vars(); ++j) {
+    EXPECT_EQ(copy.var_lower(j), original.var_lower(j));
+    EXPECT_EQ(copy.var_upper(j), original.var_upper(j));
+  }
+
+  // Two clones of the same engine are bit-identical to each other: the
+  // post-restore trajectory is a pure function of the snapshot, which is
+  // the determinism contract the parallel branch & bound relies on.
+  DualSimplex twin_a = original.clone();
+  DualSimplex twin_b = original.clone();
+  const LpResult ra = twin_a.solve();
+  const LpResult rb = twin_b.solve();
+  ASSERT_EQ(ra.status, LpStatus::kOptimal);
+  EXPECT_EQ(ra.objective, rb.objective);
+  EXPECT_EQ(ra.iterations, rb.iterations);
+  for (size_t j = 0; j < ra.x.size(); ++j) EXPECT_EQ(ra.x[j], rb.x[j]);
+}
+
+TEST(DualSimplex, CloneDivergesIndependentlyAfterTheFork) {
+  // Post-fork bound changes on one engine must not leak into the other.
+  LinearProgram lp = clone_test_lp(16, 9u);
+  DualSimplex a(lp);
+  ASSERT_EQ(a.solve().status, LpStatus::kOptimal);
+  DualSimplex b = a.clone();
+
+  a.set_var_bounds(0, 3.0, 3.0);
+  const LpResult ra = a.solve();
+  const LpResult rb = b.solve();  // b still solves the unrestricted LP
+  ASSERT_EQ(ra.status, LpStatus::kOptimal);
+  ASSERT_EQ(rb.status, LpStatus::kOptimal);
+  EXPECT_GE(ra.objective, rb.objective - 1e-9);  // a is more constrained
+  EXPECT_NEAR(ra.x[0], 3.0, 1e-9);
+
+  // And the same fork applied to the clone reconverges exactly.
+  b.set_var_bounds(0, 3.0, 3.0);
+  const LpResult rb2 = b.solve();
+  ASSERT_EQ(rb2.status, LpStatus::kOptimal);
+  EXPECT_NEAR(rb2.objective, ra.objective, 1e-7);
+}
+
+TEST(DualSimplex, SnapshotRestoreRoundTripOnSameEngine) {
+  LinearProgram lp = clone_test_lp(12, 21u);
+  DualSimplex solver(lp);
+  ASSERT_EQ(solver.solve().status, LpStatus::kOptimal);
+  solver.set_var_bounds(2, 1.0, 2.0);
+  const LpResult at_snap = solver.solve();
+  ASSERT_EQ(at_snap.status, LpStatus::kOptimal);
+  const BasisSnapshot snap = solver.snapshot();
+
+  // Wander off...
+  solver.set_var_bounds(2, 0.0, 0.0);
+  solver.set_var_bounds(5, 2.0, 2.0);
+  ASSERT_EQ(solver.solve().status, LpStatus::kOptimal);
+
+  // ...and come back: bounds and optimum are the snapshot's (the re-solve
+  // runs on a fresh factorization, so equality is numerical, and a second
+  // restore reproduces the first bit-for-bit).
+  solver.restore(snap);
+  const LpResult back = solver.solve();
+  ASSERT_EQ(back.status, LpStatus::kOptimal);
+  EXPECT_NEAR(back.objective, at_snap.objective, 1e-9);
+  EXPECT_EQ(solver.var_lower(2), 1.0);
+  EXPECT_EQ(solver.var_upper(2), 2.0);
+  solver.restore(snap);
+  const LpResult again = solver.solve();
+  ASSERT_EQ(again.status, LpStatus::kOptimal);
+  EXPECT_EQ(again.objective, back.objective);
+  EXPECT_EQ(again.iterations, back.iterations);
+}
+
+TEST(DualSimplex, InvalidSnapshotRestoresFreshEngine) {
+  // A default-constructed snapshot (or one taken before the first solve)
+  // resets the engine: next solve rebuilds from the slack basis and any
+  // bound overrides are gone.
+  LinearProgram lp = clone_test_lp(8, 33u);
+  DualSimplex never_solved(lp);
+  const BasisSnapshot unsolved = never_solved.snapshot();
+  EXPECT_FALSE(unsolved.valid);
+
+  DualSimplex solver(lp);
+  ASSERT_EQ(solver.solve().status, LpStatus::kOptimal);
+  const double clean_obj = solve_lp(lp).objective;
+  solver.set_var_bounds(1, 3.0, 3.0);
+  ASSERT_EQ(solver.solve().status, LpStatus::kOptimal);
+  solver.restore(BasisSnapshot{});
+  const LpResult fresh = solver.solve();
+  ASSERT_EQ(fresh.status, LpStatus::kOptimal);
+  EXPECT_NEAR(fresh.objective, clean_obj, 1e-9);
+  EXPECT_EQ(solver.var_lower(1), lp.lb[1]);
+  EXPECT_EQ(solver.var_upper(1), lp.ub[1]);
+}
+
+TEST(DualSimplex, CloneBeforeFirstSolveKeepsBoundOverrides) {
+  // A clone taken after set_var_bounds but before any solve() has no basis
+  // to carry, but it must still see the same feasible region.
+  LinearProgram lp = clone_test_lp(10, 55u);
+  DualSimplex original(lp);
+  original.set_var_bounds(0, 3.0, 3.0);
+  DualSimplex copy = original.clone();
+  EXPECT_EQ(copy.var_lower(0), 3.0);
+  EXPECT_EQ(copy.var_upper(0), 3.0);
+  const LpResult a = original.solve();
+  const LpResult b = copy.solve();
+  ASSERT_EQ(a.status, b.status);
+  if (a.status == LpStatus::kOptimal) {
+    EXPECT_EQ(a.objective, b.objective);  // identical fresh-engine path
+    EXPECT_NEAR(b.x[0], 3.0, 1e-9);
+  }
+}
+
+TEST(DualSimplex, IterationAccountingMonotonePerEngine) {
+  // iterations_total() only ever grows on a given engine, clones start
+  // from zero, and restore() never rewinds the counter.
+  LinearProgram lp = clone_test_lp(20, 41u);
+  DualSimplex solver(lp);
+  ASSERT_EQ(solver.solve().status, LpStatus::kOptimal);
+  int64_t prev = solver.iterations_total();
+  EXPECT_GT(prev, 0);
+
+  std::mt19937 rng(5);
+  const BasisSnapshot snap = solver.snapshot();
+  for (int step = 0; step < 8; ++step) {
+    const int j = static_cast<int>(rng() % 20);
+    solver.set_var_bounds(j, 1.0, 2.0 + (rng() % 2));
+    (void)solver.solve();
+    EXPECT_GE(solver.iterations_total(), prev) << "step " << step;
+    prev = solver.iterations_total();
+    if (step == 4) {
+      solver.restore(snap);  // rewind the state, never the meter
+      EXPECT_EQ(solver.iterations_total(), prev);
+    }
+  }
+  DualSimplex fork = solver.clone();
+  EXPECT_EQ(fork.iterations_total(), 0);
+  (void)fork.solve();
+  EXPECT_GE(fork.iterations_total(), 0);
+  EXPECT_GE(solver.iterations_total(), prev);
+}
+
 TEST(DualSimplex, ModeratelyLargeStructuredLp) {
   // Staircase LP with 200 variables / 200 rows; verifies the sparse path
   // and refactorization cadence.
