@@ -209,14 +209,19 @@ struct SolverConfig {
   bool pseudocost;
   milp::NodeSelection node_selection;
   int num_threads;
+  // LP hot-path knobs (PR 4): dual steepest-edge pricing + long-step
+  // bound-flip ratio test, and root reduced-cost fixing.
+  bool lp_hotpath = true;
+  bool rcfix = true;
 };
 
 // "seed" is the pre-overhaul configuration (most-fractional depth-first
-// search on the raw formulation); the others each flip one knob off the
-// shipped configuration. threads2/threads4 are the shipped configuration
-// with more tree-search workers: the epoch-lockstep determinism guarantee
-// means their node counts MUST equal overhaul's exactly (the CI gate in
-// scripts/compare_bench.py enforces it), only wall-clock may differ.
+// search on the raw formulation, classic Dantzig pricing); the others each
+// flip one knob off the shipped configuration. threads2/threads4 are the
+// shipped configuration with more tree-search workers: the epoch-lockstep
+// determinism guarantee means their node counts MUST equal overhaul's
+// exactly (the CI gate in scripts/compare_bench.py enforces it), only
+// wall-clock may differ.
 constexpr SolverConfig kConfigs[] = {
     {"overhaul", true, true, milp::NodeSelection::kHybrid, 1},
     {"threads2", true, true, milp::NodeSelection::kHybrid, 2},
@@ -224,7 +229,11 @@ constexpr SolverConfig kConfigs[] = {
     {"no_presolve", false, true, milp::NodeSelection::kHybrid, 1},
     {"no_pseudocost", true, false, milp::NodeSelection::kHybrid, 1},
     {"depth_first", true, true, milp::NodeSelection::kDepthFirst, 1},
-    {"seed", false, false, milp::NodeSelection::kDepthFirst, 1},
+    {"no_lp_hotpath", true, true, milp::NodeSelection::kHybrid, 1, false,
+     true},
+    {"no_rcfix", true, true, milp::NodeSelection::kHybrid, 1, true, false},
+    {"seed", false, false, milp::NodeSelection::kDepthFirst, 1, false,
+     false},
 };
 
 struct JsonInstance {
@@ -288,6 +297,9 @@ int run_json_suite(const std::string& path) {
       opts.pseudocost_branching = cfg.pseudocost;
       opts.node_selection = cfg.node_selection;
       opts.num_threads = cfg.num_threads;
+      opts.steepest_edge_pricing = cfg.lp_hotpath;
+      opts.bound_flip_ratio_test = cfg.lp_hotpath;
+      opts.root_reduced_cost_fixing = cfg.rcfix;
       auto res = sched.solve_optimal_ilp(inst.budget, opts);
       if (!first) std::fprintf(f, ",\n");
       first = false;

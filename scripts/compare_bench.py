@@ -3,14 +3,19 @@
 baseline and fail on node-count blowups.
 
 Usage: compare_bench.py BASELINE FRESH [--max-node-ratio R] [--slack N]
+       [--iter-slack N]
 
 Handles both committed formats:
   BENCH_solver.json  (micro_solver_bench --json): records keyed by
-                     (instance, config), gated on "nodes"; additionally
-                     enforces the parallel-determinism contract: the
-                     threads2/threads4 configs must report node counts
-                     identical to the single-threaded shipped config
-                     ("overhaul") on every instance of the fresh run;
+                     (instance, config), gated on "nodes" AND on
+                     "lp_iterations" (the LP hot path is the system's
+                     innermost loop; a >2x iteration blowup is a pricing /
+                     ratio-test regression even when node counts hold);
+                     additionally enforces the parallel-determinism
+                     contract: the threads2/threads4 configs must report
+                     node counts identical to the single-threaded shipped
+                     config ("overhaul") on every instance of the fresh
+                     run;
   BENCH_sweep.json   (sweep_bench --json): records keyed by
                      (instance, cold|cached), gated on total node counts;
                      additionally fails if any fresh sweep point lost
@@ -40,7 +45,8 @@ DETERMINISM_CONFIGS = ("overhaul", "threads2", "threads4")
 
 def solver_records(doc):
     return {
-        (r["instance"], r["config"]): (r["nodes"], r.get("seconds"))
+        (r["instance"], r["config"]):
+            (r["nodes"], r.get("seconds"), r.get("lp_iterations"))
         for r in doc["results"]
     }
 
@@ -54,9 +60,9 @@ def sweep_records(doc):
     out = {}
     for inst in doc["instances"]:
         out[(inst["instance"], "cold")] = (
-            inst["cold_nodes"], inst.get("cold_wall_seconds"))
+            inst["cold_nodes"], inst.get("cold_wall_seconds"), None)
         out[(inst["instance"], "cached")] = (
-            inst["cached_nodes"], inst.get("cached_wall_seconds"))
+            inst["cached_nodes"], inst.get("cached_wall_seconds"), None)
     return out
 
 
@@ -75,6 +81,9 @@ def main():
     ap.add_argument("--slack", type=int, default=100,
                     help="absolute node slack so tiny instances do not trip "
                          "the ratio on noise")
+    ap.add_argument("--iter-slack", type=int, default=2000,
+                    help="absolute LP-iteration slack (same role as --slack "
+                         "for the iteration gate)")
     args = ap.parse_args()
 
     with open(args.baseline) as f:
@@ -98,15 +107,24 @@ def main():
 
     failures = []
     warnings = []
-    for key, (base_nodes, base_secs) in sorted(base.items()):
+    for key, (base_nodes, base_secs, base_iters) in sorted(base.items()):
         if key not in fresh:
             warnings.append(f"{key}: only in baseline; skipped")
             continue
-        fresh_nodes, fresh_secs = fresh[key]
+        fresh_nodes, fresh_secs, fresh_iters = fresh[key]
         limit = args.max_node_ratio * base_nodes + args.slack
         status = "ok" if fresh_nodes <= limit else "REGRESSED"
+        iters_txt = ""
+        if base_iters is not None and fresh_iters is not None:
+            iter_limit = args.max_node_ratio * base_iters + args.iter_slack
+            iters_txt = f"  iters {base_iters:>8d} -> {fresh_iters:>8d}"
+            if fresh_iters > iter_limit:
+                status = "REGRESSED"
+                failures.append(
+                    f"{key}: lp_iterations {base_iters} -> {fresh_iters} "
+                    f"(> {args.max_node_ratio}x + {args.iter_slack})")
         print(f"  {'/'.join(key):44s} nodes {base_nodes:>8d} -> "
-              f"{fresh_nodes:>8d}  {status}"
+              f"{fresh_nodes:>8d}  {status}{iters_txt}"
               f"{fmt_wall(base_secs, fresh_secs)}")
         if fresh_nodes > limit:
             failures.append(
@@ -123,7 +141,7 @@ def main():
         # (warn instead of failing).
         statuses = solver_statuses(fresh_doc)
         by_instance = {}
-        for (instance, config), (nodes, _) in fresh.items():
+        for (instance, config), (nodes, _, _) in fresh.items():
             if config in DETERMINISM_CONFIGS:
                 by_instance.setdefault(instance, {})[config] = nodes
         for instance, configs in sorted(by_instance.items()):

@@ -55,6 +55,9 @@ ScheduleResult solve_ilp_on_formulation(const IlpFormulation& form,
   mopts.presolve = options.presolve && reuse.presolved_lp == nullptr;
   mopts.pseudocost_branching = options.pseudocost_branching;
   mopts.node_selection = options.node_selection;
+  mopts.root_reduced_cost_fixing = options.root_reduced_cost_fixing;
+  mopts.simplex.steepest_edge_pricing = options.steepest_edge_pricing;
+  mopts.simplex.bound_flip_ratio_test = options.bound_flip_ratio_test;
   if (options.max_lp_iterations > 0)
     mopts.max_lp_iterations = options.max_lp_iterations;
   if (options.max_nodes > 0) mopts.max_nodes = options.max_nodes;

@@ -28,6 +28,12 @@ struct IlpSolveOptions {
   bool presolve = true;
   bool pseudocost_branching = true;
   milp::NodeSelection node_selection = milp::NodeSelection::kHybrid;
+  // LP-engine hot-path knobs (threaded into lp::SimplexOptions) and root
+  // reduced-cost fixing; defaults are the shipped fast path, the ablation
+  // benches flip them off individually.
+  bool steepest_edge_pricing = true;
+  bool bound_flip_ratio_test = true;
+  bool root_reduced_cost_fixing = true;
   // Deterministic work limits: stop after this many cumulative simplex
   // iterations / explored nodes (0 = unlimited). Unlike the wall-clock
   // limit these make truncated runs machine-independent.

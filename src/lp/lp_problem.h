@@ -111,6 +111,11 @@ enum class LpStatus {
   kInfeasible,
   kUnbounded,
   kIterationLimit,
+  // The dual objective provably crossed SimplexOptions::objective_limit:
+  // the LP optimum is >= dual_bound >= limit. Branch & bound uses this to
+  // abandon node re-solves the incumbent already prunes, without paying
+  // for the remaining pivots to optimality.
+  kObjectiveLimit,
   kNumericalError,
 };
 
@@ -119,6 +124,13 @@ const char* to_string(LpStatus status);
 struct LpResult {
   LpStatus status = LpStatus::kNumericalError;
   double objective = 0.0;
+  // Sound lower bound on the LP optimum, valid whenever > -inf. Equals
+  // `objective` on kOptimal; on kIterationLimit (iteration or wall-clock
+  // truncation) it is the dual objective of the last dual-feasible basis,
+  // corrected for the deterministic cost perturbation -- truncated
+  // branch-and-bound node solves use it to tighten subtree bounds instead
+  // of discarding the work. kInf on kInfeasible.
+  double dual_bound = -kInf;
   std::vector<double> x;  // primal values, size num_vars()
   int iterations = 0;
 };

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 namespace checkmate::lp {
@@ -13,6 +14,7 @@ const char* to_string(LpStatus status) {
     case LpStatus::kInfeasible: return "infeasible";
     case LpStatus::kUnbounded: return "unbounded";
     case LpStatus::kIterationLimit: return "iteration_limit";
+    case LpStatus::kObjectiveLimit: return "objective_limit";
     case LpStatus::kNumericalError: return "numerical_error";
   }
   return "unknown";
@@ -30,6 +32,7 @@ DualSimplex::DualSimplex(const LinearProgram& lp, SimplexOptions options)
   double max_cost = 1.0;
   for (int j = 0; j < n_; ++j)
     max_cost = std::max(max_cost, std::abs(lp.obj[j]));
+  cost_scale_ = max_cost;
   unsigned h = 0x2545f491u;
   for (int j = 0; j < n_; ++j) {
     h = h * 1664525u + 1013904223u;
@@ -49,6 +52,10 @@ DualSimplex::DualSimplex(const LinearProgram& lp, SimplexOptions options)
   xb_.assign(m_, 0.0);
   d_.assign(num_total(), 0.0);
   basic_var_.assign(m_, -1);
+  dse_w_.assign(m_, 1.0);
+  alpha_v_.assign(num_total(), 0.0);
+  alpha_mark_.assign(num_total(), 0);
+  banned_mark_.assign(num_total(), 0);
 }
 
 void DualSimplex::set_var_bounds(int var, double lower, double upper) {
@@ -100,6 +107,7 @@ BasisSnapshot DualSimplex::snapshot() const {
   if (!s.valid) return s;
   s.status.assign(status_.begin(), status_.end());
   s.basic_var = basic_var_;
+  s.dse_weights = dse_w_;
   s.used_artificial_bound = used_artificial_bound_;
   for (int j = 0; j < num_total(); ++j)
     if (status_[j] == kFree && x_[j] != 0.0)
@@ -140,10 +148,15 @@ void DualSimplex::restore(const BasisSnapshot& snap) {
               static_cast<int8_t>(kNonbasicLower));
     std::fill(x_.begin(), x_.end(), 0.0);
     std::fill(basic_var_.begin(), basic_var_.end(), -1);
+    dse_w_.assign(m_, 1.0);
     return;
   }
   std::copy(snap.status.begin(), snap.status.end(), status_.begin());
   basic_var_ = snap.basic_var;
+  if (static_cast<int>(snap.dse_weights.size()) == m_)
+    dse_w_ = snap.dse_weights;
+  else
+    dse_w_.assign(m_, 1.0);
   used_artificial_bound_ = snap.used_artificial_bound;
   for (int j = 0; j < num_total(); ++j) {
     if (status_[j] == kBasic) continue;
@@ -295,6 +308,57 @@ void DualSimplex::make_initial_basis() {
   }
   basis_valid_ = true;
   xb_dirty_ = true;
+  dse_w_.assign(m_, 1.0);
+}
+
+void DualSimplex::compute_pivot_row(const std::vector<double>& rho) {
+  ++alpha_stamp_;
+  alpha_idx_.clear();
+  const int64_t stamp = alpha_stamp_;
+  for (int i = 0; i < m_; ++i) {
+    const double r = rho[i];
+    if (r == 0.0) continue;
+    // Slack column n+i is -e_i, so its alpha is just -rho_i.
+    const int sj = n_ + i;
+    alpha_v_[sj] = -r;
+    alpha_mark_[sj] = stamp;
+    alpha_idx_.push_back(sj);
+    const auto cols = a_.row_cols(i);
+    const auto vals = a_.row_values(i);
+    for (size_t k = 0; k < cols.size(); ++k) {
+      const int j = cols[k];
+      const double add = vals[k] * r;
+      if (alpha_mark_[j] == stamp) {
+        alpha_v_[j] += add;
+      } else {
+        alpha_mark_[j] = stamp;
+        alpha_v_[j] = add;
+        alpha_idx_.push_back(j);
+      }
+    }
+  }
+}
+
+double DualSimplex::truncated_dual_bound() const {
+  if (!basis_valid_) return -kInf;
+  double z = 0.0;
+  for (int j = 0; j < num_total(); ++j)
+    if (status_[j] != kBasic && x_[j] != 0.0) z += cost_[j] * x_[j];
+  for (int i = 0; i < m_; ++i) z += cost_[basic_var_[i]] * xb_[i];
+  // z is the dual objective of the current dual-feasible basis, so it
+  // bounds the *perturbed* optimum from below; subtracting each column's
+  // worst-case jitter contribution over its box makes it sound for the
+  // true costs. A jittered column with no finite hot-side bound leaves
+  // nothing to correct against.
+  double corr = 0.0;
+  for (int j = 0; j < n_; ++j) {
+    const double jit = cost_[j] - lp_->obj[j];
+    if (jit == 0.0) continue;
+    const double hot = jit > 0.0 ? hi_[j] : lo_[j];
+    if (hot == kInf || hot == -kInf) return -kInf;
+    corr += jit * hot;
+  }
+  return z - corr;
 }
 
 int DualSimplex::iterate() {
@@ -302,23 +366,50 @@ int DualSimplex::iterate() {
 
   // ---- Anti-stall refresh: long degenerate streaks usually mean the eta
   // file has drifted; rebuild the factorization and all derived state.
-  if (stall_count_ >= 512) {
-    stall_count_ = 0;
+  // (The streak counter is NOT reset -- if the stall survives the refresh
+  // it keeps growing into the Bland fallback below.)
+  if (stall_count_ == 512) {
+    ++stall_count_;  // refresh once per streak
     if (!refactorize()) return 3;
     recompute_reduced_costs();
     recompute_basic_values();
   }
+  // Cycle breaker: a streak of degenerate pivots that survives the
+  // refactorization is treated as cycling, and the pivot selection drops
+  // to Bland's least-index rule (leaving row by smallest basic column,
+  // entering by smallest column among the minimum-ratio ties, no bound
+  // flips) until a pivot makes real dual progress. Slow but finite, and
+  // deterministic -- the fallback trips at a fixed pivot count.
+  const bool bland = stall_count_ >= 768;
 
-  // ---- Leaving variable: most-violated basic.
+  // ---- Leaving variable: most-violated basic, scaled by the dual
+  // steepest-edge weight (viol^2 / w_i with w_i ~ ||B^-T e_i||^2 measures
+  // the violation in the metric of the dual ascent direction, steering
+  // toward rows whose pivot actually moves the dual objective).
   int leave_pos = -1;
-  double worst = feas_tol;
-  for (int i = 0; i < m_; ++i) {
-    const int col = basic_var_[i];
-    const double v = xb_[i];
-    const double viol = std::max(lo_[col] - v, v - hi_[col]);
-    if (viol > worst) {
-      worst = viol;
-      leave_pos = i;
+  if (bland) {
+    int best_col = std::numeric_limits<int>::max();
+    for (int i = 0; i < m_; ++i) {
+      const int col = basic_var_[i];
+      const double v = xb_[i];
+      const double viol = std::max(lo_[col] - v, v - hi_[col]);
+      if (viol > feas_tol && col < best_col) {
+        best_col = col;
+        leave_pos = i;
+      }
+    }
+  } else {
+    double best_score = 0.0;
+    for (int i = 0; i < m_; ++i) {
+      const int col = basic_var_[i];
+      const double v = xb_[i];
+      const double viol = std::max(lo_[col] - v, v - hi_[col]);
+      if (viol <= feas_tol) continue;
+      const double score = viol * viol / dse_w_[i];
+      if (score > best_score) {
+        best_score = score;
+        leave_pos = i;
+      }
     }
   }
   if (leave_pos < 0) return 1;  // primal feasible => optimal
@@ -327,24 +418,28 @@ int DualSimplex::iterate() {
   const double sigma = xb_[leave_pos] > hi_[leave_col] ? 1.0 : -1.0;
   const double target =
       sigma > 0 ? hi_[leave_col] : lo_[leave_col];
-  const double delta = xb_[leave_pos] - target;
 
-  // ---- Pivot row rho = B^-T e_r and alphas for all nonbasic columns.
+  // ---- Pivot row rho = B^-T e_r; alpha = W' rho over rho's nonzeros only
+  // (hypersparse pricing through the CSR mirror).
   std::vector<double>& rho = rho_scratch_;
   rho.assign(m_, 0.0);
   rho[leave_pos] = 1.0;
   btran(rho);
+  compute_pivot_row(rho);
 
-  int enter_col = -1;
-  double best_ratio = kInf;
-  double best_alpha = 0.0;
-  std::vector<double>& alpha = alpha_scratch_;
-  alpha.assign(num_total(), 0.0);
-  for (int j = 0; j < num_total(); ++j) {
+  // ---- Two-pass long-step ratio test.
+  // Pass 1: collect the dual-feasible breakpoints and order them by the
+  // dual step at which each reduced cost hits zero; among equal steps the
+  // larger pivot wins (Harris-style stabilization -- on these massively
+  // degenerate LPs most breakpoints sit at step zero, and picking the
+  // biggest |alpha| there is what keeps the eta file well conditioned).
+  auto& cand = cand_scratch_;
+  cand.clear();
+  for (int j : alpha_idx_) {
     if (status_[j] == kBasic) continue;
+    if (banned_mark_[j] == ban_stamp_) continue;  // FTRAN/BTRAN disagreement
     if (hi_[j] - lo_[j] < 1e-12 && status_[j] != kFree) continue;  // fixed
-    const double aj = dot_work_column(j, rho);
-    alpha[j] = aj;
+    const double aj = alpha_v_[j];
     const double sa = sigma * aj;
     bool candidate = false;
     if (status_[j] == kNonbasicLower && sa > opt_.pivot_tol)
@@ -354,16 +449,78 @@ int DualSimplex::iterate() {
     else if (status_[j] == kFree && std::abs(sa) > opt_.pivot_tol)
       candidate = true;
     if (!candidate) continue;
-    const double ratio = d_[j] / aj;  // signed dual step
-    const double ratio_mag = std::abs(ratio);
-    if (ratio_mag < best_ratio - 1e-12 ||
-        (ratio_mag < best_ratio + 1e-12 && std::abs(aj) > std::abs(best_alpha))) {
-      best_ratio = ratio_mag;
-      best_alpha = aj;
-      enter_col = j;
-    }
+    cand.push_back({std::abs(d_[j] / aj), std::abs(aj), j});
   }
-  if (enter_col < 0) return 2;  // dual unbounded => primal infeasible
+  if (cand.empty()) {
+    // With columns banned the emptiness may be an artifact of the bans,
+    // not proof of dual unboundedness: report numerical trouble so the
+    // caller restarts from a clean basis instead of declaring infeasible.
+    if (banned_count_ > 0) return 3;
+    return 2;  // dual unbounded => primal infeasible
+  }
+  if (bland) {
+    std::sort(cand.begin(), cand.end(),
+              [](const RatioCandidate& a, const RatioCandidate& b) {
+                if (a.ratio != b.ratio) return a.ratio < b.ratio;
+                return a.col < b.col;
+              });
+  } else {
+    std::sort(cand.begin(), cand.end(),
+              [](const RatioCandidate& a, const RatioCandidate& b) {
+                if (a.ratio != b.ratio) return a.ratio < b.ratio;
+                if (a.abs_alpha != b.abs_alpha)
+                  return a.abs_alpha > b.abs_alpha;
+                return a.col < b.col;
+              });
+  }
+
+  // Pass 2: walk the breakpoints in order. A boxed candidate whose flip
+  // keeps the leaving row infeasible is flipped to its opposite bound (its
+  // reduced cost changes sign across the breakpoint, so the flipped side
+  // is the dual-feasible one) instead of entering; the first candidate
+  // that cannot absorb the remaining infeasibility enters. Each flip
+  // replaces what would otherwise be a full (usually degenerate) pivot.
+  auto& flips = flip_cols_;
+  flips.clear();
+  int enter_col = -1;
+  double enter_ratio = 0.0;
+  double remaining = sigma * (xb_[leave_pos] - target);  // infeasibility > 0
+  for (const RatioCandidate& c : cand) {
+    const int j = c.col;
+    if (opt_.bound_flip_ratio_test && !bland && status_[j] != kFree &&
+        lo_[j] != -kInf && hi_[j] != kInf) {
+      const double gain = c.abs_alpha * (hi_[j] - lo_[j]);
+      if (remaining - gain > feas_tol) {
+        flips.push_back(j);
+        remaining -= gain;
+        continue;
+      }
+    }
+    enter_col = j;
+    enter_ratio = c.ratio;
+    break;
+  }
+  if (enter_col < 0) {
+    // Flipping every breakpoint still leaves the row infeasible: the dual
+    // ascent is unbounded along this direction => primal infeasible.
+    return 2;
+  }
+  // Keep only the flips whose breakpoint the entering dual step STRICTLY
+  // passes. A flip at the entering ratio itself -- in particular any flip
+  // when the step is degenerate (ratio 0) -- gains zero dual objective,
+  // and zero-gain flips can shuttle a column between its bounds forever
+  // (observed cycling on mass-fixed rematerialization LPs). Dual
+  // feasibility does not need those flips: a column with ratio >= theta
+  // keeps a valid reduced-cost sign at its current bound.
+  if (!flips.empty()) {
+    size_t keep = 0;
+    size_t ci = 0;
+    for (size_t k = 0; k < flips.size(); ++k) {
+      while (cand[ci].col != flips[k]) ++ci;  // cand is the walk order
+      if (cand[ci].ratio < enter_ratio) flips[keep++] = flips[k];
+    }
+    flips.resize(keep);
+  }
 
   // ---- FTRAN entering column.
   std::vector<double>& w = w_scratch_;
@@ -373,12 +530,46 @@ int DualSimplex::iterate() {
   const double wr = w[leave_pos];
   if (std::abs(wr) < opt_.pivot_tol) {
     // The FTRAN'd pivot element disagrees with the BTRAN'd one badly;
-    // refactorize and let the caller retry.
+    // refactorize and let the caller retry. (No flip has been applied yet,
+    // so the basis state is untouched.) If the disagreement SURVIVES a
+    // fresh factorization the pivot is structurally junk -- both values
+    // sit at the tolerance edge -- and retrying would refactorize forever
+    // (observed as a 100k-"iteration" non-pivoting loop): ban the column
+    // from entering until the next real pivot.
+    if (++wr_fail_streak_ >= 2) {
+      banned_mark_[enter_col] = ban_stamp_;
+      ++banned_count_;
+      wr_fail_streak_ = 0;
+    }
     if (!refactorize()) return 3;
     recompute_reduced_costs();
     recompute_basic_values();
     return 0;
   }
+  wr_fail_streak_ = 0;
+  if (banned_count_ > 0) {
+    ++ban_stamp_;  // a real pivot landed: forgive all banned columns
+    banned_count_ = 0;
+  }
+
+  // ---- Apply the bound flips: toggle each column to its opposite bound
+  // and repair the basics with one aggregated FTRAN for the whole batch.
+  if (!flips.empty()) {
+    std::vector<double>& fl = flip_scratch_;
+    fl.assign(m_, 0.0);
+    for (int j : flips) {
+      const double step = status_[j] == kNonbasicLower ? hi_[j] - lo_[j]
+                                                       : lo_[j] - hi_[j];
+      z_est_ += d_[j] * step;  // dual objective gained by the flip
+      axpy_work_column(j, step, fl);
+      status_[j] =
+          status_[j] == kNonbasicLower ? kNonbasicUpper : kNonbasicLower;
+      x_[j] = bound_for_status(j, status_[j]);
+    }
+    ftran(fl);
+    for (int i = 0; i < m_; ++i) xb_[i] -= fl[i];
+  }
+  const double delta = xb_[leave_pos] - target;
 
   // ---- Primal step.
   const double t = delta / wr;
@@ -388,19 +579,44 @@ int DualSimplex::iterate() {
                                    : bound_for_status(enter_col, status_[enter_col])) +
       t;
 
-  // ---- Dual step.
+  // ---- Dual step (sparse over the pivot row's nonzeros).
   const double theta = d_[enter_col] / wr;
-  if (std::abs(theta) < 1e-13) {
-    ++stall_count_;
+  z_est_ += theta * delta;  // dual objective gained by the pivot
+  // Stall detection on actual dual-objective progress |theta * delta|, not
+  // theta alone: numerically-cycling bases make pivots whose theta is
+  // nonzero but whose objective gain underflows against z (observed on
+  // mass-fixed rematerialization LPs), and those must keep feeding the
+  // Bland fallback counter.
+  if (std::abs(theta * delta) < 1e-12 * cost_scale_) {
+    ++stall_count_;  // degenerate step: no dual progress, candidate cycle
   } else {
     stall_count_ = 0;
   }
-  for (int j = 0; j < num_total(); ++j) {
+  for (int j : alpha_idx_) {
     if (status_[j] == kBasic || j == enter_col) continue;
-    if (alpha[j] != 0.0) d_[j] -= theta * alpha[j];
+    d_[j] -= theta * alpha_v_[j];
   }
   d_[leave_col] = -theta;
   d_[enter_col] = 0.0;
+
+  // ---- Dual steepest-edge weight update (Forrest-Goldfarb, with the
+  // exact leaving-row norm): beta_r is recomputed from the BTRAN'd rho
+  // (cheap -- rho is in hand), tau = B^-1 rho costs one extra FTRAN.
+  if (opt_.steepest_edge_pricing) {
+    double beta_r = 0.0;
+    for (int i = 0; i < m_; ++i) beta_r += rho[i] * rho[i];
+    std::vector<double>& tau = flip_scratch_;
+    tau = rho;
+    ftran(tau);
+    for (int i = 0; i < m_; ++i) {
+      if (i == leave_pos || w[i] == 0.0) continue;
+      const double eta = w[i] / wr;
+      const double cand_w =
+          dse_w_[i] - 2.0 * eta * tau[i] + eta * eta * beta_r;
+      dse_w_[i] = std::max(cand_w, 1e-10);
+    }
+    dse_w_[leave_pos] = std::max(beta_r / (wr * wr), 1e-10);
+  }
 
   // ---- Status updates.
   status_[leave_col] = sigma > 0 ? kNonbasicUpper : kNonbasicLower;
@@ -430,6 +646,9 @@ int DualSimplex::iterate() {
 
 LpResult DualSimplex::solve() {
   LpResult result;
+  ++ban_stamp_;
+  banned_count_ = 0;
+  wr_fail_streak_ = 0;
   if (!basis_valid_) {
     make_initial_basis();
     needs_refactor_ = false;
@@ -477,6 +696,22 @@ LpResult DualSimplex::solve() {
   }
   if (xb_dirty_) recompute_basic_values();
 
+  // A warm-started re-solve (e.g. a branch bound change) often starts at a
+  // basis whose dual objective already clears the caller's cutoff: prune
+  // before the first pivot. The same scan seeds the running estimate the
+  // in-loop check triggers on; without a limit neither is needed.
+  const bool check_obj_limit = opt_.objective_limit < kInf;
+  z_est_ = -kInf;
+  if (check_obj_limit) {
+    z_est_ = truncated_dual_bound();
+    if (z_est_ >= opt_.objective_limit) {
+      result.status = LpStatus::kObjectiveLimit;
+      result.dual_bound = z_est_;
+      result.iterations = 0;
+      return result;
+    }
+  }
+
   int iters = 0;
   int numerical_retries = 0;
   const auto deadline =
@@ -487,8 +722,25 @@ LpResult DualSimplex::solve() {
     if ((iters & 0xff) == 0xff &&
         std::chrono::steady_clock::now() > deadline) {
       result.status = LpStatus::kIterationLimit;
+      result.dual_bound = truncated_dual_bound();
       result.iterations = iters;
       return result;
+    }
+    // Deterministic early-out: the dual objective only rises, so once it
+    // clears the caller's cutoff the node is prunable no matter where the
+    // optimum lands. The estimate is maintained incrementally per pivot
+    // (theta * delta plus flip gains) and is only a TRIGGER -- the prune
+    // itself re-derives the exact perturbation-corrected bound, so drift
+    // in the running sum can cost a wasted check but never soundness.
+    if (check_obj_limit && z_est_ >= opt_.objective_limit) {
+      const double bound = truncated_dual_bound();
+      if (bound >= opt_.objective_limit) {
+        result.status = LpStatus::kObjectiveLimit;
+        result.dual_bound = bound;
+        result.iterations = iters;
+        return result;
+      }
+      z_est_ = bound;  // resync the drifted estimate and keep going
     }
     const int rc = iterate();
     ++iters;
@@ -498,6 +750,7 @@ LpResult DualSimplex::solve() {
     if (rc == 2) {
       result.status = LpStatus::kInfeasible;
       result.objective = kInf;
+      result.dual_bound = kInf;
       result.iterations = iters;
       return result;
     }
@@ -517,10 +770,12 @@ LpResult DualSimplex::solve() {
       }
       recompute_reduced_costs();
       recompute_basic_values();
+      if (check_obj_limit) z_est_ = truncated_dual_bound();
     }
   }
   if (iters >= opt_.max_iterations) {
     result.status = LpStatus::kIterationLimit;
+    result.dual_bound = truncated_dual_bound();
     result.iterations = iters;
     return result;
   }
@@ -544,6 +799,7 @@ LpResult DualSimplex::solve() {
   }
   result.status = LpStatus::kOptimal;
   result.objective = lp_->objective_value(result.x);
+  result.dual_bound = result.objective;
   result.iterations = iters;
   return result;
 }

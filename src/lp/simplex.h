@@ -15,6 +15,19 @@
 // after bound changes: bound changes preserve dual feasibility, so every
 // B&B node warm-starts from the parent basis.
 //
+// Hot-path design (the system's innermost loop -- every B&B node and every
+// cached sweep query bottoms out here):
+//   - leaving row by dual steepest-edge weights (Forrest-Goldfarb,
+//     updated exactly per pivot with one extra FTRAN of the pivot row);
+//   - two-pass long-step ratio test with bound flips: boxed columns whose
+//     reduced cost would change sign flip to the opposite bound instead of
+//     pivoting, so one pivot absorbs whole runs of degenerate steps -- the
+//     decisive move on 0/1 scheduling LPs where almost every column is
+//     boxed [0,1];
+//   - hypersparse pricing: alpha = W' rho accumulated over the nonzeros of
+//     the BTRAN'd rho via the SparseMatrix row mirror, into a stamped
+//     sparse scratch (no per-pivot dense pass over all columns).
+//
 // Basis representation: sparse LU (Gilbert-Peierls) refactorized
 // periodically, with product-form eta updates between refactorizations.
 #pragma once
@@ -33,9 +46,25 @@ struct SimplexOptions {
   double feasibility_tol = 1e-7;
   double optimality_tol = 1e-7;
   double pivot_tol = 1e-9;
+  // Dual steepest-edge pricing for the leaving-row choice
+  // (Forrest-Goldfarb reference weights, updated exactly per pivot -- the
+  // update spends one extra FTRAN but the row choice follows the true
+  // steepest dual ascent). Off = Dantzig most-violated-basic, kept for
+  // ablation.
+  bool steepest_edge_pricing = true;
+  // Long-step (bound-flipping) dual ratio test: boxed nonbasic columns
+  // whose reduced cost would change sign are flipped to their opposite
+  // bound instead of entering, amortizing runs of degenerate pivots. Off =
+  // classic single-breakpoint minimum-ratio test, kept for ablation.
+  bool bound_flip_ratio_test = true;
   int max_iterations = 200000;
   // Wall-clock cap for a single solve() call; exceeded => kIterationLimit.
   double time_limit_sec = 60.0;
+  // Dual objective cutoff: once the (perturbation-corrected) dual bound of
+  // the current basis provably exceeds this, solve() exits with
+  // kObjectiveLimit instead of grinding to optimality. Checked on a fixed
+  // iteration cadence, so truncation points are machine-independent.
+  double objective_limit = kInf;
   int refactor_interval = 64;
   // Deterministic tiny cost perturbation to break dual degeneracy (the
   // rematerialization LPs have thousands of zero-cost columns). The true
@@ -67,6 +96,14 @@ struct BasisSnapshot {
   std::vector<int> basic_var;                       // size m
   std::vector<BoundOverride> bounds;                // cols differing from the LP
   std::vector<std::pair<int, double>> free_values;  // x of kFree columns
+  // Dual steepest-edge weights by basis position (size m when captured).
+  // The weights approximate ||B^-T e_i||^2 of the captured basis, so
+  // carrying them keeps exact pricing quality across the parallel B&B's
+  // snapshot/restore handoffs; a restoring engine without them (invalid or
+  // foreign snapshot) deterministically resets to the unit frame -- either
+  // way the post-restore trajectory is a pure function of the snapshot,
+  // preserving the bit-identity contract.
+  std::vector<double> dse_weights;
   bool used_artificial_bound = false;
   // False (the default-constructed snapshot): restore() resets the engine
   // to its freshly-constructed state (next solve builds the slack basis).
@@ -109,7 +146,19 @@ class DualSimplex {
   // remaining budget).
   void set_time_limit(double seconds) { opt_.time_limit_sec = seconds; }
 
+  // Adjusts the dual objective cutoff for subsequent solve() calls (branch
+  // & bound passes the incumbent prune threshold). kInf disables it.
+  void set_objective_limit(double limit) { opt_.objective_limit = limit; }
+
   int64_t iterations_total() const { return total_iterations_; }
+
+  // Reduced costs of the structural columns at the current basis (valid
+  // after an optimal solve(); computed against the perturbed costs, so
+  // consumers must budget a small safety margin). Branch & bound reads
+  // these at the root for reduced-cost variable fixing.
+  std::vector<double> structural_reduced_costs() const {
+    return std::vector<double>(d_.begin(), d_.begin() + n_);
+  }
 
  private:
   int num_total() const { return n_ + m_; }
@@ -130,6 +179,17 @@ class DualSimplex {
   void recompute_basic_values();
   void make_initial_basis();
   double bound_for_status(int col, int status) const;
+
+  // Hypersparse pivot-row computation: alpha = W' rho accumulated over the
+  // nonzeros of rho only (CSR rows of A + the slack diagonal), written into
+  // the stamped scratch alpha_v_ / alpha_idx_.
+  void compute_pivot_row(const std::vector<double>& rho);
+
+  // Dual objective of the current (dual-feasible) basis corrected for the
+  // cost perturbation: a sound lower bound on the true LP optimum, used to
+  // populate LpResult::dual_bound on truncated exits. -inf when no finite
+  // correction exists (a perturbed column with an unbounded hot side).
+  double truncated_dual_bound() const;
 
   // One dual simplex pivot. Returns:
   //   0: pivoted, 1: optimal, 2: infeasible, 3: numerical trouble
@@ -168,11 +228,42 @@ class DualSimplex {
   // Cumulative across every solve() on this instance; branch & bound runs
   // millions of warm-started re-solves, so this must not wrap at int range.
   int64_t total_iterations_ = 0;
-  unsigned rng_state_ = 0x9e3779b9u;  // for anti-stalling row choice
   int stall_count_ = 0;
+  double cost_scale_ = 1.0;  // max |obj| coefficient; stall-progress scale
+  // Entering columns rejected for persistent FTRAN/BTRAN pivot-element
+  // disagreements, kept as a stamp set so several junk columns can be
+  // sidelined at once; cleared by the next successful pivot (and at
+  // solve() entry, keeping the trajectory a pure function of basis +
+  // bounds).
+  std::vector<int64_t> banned_mark_;
+  int64_t ban_stamp_ = 1;
+  int banned_count_ = 0;  // bans since the last successful pivot
+  int wr_fail_streak_ = 0;
+  // Running dual-objective estimate during a solve() (incremented by each
+  // pivot's theta*delta and each flip's d*step); trigger-only, see solve().
+  double z_est_ = -kInf;
 
-  // Per-iteration scratch (avoids ~100KB of allocation per pivot).
-  std::vector<double> rho_scratch_, alpha_scratch_, w_scratch_;
+  // Dual steepest-edge weights by basis position (approximate
+  // ||B^-T e_i||^2; reset to the unit frame on make_initial_basis and on
+  // restore-without-weights, floored at 1e-10 against cancellation).
+  std::vector<double> dse_w_;
+
+  // Per-iteration scratch (avoids ~100KB of allocation per pivot). The
+  // pivot row alpha lives in a stamped sparse scratch: alpha_v_ holds
+  // values, alpha_idx_ the touched columns, and alpha_mark_[j] == stamp
+  // marks validity -- no O(n+m) memset per pivot.
+  std::vector<double> rho_scratch_, w_scratch_, flip_scratch_;
+  std::vector<double> alpha_v_;
+  std::vector<int> alpha_idx_;
+  std::vector<int64_t> alpha_mark_;
+  int64_t alpha_stamp_ = 0;
+  struct RatioCandidate {
+    double ratio;      // |d_j / alpha_j|: dual step at which d_j hits zero
+    double abs_alpha;  // pivot magnitude (tie-break + flip slope)
+    int col;
+  };
+  std::vector<RatioCandidate> cand_scratch_;
+  std::vector<int> flip_cols_;
 };
 
 // Convenience: solve the LP relaxation of `lp` with a fresh engine.

@@ -50,6 +50,22 @@ SparseMatrix::SparseMatrix(int rows, int cols,
     pos = end;
     col_ptr_[j + 1] = static_cast<int>(row_idx_.size());
   }
+
+  // Build the CSR mirror from the finalized CSC arrays (counting sort by
+  // row; within a row, columns arrive in ascending order for free).
+  row_ptr_.assign(rows + 1, 0);
+  for (int r : row_idx_) ++row_ptr_[r + 1];
+  for (int i = 0; i < rows; ++i) row_ptr_[i + 1] += row_ptr_[i];
+  col_idx_.resize(row_idx_.size());
+  row_values_.resize(values_.size());
+  std::vector<int> next(row_ptr_.begin(), row_ptr_.end() - 1);
+  for (int j = 0; j < cols; ++j) {
+    for (int k = col_ptr_[j]; k < col_ptr_[j + 1]; ++k) {
+      const int slot = next[row_idx_[k]]++;
+      col_idx_[slot] = j;
+      row_values_[slot] = values_[k];
+    }
+  }
 }
 
 void SparseMatrix::axpy_column(int j, double alpha, std::span<double> y) const {

@@ -15,8 +15,13 @@ struct Triplet {
   double value = 0.0;
 };
 
-// Immutable CSC matrix. Duplicate triplets are summed during construction;
-// entries with |value| <= drop_tol are dropped.
+// Immutable CSC matrix with a row-wise (CSR) mirror. Duplicate triplets are
+// summed during construction; entries with |value| <= drop_tol are dropped.
+//
+// The mirror exists for hypersparse simplex pricing: the pivot-row
+// computation alpha = A' rho only touches the rows where the BTRAN'd rho is
+// nonzero, so walking those rows costs O(nnz of the touched rows) instead
+// of a dense dot against every column.
 class SparseMatrix {
  public:
   SparseMatrix() = default;
@@ -37,6 +42,16 @@ class SparseMatrix {
             static_cast<size_t>(col_ptr_[j + 1] - col_ptr_[j])};
   }
 
+  // Row i as parallel (column index, value) spans (the CSR mirror).
+  std::span<const int> row_cols(int i) const {
+    return {col_idx_.data() + row_ptr_[i],
+            static_cast<size_t>(row_ptr_[i + 1] - row_ptr_[i])};
+  }
+  std::span<const double> row_values(int i) const {
+    return {row_values_.data() + row_ptr_[i],
+            static_cast<size_t>(row_ptr_[i + 1] - row_ptr_[i])};
+  }
+
   // y += alpha * A[:, j]  (y is a dense vector of length rows()).
   void axpy_column(int j, double alpha, std::span<double> y) const;
 
@@ -52,6 +67,10 @@ class SparseMatrix {
   std::vector<int> col_ptr_;  // size cols_+1
   std::vector<int> row_idx_;
   std::vector<double> values_;
+  // CSR mirror (same entries, row-major).
+  std::vector<int> row_ptr_;  // size rows_+1
+  std::vector<int> col_idx_;
+  std::vector<double> row_values_;
 };
 
 }  // namespace checkmate::lp

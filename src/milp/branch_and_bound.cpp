@@ -10,6 +10,7 @@
 #include <thread>
 
 #include "lp/simplex.h"
+#include "milp/presolve.h"
 
 namespace checkmate::milp {
 
@@ -110,6 +111,10 @@ struct SlotResult {
   bool solved_root = false;
   bool root_lp_ok = false;
   double root_relaxation = lp::kInf;
+  // Captured at the root only: the LP solution and structural reduced
+  // costs that drive reduced-cost fixing for the rest of the search.
+  std::vector<double> root_x;
+  std::vector<double> root_redcost;
   // Subtrees lost to LP numerical trouble / per-node limits: the search is
   // incomplete and these bounds cap the reportable global bound.
   bool dropped = false;
@@ -132,6 +137,7 @@ class EpochSearch {
     for (int j = 0; j < lp.num_vars(); ++j)
       if (lp.is_integer[j]) int_vars_.push_back(j);
     pc_.init(lp.num_vars());
+    fix_done_.assign(static_cast<size_t>(lp.num_vars()), 0);
     workers_.resize(static_cast<size_t>(num_workers_));
   }
 
@@ -327,6 +333,11 @@ class EpochSearch {
       const bool had_root = !root_done_;
       commit(results);
       maybe_run_heuristic(results, had_root);
+      // Root reduced-cost fixing, re-armed by every incumbent improvement.
+      // Runs on the coordinator at the barrier (workers idle), so mutating
+      // the working LP's bounds -- which every later restore() re-reads --
+      // is race-free and deterministically ordered.
+      maybe_fix_by_reduced_cost();
       if (stop_) break;
     }
 
@@ -354,7 +365,11 @@ class EpochSearch {
       result_.lp_iterations += r.lp_iterations;
       if (r.solved_root) {
         root_done_ = true;
-        if (r.root_lp_ok) result_.root_relaxation = r.root_relaxation;
+        if (r.root_lp_ok) {
+          result_.root_relaxation = r.root_relaxation;
+          root_x_ = std::move(r.root_x);
+          root_redcost_ = std::move(r.root_redcost);
+        }
       }
       if (r.dropped) {
         search_complete_ = false;
@@ -386,6 +401,47 @@ class EpochSearch {
       heur_interval_ = std::min(heur_interval_ * 2, base * 64);
     }
     next_heur_node_ = result_.nodes + heur_interval_;
+  }
+
+  // Root reduced-cost fixing. For an integer variable nonbasic at a bound
+  // in the root relaxation, LP duality gives: any feasible point with x_j
+  // moved at least one integer step off that bound costs >= root + |d_j|.
+  // Once an incumbent caps the interesting objective range at the prune
+  // threshold, every variable with |d_j| > threshold - root can be fixed
+  // at its root bound for the remainder of the search -- no improving
+  // solution exists on the other side. The fixings go through the presolve
+  // clamp helpers onto the search's working LP copy, so every subsequent
+  // snapshot restore() (which re-reads base bounds) inherits them; nodes
+  // whose branching path already contradicts a fixing are pruned at slot
+  // start by the intersection guard in process_slot.
+  void maybe_fix_by_reduced_cost() {
+    if (!opt_.root_reduced_cost_fixing || !root_done_ || root_redcost_.empty())
+      return;
+    if (!result_.has_solution()) return;
+    const double cutoff = prune_threshold();
+    if (cutoff >= last_fix_cutoff_) return;  // no incumbent progress
+    last_fix_cutoff_ = cutoff;
+    const double root_obj = result_.root_relaxation;
+    const double slack = cutoff - root_obj;
+    // Safety margin over the simplex cost perturbation's dual noise.
+    const double margin = 1e-6 * std::max(1.0, std::abs(root_obj));
+    const double at_tol = opt_.integrality_tol;
+    for (int j : int_vars_) {
+      if (fix_done_[j]) continue;
+      if (lp_.ub[j] - lp_.lb[j] < 0.5) continue;  // already fixed / presolved
+      const double d = root_redcost_[j];
+      const int one[] = {j};
+      if (root_x_[j] <= lp_.lb[j] + at_tol && d > slack + margin) {
+        (void)clamp_upper_bounds(lp_, one, lp_.lb[j]);
+      } else if (root_x_[j] >= lp_.ub[j] - at_tol && -d > slack + margin) {
+        (void)raise_lower_bounds(lp_, one, lp_.ub[j]);
+      } else {
+        continue;
+      }
+      fix_done_[j] = 1;
+      global_fix_.push_back({j, lp_.lb[j], lp_.ub[j]});
+      ++result_.root_fixings;
+    }
   }
 
   // ------------------------------------------------------------- slots
@@ -452,6 +508,18 @@ class EpochSearch {
         eng.set_var_bounds(c.var, c.lo, c.hi);
       }
     }
+    // Reduced-cost fixings committed after this node's snapshot/path were
+    // recorded: restore() already re-read them from the working LP's base
+    // bounds, so only variables the path (or snapshot) overrode need the
+    // intersection. An empty intersection means the branching path lives
+    // entirely on the unimproving side of a fixing -- prune the node.
+    for (const BoundChange& f : global_fix_) {
+      const double ilo = std::max(eng.var_lower(f.var), f.lo);
+      const double ihi = std::min(eng.var_upper(f.var), f.hi);
+      if (ilo > ihi) return out;
+      if (ilo != eng.var_lower(f.var) || ihi != eng.var_upper(f.var))
+        eng.set_var_bounds(f.var, ilo, ihi);
+    }
 
     // Epoch-start pseudocosts; this slot's own observations layer on top.
     // The copy must be per SLOT, not per worker-epoch: two slots of one
@@ -507,6 +575,15 @@ class EpochSearch {
       // floor only guards against a non-positive limit -- it must not grant
       // time the global budget no longer has.
       eng.set_time_limit(std::max(0.01, opt_.time_limit_sec - elapsed()));
+      // Dual objective cutoff: a node whose relaxation bound crosses the
+      // incumbent prune threshold is discarded anyway, so let the dual
+      // simplex stop the moment it proves that instead of polishing to
+      // optimality. best_obj is slot-local deterministic state. The root
+      // is exempt: its relaxation value and reduced costs seed the bound
+      // report and the reduced-cost fixing.
+      eng.set_objective_limit(
+          cur.path < 0 ? lp::kInf
+                       : prune_threshold_for(best_obj, opt_.relative_gap));
       ++out.nodes;
       const lp::LpResult rel = eng.solve();
       out.lp_iterations += rel.iterations;
@@ -516,14 +593,23 @@ class EpochSearch {
         if (rel.status == lp::LpStatus::kOptimal) {
           out.root_lp_ok = true;
           out.root_relaxation = rel.objective;
+          out.root_x = rel.x;
+          out.root_redcost = eng.structural_reduced_costs();
         }
       }
       if (rel.status == lp::LpStatus::kInfeasible) break;
+      if (rel.status == lp::LpStatus::kObjectiveLimit) break;  // pruned
       if (rel.status != lp::LpStatus::kOptimal) {
-        // Numerical trouble or LP time cap: the subtree is dropped but its
-        // parent relaxation still bounds it (the root has no parent).
-        out.dropped = true;
-        out.dropped_bound = std::min(out.dropped_bound, cur.bound);
+        // Numerical trouble or LP truncation: the subtree is dropped, but
+        // the truncated solve's dual bound (when it beats the parent
+        // relaxation) still caps how much the global bound gives up -- and
+        // when it already clears the prune threshold the subtree is simply
+        // pruned, keeping the search complete.
+        const double nb = std::max(cur.bound, rel.dual_bound);
+        if (nb < prune_threshold_for(best_obj, opt_.relative_gap)) {
+          out.dropped = true;
+          out.dropped_bound = std::min(out.dropped_bound, nb);
+        }
         break;
       }
 
@@ -690,7 +776,10 @@ class EpochSearch {
   }
 
   // ------------------------------------------------------------ members
-  const lp::LinearProgram& lp_;
+  // Working copy of the problem: root reduced-cost fixings clamp its
+  // bounds mid-search (at epoch barriers only), and every engine restore()
+  // re-reads them as the base bound state.
+  lp::LinearProgram lp_;
   MilpOptions opt_;
   const IncumbentHeuristic& heuristic_;
   Clock::time_point start_;
@@ -711,6 +800,11 @@ class EpochSearch {
   int64_t next_seq_ = 0;
   PseudocostStore pc_;
   MilpResult result_;
+  // Root-LP data driving reduced-cost fixing, plus the fixing ledger.
+  std::vector<double> root_x_, root_redcost_;
+  std::vector<uint8_t> fix_done_;
+  std::vector<BoundChange> global_fix_;  // frozen during epochs
+  double last_fix_cutoff_ = lp::kInf;
   bool root_done_ = false;
   bool search_complete_ = true;
   bool external_bound_met_ = false;

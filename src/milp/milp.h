@@ -80,6 +80,14 @@ struct MilpOptions {
   // Pseudocost-driven branching; disable to fall back to most-fractional
   // (the pre-overhaul behavior, kept for ablation).
   bool pseudocost_branching = true;
+  // Root reduced-cost fixing: after the root LP (and again on every
+  // incumbent improvement), permanently fix integer variables whose root
+  // reduced cost proves no improving solution exists on the other side of
+  // their bound. Fixings feed through the presolve clamp helpers onto the
+  // search's working LP, so every later node (and every snapshot restore)
+  // inherits them. Deterministic: fixings are derived from committed state
+  // only and applied at epoch barriers.
+  bool root_reduced_cost_fixing = true;
   NodeSelection node_selection = NodeSelection::kDepthFirst;
   // Invoke the incumbent heuristic at the root and then every N nodes; the
   // effective interval backs off exponentially while the heuristic fails
@@ -128,6 +136,9 @@ struct MilpResult {
   std::vector<double> x;           // incumbent (empty if none)
   int64_t nodes = 0;
   int64_t lp_iterations = 0;
+  // Variables permanently fixed by root reduced-cost fixing during the
+  // search (0 when the option is off or no fixing fired).
+  int64_t root_fixings = 0;
   double seconds = 0.0;
   PresolveStats presolve;          // zeroed when presolve was disabled
 

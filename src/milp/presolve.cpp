@@ -228,4 +228,21 @@ bool clamp_upper_bounds(lp::LinearProgram& lp, std::span<const int> vars,
   return feasible;
 }
 
+bool raise_lower_bounds(lp::LinearProgram& lp, std::span<const int> vars,
+                        double lower, double feasibility_tol) {
+  bool feasible = true;
+  for (int j : vars) {
+    if (lower <= lp.lb[j]) continue;
+    if (lp.ub[j] < lower) {
+      if (lower - lp.ub[j] <= feasibility_tol * std::max(1.0, std::abs(lower))) {
+        lp.lb[j] = lp.ub[j];  // numerically equal: snap to a fixing
+        continue;
+      }
+      feasible = false;
+    }
+    lp.lb[j] = lower;
+  }
+  return feasible;
+}
+
 }  // namespace checkmate::milp

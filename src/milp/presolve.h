@@ -69,4 +69,12 @@ PresolveResult presolve(const lp::LinearProgram& lp,
 bool clamp_upper_bounds(lp::LinearProgram& lp, std::span<const int> vars,
                         double upper, double feasibility_tol = 1e-9);
 
+// Mirror of clamp_upper_bounds for the other side: lb[j] = max(lb[j],
+// lower). Branch & bound feeds root reduced-cost fixings through these two
+// clamps (fix-to-lower clamps the upper bound, fix-to-upper raises the
+// lower bound), so the fixings ride the same monotone-in-bounds argument
+// as the plan service's presolve-artifact reuse.
+bool raise_lower_bounds(lp::LinearProgram& lp, std::span<const int> vars,
+                        double lower, double feasibility_tol = 1e-9);
+
 }  // namespace checkmate::milp

@@ -218,6 +218,82 @@ TEST(Milp, MatchesBruteForceOnRandomBinaryPrograms) {
   }
 }
 
+TEST(Milp, RootReducedCostFixingFiresAndKeepsOptimum) {
+  // Six binaries, pick at least three: the root LP is integral (three
+  // cheapest at 1), so the incumbent lands immediately and every expensive
+  // column's reduced cost exceeds the remaining gap -- those variables
+  // must be permanently fixed to zero, and the optimum must be untouched.
+  LinearProgram lp;
+  for (int j = 0; j < 6; ++j) lp.add_binary(1.0 + j);
+  lp.add_ge(terms({{0, 1.0},
+                   {1, 1.0},
+                   {2, 1.0},
+                   {3, 1.0},
+                   {4, 1.0},
+                   {5, 1.0}}),
+            3.0);
+  MilpOptions opts = bounded();
+  opts.presolve = false;  // keep the root LP nontrivial for the fixing
+  auto res = solve_milp(lp, opts);
+  ASSERT_EQ(res.status, MilpStatus::kOptimal);
+  EXPECT_NEAR(res.objective, 1.0 + 2.0 + 3.0, 1e-6);
+  EXPECT_GT(res.root_fixings, 0);
+
+  opts.root_reduced_cost_fixing = false;
+  auto off = solve_milp(lp, opts);
+  ASSERT_EQ(off.status, MilpStatus::kOptimal);
+  EXPECT_NEAR(off.objective, res.objective, 1e-9);
+  EXPECT_EQ(off.root_fixings, 0);
+}
+
+TEST(Milp, RootReducedCostFixingMatchesBruteForceOnCorpus) {
+  // The fixing must never cut off the optimum: random binary programs
+  // solved with fixing on (tight gap, so the fixing threshold is as
+  // aggressive as it gets) against brute force.
+  std::mt19937 rng(91);
+  std::uniform_real_distribution<double> coef(-3.0, 3.0);
+  for (int trial = 0; trial < 40; ++trial) {
+    const int n = 3 + static_cast<int>(rng() % 5);
+    const int m = 1 + static_cast<int>(rng() % 3);
+    LinearProgram lp;
+    for (int j = 0; j < n; ++j) lp.add_binary(coef(rng));
+    std::vector<std::vector<double>> rows(m, std::vector<double>(n, 0.0));
+    std::vector<double> rhs(m);
+    for (int r = 0; r < m; ++r) {
+      std::vector<std::pair<int, double>> t;
+      for (int j = 0; j < n; ++j)
+        if (rng() % 2) {
+          rows[r][j] = coef(rng);
+          t.emplace_back(j, rows[r][j]);
+        }
+      rhs[r] = coef(rng);
+      lp.add_le(t, rhs[r]);
+    }
+    double best = lp::kInf;
+    for (int mask = 0; mask < (1 << n); ++mask) {
+      double obj = 0.0;
+      bool ok = true;
+      for (int r = 0; r < m && ok; ++r) {
+        double act = 0.0;
+        for (int j = 0; j < n; ++j)
+          if (mask & (1 << j)) act += rows[r][j];
+        if (act > rhs[r] + 1e-9) ok = false;
+      }
+      if (!ok) continue;
+      for (int j = 0; j < n; ++j)
+        if (mask & (1 << j)) obj += lp.obj[j];
+      best = std::min(best, obj);
+    }
+    auto res = solve_milp(lp, bounded());
+    if (best == lp::kInf) {
+      EXPECT_EQ(res.status, MilpStatus::kInfeasible) << "trial " << trial;
+    } else {
+      ASSERT_EQ(res.status, MilpStatus::kOptimal) << "trial " << trial;
+      EXPECT_NEAR(res.objective, best, 1e-5) << "trial " << trial;
+    }
+  }
+}
+
 TEST(Milp, NodeLimitReturnsFeasibleOrNoSolution) {
   LinearProgram lp;
   std::mt19937 rng(5);

@@ -107,6 +107,38 @@ TEST(MilpParallel, WorkerCountInvariantOnRematInstance) {
   EXPECT_GT(reference->nodes, 4);  // genuinely searched, not a root solve
 }
 
+TEST(MilpParallel, RootFixingAndSteepestEdgeInvariantAcrossWorkerCounts) {
+  // PR 4 hot path under the bit-identity contract: steepest-edge weights
+  // ride the basis snapshots between workers and root reduced-cost fixing
+  // mutates the shared working LP at epoch barriers -- node counts,
+  // iteration counts, objectives AND the number of fixings must be
+  // identical for every worker count.
+  auto p = RematProblem::unit_training_chain(6);
+  IlpBuildOptions build;
+  build.budget_bytes = 5.0;
+  IlpFormulation f(p, build);
+  std::optional<MilpResult> reference;
+  for (int threads : {1, 2, 4}) {
+    MilpOptions opts = bounded();
+    opts.branch_priority = f.branch_priorities();
+    opts.node_selection = NodeSelection::kHybrid;
+    opts.root_reduced_cost_fixing = true;
+    opts.simplex.steepest_edge_pricing = true;
+    opts.simplex.bound_flip_ratio_test = true;
+    opts.num_threads = threads;
+    auto res = solve_milp(f.lp(), opts);
+    ASSERT_EQ(res.status, MilpStatus::kOptimal) << "threads " << threads;
+    if (!reference) {
+      reference = res;
+    } else {
+      expect_identical(*reference, res,
+                       "rcfix threads " + std::to_string(threads));
+      EXPECT_EQ(reference->root_fixings, res.root_fixings)
+          << "threads " << threads;
+    }
+  }
+}
+
 TEST(MilpParallel, DeterministicIterationLimitAcrossWorkerCounts) {
   // The deterministic work limit must truncate the SAME tree at the SAME
   // point for every worker count (the limit is projected from epoch-start

@@ -358,6 +358,124 @@ TEST(DualSimplex, IterationAccountingMonotonePerEngine) {
   EXPECT_GE(solver.iterations_total(), prev);
 }
 
+// ---------------------------------------------------------------------
+// PR 4 hot path: steepest-edge pricing, bound-flipping ratio test,
+// truncated-solve dual bounds, objective-limit early exit.
+
+// Random boxed LPs -- every variable carries finite bounds on both sides,
+// the shape of the 0/1 scheduling relaxations, so the long-step ratio
+// test's bound flips fire constantly. Cross-checked against the dense
+// reference solver for status and objective.
+TEST(DualSimplex, BoxedCorpusMatchesDenseReference) {
+  std::mt19937 rng(311);
+  std::uniform_real_distribution<double> coef(-3.0, 3.0);
+  std::uniform_real_distribution<double> cost(-2.0, 2.0);
+  int optimal_count = 0;
+  for (int trial = 0; trial < 150; ++trial) {
+    const int n = 2 + static_cast<int>(rng() % 10);
+    const int m = 1 + static_cast<int>(rng() % 8);
+    LinearProgram lp;
+    for (int j = 0; j < n; ++j) {
+      // Mostly unit boxes (binary relaxations), some wider.
+      const double lo = (rng() % 5 == 0) ? -1.0 : 0.0;
+      const double hi = lo + ((rng() % 4 == 0) ? 3.0 : 1.0);
+      lp.add_var(lo, hi, cost(rng));
+    }
+    for (int r = 0; r < m; ++r) {
+      std::vector<std::pair<int, double>> t;
+      for (int j = 0; j < n; ++j)
+        if (rng() % 3) t.emplace_back(j, coef(rng));
+      const double rhs = coef(rng);
+      switch (rng() % 3) {
+        case 0: lp.add_le(t, rhs); break;
+        case 1: lp.add_ge(t, rhs); break;
+        default: lp.add_constraint(t, rhs, rhs + (rng() % 2)); break;
+      }
+    }
+    auto sparse = solve_lp(lp);
+    auto dense = solve_dense_reference(lp);
+    ASSERT_EQ(sparse.status, dense.status) << "trial " << trial;
+    if (sparse.status == LpStatus::kOptimal) {
+      ++optimal_count;
+      EXPECT_NEAR(sparse.objective, dense.objective, 1e-5)
+          << "trial " << trial;
+      EXPECT_LE(lp.max_violation(sparse.x), 1e-6) << "trial " << trial;
+      EXPECT_EQ(sparse.dual_bound, sparse.objective) << "trial " << trial;
+    }
+  }
+  EXPECT_GT(optimal_count, 40);
+}
+
+TEST(DualSimplex, TruncatedSolveReportsSoundDualBound) {
+  // A truncated solve must surface a valid lower bound on the optimum so
+  // branch & bound can keep the work of an abandoned node solve.
+  LinearProgram lp = clone_test_lp(40, 7u);
+  const double optimum = solve_lp(lp).objective;
+
+  SimplexOptions opts;
+  opts.max_iterations = 3;  // guaranteed truncation
+  DualSimplex solver(lp, opts);
+  const LpResult res = solver.solve();
+  ASSERT_EQ(res.status, LpStatus::kIterationLimit);
+  EXPECT_GT(res.dual_bound, -kInf);
+  EXPECT_LE(res.dual_bound, optimum + 1e-6);
+}
+
+TEST(DualSimplex, ObjectiveLimitStopsEarlyWithSoundBound) {
+  LinearProgram lp = clone_test_lp(40, 19u);
+  const LpResult full = solve_lp(lp);
+  ASSERT_EQ(full.status, LpStatus::kOptimal);
+
+  // A cutoff below the optimum: the dual ascent must cross it and stop.
+  SimplexOptions opts;
+  opts.objective_limit = full.objective - 0.5;
+  const LpResult cut = solve_lp(lp, opts);
+  ASSERT_EQ(cut.status, LpStatus::kObjectiveLimit);
+  EXPECT_GE(cut.dual_bound, opts.objective_limit);
+  EXPECT_LE(cut.dual_bound, full.objective + 1e-6);
+  EXPECT_LE(cut.iterations, full.iterations);
+
+  // A cutoff above the optimum never triggers.
+  opts.objective_limit = full.objective + 1.0;
+  const LpResult clear = solve_lp(lp, opts);
+  ASSERT_EQ(clear.status, LpStatus::kOptimal);
+  EXPECT_NEAR(clear.objective, full.objective, 1e-9);
+}
+
+TEST(DualSimplex, SnapshotCarriesSteepestEdgeWeights) {
+  // The steepest-edge weights ride the snapshot, and the post-restore
+  // trajectory is a pure function of the snapshot: an engine that wandered
+  // arbitrarily far and a fresh clone must re-solve bit-identically.
+  LinearProgram lp = clone_test_lp(24, 13u);
+  DualSimplex original(lp);
+  ASSERT_EQ(original.solve().status, LpStatus::kOptimal);
+  original.set_var_bounds(3, 1.0, 2.0);
+  ASSERT_EQ(original.solve().status, LpStatus::kOptimal);
+
+  const BasisSnapshot snap = original.snapshot();
+  ASSERT_EQ(static_cast<int>(snap.dse_weights.size()), lp.num_rows());
+
+  // Wander the original far away from the snapshot state.
+  std::mt19937 rng(3);
+  for (int step = 0; step < 10; ++step) {
+    original.set_var_bounds(static_cast<int>(rng() % 24), 0.0,
+                            1.0 + (rng() % 4));
+    (void)original.solve();
+  }
+
+  DualSimplex fresh(lp);
+  fresh.restore(snap);
+  original.restore(snap);
+  original.set_var_bounds(5, 2.0, 3.0);
+  fresh.set_var_bounds(5, 2.0, 3.0);
+  const LpResult a = original.solve();
+  const LpResult b = fresh.solve();
+  ASSERT_EQ(a.status, LpStatus::kOptimal);
+  EXPECT_EQ(a.objective, b.objective);
+  EXPECT_EQ(a.iterations, b.iterations);
+  for (size_t j = 0; j < a.x.size(); ++j) EXPECT_EQ(a.x[j], b.x[j]);
+}
+
 TEST(DualSimplex, ModeratelyLargeStructuredLp) {
   // Staircase LP with 200 variables / 200 rows; verifies the sparse path
   // and refactorization cadence.
