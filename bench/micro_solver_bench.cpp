@@ -213,6 +213,10 @@ struct SolverConfig {
   // bound-flip ratio test, and root reduced-cost fixing.
   bool lp_hotpath = true;
   bool rcfix = true;
+  // Branch & cut knobs (PR 5): cover/clique cut separation on the memory
+  // rows and reliability branching.
+  bool cuts = true;
+  bool reliability = true;
 };
 
 // "seed" is the pre-overhaul configuration (most-fractional depth-first
@@ -232,8 +236,12 @@ constexpr SolverConfig kConfigs[] = {
     {"no_lp_hotpath", true, true, milp::NodeSelection::kHybrid, 1, false,
      true},
     {"no_rcfix", true, true, milp::NodeSelection::kHybrid, 1, true, false},
+    {"no_cuts", true, true, milp::NodeSelection::kHybrid, 1, true, true,
+     false, true},
+    {"no_reliability", true, true, milp::NodeSelection::kHybrid, 1, true,
+     true, true, false},
     {"seed", false, false, milp::NodeSelection::kDepthFirst, 1, false,
-     false},
+     false, false, false},
 };
 
 struct JsonInstance {
@@ -300,6 +308,8 @@ int run_json_suite(const std::string& path) {
       opts.steepest_edge_pricing = cfg.lp_hotpath;
       opts.bound_flip_ratio_test = cfg.lp_hotpath;
       opts.root_reduced_cost_fixing = cfg.rcfix;
+      opts.cut_separation = cfg.cuts;
+      opts.reliability_branching = cfg.reliability;
       auto res = sched.solve_optimal_ilp(inst.budget, opts);
       if (!first) std::fprintf(f, ",\n");
       first = false;
@@ -307,12 +317,15 @@ int run_json_suite(const std::string& path) {
                    "    {\"instance\": \"%s\", \"config\": \"%s\", "
                    "\"threads\": %d, "
                    "\"status\": \"%s\", \"nodes\": %lld, "
-                   "\"lp_iterations\": %lld, \"seconds\": %.3f, "
+                   "\"lp_iterations\": %lld, \"cuts\": %lld, "
+                   "\"strong_branches\": %lld, \"seconds\": %.3f, "
                    "\"cost\": %.6g, \"best_bound\": %.6g}",
                    inst.name.c_str(), cfg.name, cfg.num_threads,
                    milp::to_string(res.milp_status),
                    static_cast<long long>(res.nodes),
-                   static_cast<long long>(res.lp_iterations), res.seconds,
+                   static_cast<long long>(res.lp_iterations),
+                   static_cast<long long>(res.cuts_added),
+                   static_cast<long long>(res.strong_branches), res.seconds,
                    res.cost, res.best_bound);
       std::fflush(f);
       std::fprintf(stderr, "%-24s %-14s %-9s nodes=%-7lld %.2fs\n",

@@ -36,15 +36,17 @@ fi
 # Nightly ThreadSanitizer stage: rebuild the threading-heavy suites with
 # -DCHECKMATE_TSAN=ON and run the parallel-determinism tests under TSan.
 # Epoch-lockstep determinism is only trustworthy if the barrier protocol is
-# race-free; a TSan report here fails the tier.
+# race-free; a TSan report here fails the tier. test_cuts carries the
+# threads {1,2,4} branch-and-cut invariance test (cut pool commits and LP
+# row appends ride the same barrier protocol), so it runs here too.
 if [ "$CHECK_TIER" = "full" ]; then
   TSAN_DIR="${TSAN_BUILD_DIR:-build-tsan}"
   cmake -B "$TSAN_DIR" -S . "${GENERATOR_FLAGS[@]}" \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo -DCHECKMATE_TSAN=ON
   cmake --build "$TSAN_DIR" -j \
-    --target test_milp_parallel test_plan_service test_simplex
+    --target test_milp_parallel test_plan_service test_simplex test_cuts
   TSAN_OPTIONS="halt_on_error=1" ctest --test-dir "$TSAN_DIR" \
-    -R 'test_milp_parallel|test_plan_service|test_simplex' \
+    -R 'test_milp_parallel|test_plan_service|test_simplex|test_cuts' \
     --output-on-failure
 fi
 

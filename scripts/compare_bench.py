@@ -25,7 +25,10 @@ Handles both committed formats:
 Rows present in only one of baseline/fresh are skipped with a warning, not
 failed: a PR that adds or retires a bench instance/config must not brick the
 gate (the committed baseline is refreshed in the same PR, and the warning
-keeps the mismatch visible in the log).
+keeps the mismatch visible in the log). EXCEPTION: the ablation configs
+(no_lp_hotpath, no_rcfix, no_cuts, no_reliability) are load-bearing -- they
+document what each subsystem buys -- so a fresh solver run that silently
+drops one of them FAILS instead of warning.
 
 Node counts are deterministic for completed searches (the tree does not
 depend on wall-clock speed or worker count unless a limit is hit), so a >2x
@@ -39,8 +42,15 @@ import json
 import sys
 
 # Configs whose node counts must be identical on a given instance: the
-# epoch-lockstep tree search guarantees worker-count invariance.
+# epoch-lockstep tree search guarantees worker-count invariance (with cut
+# separation and reliability branching enabled -- both ride the barrier
+# protocol).
 DETERMINISM_CONFIGS = ("overhaul", "threads2", "threads4")
+
+# Ablation configs the solver bench must keep reporting: each one flips a
+# shipped subsystem off, and the committed baseline is the record of what
+# that subsystem buys. A fresh run missing one of these rows fails the gate.
+ABLATION_CONFIGS = ("no_lp_hotpath", "no_rcfix", "no_cuts", "no_reliability")
 
 
 def solver_records(doc):
@@ -135,6 +145,15 @@ def main():
             warnings.append(f"{key}: only in fresh run; skipped")
 
     if kind == "micro_solver_bench":
+        # Ablation rows are part of the bench contract: if the baseline
+        # tracks one, the fresh run must report it too.
+        fresh_configs = {config for (_, config) in fresh}
+        for config in ABLATION_CONFIGS:
+            if any(c == config for (_, c) in base) and \
+                    config not in fresh_configs:
+                failures.append(
+                    f"ablation config {config!r} missing from fresh run")
+
         # Worker-count determinism gate on the fresh run. Only meaningful
         # when every config completed: a wall-clock-truncated search stops
         # at a machine-dependent point, so node counts legitimately differ

@@ -42,14 +42,17 @@ def history(repo, path):
 
 
 def solver_series(hist, config="overhaul"):
-    """{instance: [(commit_idx, nodes, seconds)]} for one solver config."""
+    """{instance: [(commit_idx, nodes, seconds, lp_iterations)]} for one
+    solver config. lp_iterations is None on snapshots predating PR 4 (the
+    field was added when the iteration gate landed)."""
     series = {}
     for idx, (_, _, doc) in enumerate(hist):
         for r in doc.get("results", []):
             if r.get("config") != config:
                 continue
             series.setdefault(r["instance"], []).append(
-                (idx, r.get("nodes"), r.get("seconds")))
+                (idx, r.get("nodes"), r.get("seconds"),
+                 r.get("lp_iterations")))
     return series
 
 
@@ -184,6 +187,8 @@ def main():
                        commits, True))
         panels.append((f"solver wall time ({args.config})", s, 2, "sec",
                        commits, True))
+        panels.append((f"solver LP iterations ({args.config})", s, 3,
+                       "iters", commits, True))
     if sweep_hist:
         commits = [(sha, sub) for sha, sub, _ in sweep_hist]
         s = sweep_series(sweep_hist)

@@ -37,6 +37,8 @@ void IlpFormulation::build() {
     mem[v] = p.memory[v] / mem_scale_;
     cost[v] = p.cost[v] / cost_scale_;
   }
+  mem_scaled_ = mem;
+  overhead_scaled_ = overhead;
 
   // ---- Variables.
   r_.assign(n, std::vector<int>(n, -1));
@@ -189,6 +191,60 @@ void IlpFormulation::set_budget(double budget_bytes) {
   opts_.budget_bytes = budget_bytes;
   const double scaled = budget_bytes / mem_scale_;
   for (int var : u_flat_) lp_.ub[var] = scaled;
+}
+
+milp::FormulationStructure IlpFormulation::cut_structure() const {
+  const RematProblem& p = *problem_;
+  const int n = p.size();
+  milp::FormulationStructure s;
+
+  // Stage-entry knapsacks: U[t][0] = overhead + sum_i M_i S[t][i]
+  // + M_0 R[t][0] is an equality, so the binaries on its right-hand side
+  // form a knapsack under ub(U[t][0]) - overhead. Valid in both forms.
+  for (int t = 0; t < n; ++t) {
+    milp::KnapsackRow row;
+    row.capacity_var = u_[t][0];
+    row.capacity_offset = overhead_scaled_;
+    for (int i = 0; i < n; ++i)
+      if (s_[t][i] >= 0 && mem_scaled_[i] > 0.0)
+        row.items.push_back({s_[t][i], mem_scaled_[i]});
+    if (r_[t][0] >= 0 && mem_scaled_[0] > 0.0)
+      row.items.push_back({r_[t][0], mem_scaled_[0]});
+    if (row.items.size() >= 2) s.knapsacks.push_back(std::move(row));
+  }
+
+  // Precedence-strengthened end-of-stage knapsacks (partitioned form
+  // only, where R[t][t] == 1 is fixed). At U[t][t] -- just after v_t is
+  // computed -- three groups are forcibly resident:
+  //   - v_t itself (just computed, freed no earlier than the next step);
+  //   - every dependency of t: (1b) forces R[t][i] + S[t][i] >= 1, and the
+  //     FREE hazard rows forbid freeing a value before its last in-stage
+  //     user, which includes t;
+  //   - every value checkpointed into stage t+1: S[t+1][i] = 1 enters the
+  //     hazard of every FREE[t][i][k], so i is never freed in stage t.
+  // The first two are constants (fold into the capacity offset); the
+  // third gives the knapsack items. Strictly tighter than the stage-entry
+  // row whenever t has dependencies with nonzero memory.
+  if (opts_.partitioned) {
+    for (int t = 0; t + 1 < n; ++t) {
+      milp::KnapsackRow row;
+      row.capacity_var = u_[t][t];
+      double forced = overhead_scaled_ + mem_scaled_[t];
+      std::vector<uint8_t> is_dep(n, 0);
+      for (NodeId i : p.graph.deps(t)) {
+        is_dep[i] = 1;
+        forced += mem_scaled_[i];
+      }
+      row.capacity_offset = forced;
+      for (int i = 0; i < n; ++i) {
+        if (i == t || is_dep[i]) continue;
+        if (s_[t + 1][i] >= 0 && mem_scaled_[i] > 0.0)
+          row.items.push_back({s_[t + 1][i], mem_scaled_[i]});
+      }
+      if (row.items.size() >= 2) s.knapsacks.push_back(std::move(row));
+    }
+  }
+  return s;
 }
 
 std::vector<int> IlpFormulation::branch_priorities() const {

@@ -24,6 +24,7 @@
 #include "core/remat_problem.h"
 #include "core/solution.h"
 #include "lp/lp_problem.h"
+#include "milp/cuts.h"
 
 namespace checkmate {
 
@@ -64,6 +65,24 @@ class IlpFormulation {
   // Branching priorities: S > R > FREE (checkpoint decisions dominate).
   std::vector<int> branch_priorities() const;
 
+  // Structural view for the branch & cut separators (milp/cuts.h): the
+  // memory-budget rows as 0/1 knapsacks over the S/R binaries with
+  // coefficients from the (scaled) tensor-size vector. Two families:
+  //   - stage-entry rows U[t][0] = overhead + sum M_i S[t][i] + M_0 R[t][0]
+  //     give a plain knapsack per stage;
+  //   - (partitioned form) end-of-stage rows exploit the precedence
+  //     structure: while computing v_t at stage t every dependency of t is
+  //     forcibly live (R[t][t] = 1 plus the hazard rows pin them), and any
+  //     value checkpointed into stage t+1 is still resident at U[t][t] --
+  //     so sum_{i not in deps(t)} M_i S[t+1][i] fits under
+  //     ub(U[t][t]) - overhead - M_t - sum_{deps(t)} M_i, a strictly
+  //     tighter capacity than the plain row.
+  // Capacities are expressed through the U columns' upper bounds, so the
+  // view survives set_budget() rebinds and presolve tightenings unchanged;
+  // column indices survive presolve (no renumbering). The view is cheap to
+  // build and does not reference this formulation after construction.
+  milp::FormulationStructure cut_structure() const;
+
   // Converts an LP-space objective value back to problem cost units.
   double unscale_cost(double scaled) const { return scaled * cost_scale_; }
   double scale_cost(double unscaled) const { return unscaled / cost_scale_; }
@@ -95,6 +114,10 @@ class IlpFormulation {
   lp::LinearProgram lp_;
   double cost_scale_ = 1.0;
   double mem_scale_ = 1.0;
+  // Scaled copies kept for cut_structure(): per-node memory in LP units
+  // and the fixed overhead in the same units.
+  std::vector<double> mem_scaled_;
+  double overhead_scaled_ = 0.0;
 
   std::vector<std::vector<int>> r_, s_, u_;
   std::vector<int> u_flat_;  // all U variable indices, ascending

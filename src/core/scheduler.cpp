@@ -58,6 +58,17 @@ ScheduleResult solve_ilp_on_formulation(const IlpFormulation& form,
   mopts.root_reduced_cost_fixing = options.root_reduced_cost_fixing;
   mopts.simplex.steepest_edge_pricing = options.steepest_edge_pricing;
   mopts.simplex.bound_flip_ratio_test = options.bound_flip_ratio_test;
+  // Branch & cut: hand the solver the formulation's knapsack view of the
+  // memory rows. The structure outlives the solve (stack scope below) and
+  // survives presolve and set_budget rebinds (capacities are read from the
+  // live U upper bounds at separation time).
+  milp::FormulationStructure cut_structure;
+  mopts.cut_separation = options.cut_separation;
+  mopts.reliability_branching = options.reliability_branching;
+  if (options.cut_separation) {
+    cut_structure = form.cut_structure();
+    mopts.cut_structure = &cut_structure;
+  }
   if (options.max_lp_iterations > 0)
     mopts.max_lp_iterations = options.max_lp_iterations;
   if (options.max_nodes > 0) mopts.max_nodes = options.max_nodes;
@@ -138,6 +149,8 @@ ScheduleResult solve_ilp_on_formulation(const IlpFormulation& form,
   res.milp_status = mres.status;
   res.nodes = mres.nodes;
   res.lp_iterations = mres.lp_iterations;
+  res.cuts_added = mres.cuts_added;
+  res.strong_branches = mres.strong_branches;
   res.seconds = mres.seconds;
   res.best_bound = form.unscale_cost(mres.best_bound);
   res.root_relaxation = form.unscale_cost(mres.root_relaxation);
@@ -160,6 +173,8 @@ ScheduleResult solve_ilp_on_formulation(const IlpFormulation& form,
   eval.milp_status = mres.status;
   eval.nodes = mres.nodes;
   eval.lp_iterations = mres.lp_iterations;
+  eval.cuts_added = mres.cuts_added;
+  eval.strong_branches = mres.strong_branches;
   eval.seconds = mres.seconds;
   eval.best_bound = res.best_bound;
   eval.root_relaxation = res.root_relaxation;

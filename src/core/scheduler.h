@@ -34,6 +34,13 @@ struct IlpSolveOptions {
   bool steepest_edge_pricing = true;
   bool bound_flip_ratio_test = true;
   bool root_reduced_cost_fixing = true;
+  // Branch & cut: Checkmate-structural cover/clique cut separation over
+  // the memory rows (the formulation hands the solver a knapsack view via
+  // IlpFormulation::cut_structure) and reliability branching (strong-
+  // branch probes until pseudocosts are trustworthy). Both deterministic
+  // for any num_threads; the ablation benches flip them off individually.
+  bool cut_separation = true;
+  bool reliability_branching = true;
   // Deterministic work limits: stop after this many cumulative simplex
   // iterations / explored nodes (0 = unlimited). Unlike the wall-clock
   // limit these make truncated runs machine-independent.
@@ -79,6 +86,8 @@ struct ScheduleResult {
   double root_relaxation = 0.0;  // problem cost units
   int64_t nodes = 0;
   int64_t lp_iterations = 0;     // cumulative simplex iterations
+  int64_t cuts_added = 0;        // cut rows appended by branch & cut
+  int64_t strong_branches = 0;   // reliability-branching probe solves
   double seconds = 0.0;
 };
 

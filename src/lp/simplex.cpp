@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstddef>
 #include <cmath>
 #include <limits>
 #include <stdexcept>
@@ -22,7 +23,7 @@ const char* to_string(LpStatus status) {
 
 DualSimplex::DualSimplex(const LinearProgram& lp, SimplexOptions options)
     : lp_(&lp), opt_(options), a_(lp.matrix()), n_(lp.num_vars()),
-      m_(lp.num_rows()) {
+      m_(lp.num_rows()), entries_synced_(lp.entries.size()) {
   cost_.assign(num_total(), 0.0);
   lo_.assign(num_total(), 0.0);
   hi_.assign(num_total(), 0.0);
@@ -92,9 +93,58 @@ void DualSimplex::set_var_bounds(int var, double lower, double upper) {
   d_dirty_ = true;
 }
 
+void DualSimplex::sync_rows() {
+  const int m_new = lp_->num_rows();
+  if (m_new == m_) return;
+  if (m_new < m_)
+    throw std::logic_error("sync_rows: rows were removed from the LP");
+  // Fold the appended entries into the matrix. Appended rows may only
+  // reference rows >= m_ (cuts never retouch existing rows).
+  a_.append_rows(m_new - m_,
+                 std::span(lp_->entries).subspan(entries_synced_));
+  entries_synced_ = lp_->entries.size();
+
+  // Grow the column-indexed state: structural columns keep their indices,
+  // existing slacks keep theirs (slack of row i is column n_ + i), and the
+  // new rows' slacks append at the end.
+  const int total_new = n_ + m_new;
+  cost_.resize(total_new, 0.0);
+  lo_.resize(total_new, 0.0);
+  hi_.resize(total_new, 0.0);
+  status_.resize(total_new, static_cast<int8_t>(kNonbasicLower));
+  x_.resize(total_new, 0.0);
+  d_.resize(total_new, 0.0);
+  alpha_v_.resize(total_new, 0.0);
+  alpha_mark_.resize(total_new, 0);
+  banned_mark_.resize(total_new, 0);
+  basic_var_.resize(m_new, -1);
+  xb_.resize(m_new, 0.0);
+  dse_w_.resize(m_new, 1.0);
+  for (int i = m_; i < m_new; ++i) {
+    const int sj = n_ + i;
+    lo_[sj] = lp_->row_lb[i];
+    hi_[sj] = lp_->row_ub[i];
+    if (basis_valid_) {
+      // The new row enters with its slack basic: the extended basis matrix
+      // is block lower triangular over the old one, so it stays
+      // nonsingular; the LU factors are rebuilt lazily.
+      status_[sj] = kBasic;
+      basic_var_[i] = sj;
+      dse_w_[i] = 1.0;
+    }
+  }
+  m_ = m_new;
+  if (basis_valid_) {
+    needs_refactor_ = true;
+    d_dirty_ = true;
+  }
+  xb_dirty_ = true;
+}
+
 BasisSnapshot DualSimplex::snapshot() const {
   BasisSnapshot s;
   s.valid = basis_valid_;
+  s.num_rows = m_;
   // Bound overrides are captured even before the first solve (invalid
   // basis): a clone taken after set_var_bounds but before solve() must
   // still see the same feasible region as the original.
@@ -116,6 +166,12 @@ BasisSnapshot DualSimplex::snapshot() const {
 }
 
 void DualSimplex::restore(const BasisSnapshot& snap) {
+  // Adopt any rows appended to the working LP since this engine last saw
+  // it; the snapshot may have been captured before those rows existed (a
+  // parent basis restored into a child LP that has more cuts).
+  sync_rows();
+  if (snap.valid && snap.num_rows > m_)
+    throw std::logic_error("restore: snapshot has more rows than the LP");
   // Reset bounds to the base LP, then overlay the snapshot's overrides.
   // (The engine constructor may never have run make_initial_basis, and a
   // prior make_initial_basis may have installed artificial bounds; both are
@@ -151,12 +207,23 @@ void DualSimplex::restore(const BasisSnapshot& snap) {
     dse_w_.assign(m_, 1.0);
     return;
   }
+  // Adopt the snapshot's basis for its own rows; rows appended after the
+  // capture get their slack basic -- exactly the state a freshly appended
+  // cut row enters in, so the restored trajectory stays a pure function of
+  // (snapshot, current LP).
   std::copy(snap.status.begin(), snap.status.end(), status_.begin());
-  basic_var_ = snap.basic_var;
-  if (static_cast<int>(snap.dse_weights.size()) == m_)
-    dse_w_ = snap.dse_weights;
-  else
+  std::copy(snap.basic_var.begin(), snap.basic_var.end(), basic_var_.begin());
+  for (int i = snap.num_rows; i < m_; ++i) {
+    status_[n_ + i] = kBasic;
+    basic_var_[i] = n_ + i;
+  }
+  if (static_cast<int>(snap.dse_weights.size()) == snap.num_rows) {
+    std::copy(snap.dse_weights.begin(), snap.dse_weights.end(),
+              dse_w_.begin());
+    std::fill(dse_w_.begin() + snap.num_rows, dse_w_.end(), 1.0);
+  } else {
     dse_w_.assign(m_, 1.0);
+  }
   used_artificial_bound_ = snap.used_artificial_bound;
   for (int j = 0; j < num_total(); ++j) {
     if (status_[j] == kBasic) continue;
@@ -646,6 +713,7 @@ int DualSimplex::iterate() {
 
 LpResult DualSimplex::solve() {
   LpResult result;
+  sync_rows();  // adopt rows appended to the LP since the last solve
   ++ban_stamp_;
   banned_count_ = 0;
   wr_fail_streak_ = 0;

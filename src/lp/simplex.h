@@ -92,11 +92,20 @@ struct BasisSnapshot {
     int col;  // structural j in [0, n) or slack n + row
     double lo, hi;
   };
-  std::vector<int8_t> status;                       // size n + m
-  std::vector<int> basic_var;                       // size m
+  // Row count of the LP when the snapshot was captured. Cut rows only ever
+  // APPEND to a working LP (branch & cut never deletes rows mid-search), so
+  // a parent snapshot may carry fewer rows than the LP a child restores
+  // into: restore() adopts the snapshot's basis for the first num_rows rows
+  // and makes the newer rows' slacks basic (exactly how a freshly appended
+  // cut row enters the basis), keeping the restored state a pure function
+  // of (snapshot, current LP).
+  int num_rows = 0;
+  std::vector<int8_t> status;                       // size n + num_rows
+  std::vector<int> basic_var;                       // size num_rows
   std::vector<BoundOverride> bounds;                // cols differing from the LP
   std::vector<std::pair<int, double>> free_values;  // x of kFree columns
-  // Dual steepest-edge weights by basis position (size m when captured).
+  // Dual steepest-edge weights by basis position (size num_rows when
+  // captured).
   // The weights approximate ||B^-T e_i||^2 of the captured basis, so
   // carrying them keeps exact pricing quality across the parallel B&B's
   // snapshot/restore handoffs; a restoring engine without them (invalid or
@@ -117,6 +126,16 @@ class DualSimplex {
   // Overrides the bounds of structural variable j (branch-and-bound).
   // Preserves the current basis; the next solve() re-optimizes.
   void set_var_bounds(int var, double lower, double upper);
+
+  // Adopts rows appended to the underlying LinearProgram since this engine
+  // last saw it (branch & cut appends cut rows to the shared working LP at
+  // epoch barriers). Each new row's slack becomes basic -- the basis stays
+  // nonsingular because the new slack columns extend it block-triangularly
+  // -- its steepest-edge weight starts at the unit frame, and the
+  // factorization is rebuilt lazily on the next solve(). Idempotent; also
+  // invoked by restore() and solve(), so callers normally never need it
+  // explicitly. Rows must only ever be appended, never removed.
+  void sync_rows();
   double var_lower(int var) const { return lo_[var]; }
   double var_upper(int var) const { return hi_[var]; }
 
@@ -149,6 +168,12 @@ class DualSimplex {
   // Adjusts the dual objective cutoff for subsequent solve() calls (branch
   // & bound passes the incumbent prune threshold). kInf disables it.
   void set_objective_limit(double limit) { opt_.objective_limit = limit; }
+
+  // Adjusts the per-solve pivot cap (reliability branching runs its
+  // strong-branch probes under a small deterministic cap, then restores
+  // the configured value).
+  void set_iteration_limit(int iterations) { opt_.max_iterations = iterations; }
+  int iteration_limit() const { return opt_.max_iterations; }
 
   int64_t iterations_total() const { return total_iterations_; }
 
@@ -199,6 +224,9 @@ class DualSimplex {
   SimplexOptions opt_;
   SparseMatrix a_;  // structural columns
   int n_ = 0, m_ = 0;
+  // Count of lp_->entries already folded into a_; sync_rows() consumes the
+  // tail (appended cut rows reference only rows >= m_).
+  size_t entries_synced_ = 0;
 
   std::vector<double> cost_;     // size n+m (slack cost 0)
   std::vector<double> lo_, hi_;  // size n+m, current (possibly overridden)

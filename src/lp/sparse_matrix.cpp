@@ -68,6 +68,75 @@ SparseMatrix::SparseMatrix(int rows, int cols,
   }
 }
 
+void SparseMatrix::append_rows(int new_rows,
+                               std::span<const Triplet> triplets) {
+  if (new_rows < 0) throw std::invalid_argument("append_rows: negative count");
+  const int old_rows = rows_;
+  const int total_rows = old_rows + new_rows;
+  for (const Triplet& t : triplets) {
+    if (t.row < old_rows || t.row >= total_rows || t.col < 0 ||
+        t.col >= cols_)
+      throw std::out_of_range("append_rows: triplet index out of range");
+  }
+
+  // Splice the new entries into the CSC arrays. Within each column the new
+  // rows sort after every existing row (their indices are larger), so the
+  // merge is append-per-column; duplicates among the new triplets are
+  // summed, matching the constructor's semantics.
+  std::vector<Triplet> sorted(triplets.begin(), triplets.end());
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Triplet& a, const Triplet& b) {
+              if (a.col != b.col) return a.col < b.col;
+              return a.row < b.row;
+            });
+
+  std::vector<int> new_col_ptr(cols_ + 1, 0);
+  std::vector<int> new_row_idx;
+  std::vector<double> new_values;
+  new_row_idx.reserve(row_idx_.size() + sorted.size());
+  new_values.reserve(values_.size() + sorted.size());
+  size_t pos = 0;
+  for (int j = 0; j < cols_; ++j) {
+    for (int k = col_ptr_[j]; k < col_ptr_[j + 1]; ++k) {
+      new_row_idx.push_back(row_idx_[k]);
+      new_values.push_back(values_[k]);
+    }
+    while (pos < sorted.size() && sorted[pos].col == j) {
+      double sum = sorted[pos].value;
+      const int row = sorted[pos].row;
+      size_t k2 = pos + 1;
+      while (k2 < sorted.size() && sorted[k2].col == j &&
+             sorted[k2].row == row)
+        sum += sorted[k2++].value;
+      if (sum != 0.0) {
+        new_row_idx.push_back(row);
+        new_values.push_back(sum);
+      }
+      pos = k2;
+    }
+    new_col_ptr[j + 1] = static_cast<int>(new_row_idx.size());
+  }
+  col_ptr_ = std::move(new_col_ptr);
+  row_idx_ = std::move(new_row_idx);
+  values_ = std::move(new_values);
+  rows_ = total_rows;
+
+  // Rebuild the CSR mirror (counting sort, as in the constructor).
+  row_ptr_.assign(rows_ + 1, 0);
+  for (int r : row_idx_) ++row_ptr_[r + 1];
+  for (int i = 0; i < rows_; ++i) row_ptr_[i + 1] += row_ptr_[i];
+  col_idx_.resize(row_idx_.size());
+  row_values_.resize(values_.size());
+  std::vector<int> next(row_ptr_.begin(), row_ptr_.end() - 1);
+  for (int j = 0; j < cols_; ++j) {
+    for (int k = col_ptr_[j]; k < col_ptr_[j + 1]; ++k) {
+      const int slot = next[row_idx_[k]]++;
+      col_idx_[slot] = j;
+      row_values_[slot] = values_[k];
+    }
+  }
+}
+
 void SparseMatrix::axpy_column(int j, double alpha, std::span<double> y) const {
   auto rows = col_rows(j);
   auto vals = col_values(j);

@@ -15,8 +15,11 @@ struct Triplet {
   double value = 0.0;
 };
 
-// Immutable CSC matrix with a row-wise (CSR) mirror. Duplicate triplets are
-// summed during construction; entries with |value| <= drop_tol are dropped.
+// CSC matrix with a row-wise (CSR) mirror. Duplicate triplets are summed
+// during construction; entries with |value| <= drop_tol are dropped.
+// Columns are frozen after construction, but rows can be appended
+// (append_rows) -- the branch & cut search grows the working LP by cut
+// rows against a warm simplex basis.
 //
 // The mirror exists for hypersparse simplex pricing: the pivot-row
 // computation alpha = A' rho only touches the rows where the BTRAN'd rho is
@@ -27,6 +30,13 @@ class SparseMatrix {
   SparseMatrix() = default;
   SparseMatrix(int rows, int cols, std::span<const Triplet> triplets,
                double drop_tol = 0.0);
+
+  // Appends `new_rows` rows whose entries are given as triplets with row
+  // indices in [rows(), rows() + new_rows). Column count is unchanged.
+  // Cost is O(nnz + new nnz): the CSC arrays are re-merged (new entries
+  // splice into their columns) and the CSR mirror gains the new rows at
+  // the end. Duplicate triplets within a new row are summed.
+  void append_rows(int new_rows, std::span<const Triplet> triplets);
 
   int rows() const { return rows_; }
   int cols() const { return cols_; }

@@ -10,6 +10,7 @@
 #include <thread>
 
 #include "lp/simplex.h"
+#include "milp/cuts.h"
 #include "milp/presolve.h"
 
 namespace checkmate::milp {
@@ -102,10 +103,15 @@ struct IncumbentCandidate {
 struct SlotResult {
   int64_t nodes = 0;
   int64_t lp_iterations = 0;
+  int64_t strong_branches = 0;
   std::vector<PathEntry> entries;  // local arena entries (refs >= shared base)
   std::vector<OpenNode> children;  // for the open queue (paths may be local)
   std::vector<PcObservation> pc_obs;
   std::vector<IncumbentCandidate> incumbents;
+  // Cuts separated at this slot's node LP solutions (node-local
+  // separation). Globally valid by construction; the coordinator offers
+  // them to the pool in slot order at the barrier.
+  std::vector<Cut> cuts;
   std::vector<double> heur_x;  // first fractional LP solution of the slot
   double heur_obj = lp::kInf;
   bool solved_root = false;
@@ -115,6 +121,10 @@ struct SlotResult {
   // costs that drive reduced-cost fixing for the rest of the search.
   std::vector<double> root_x;
   std::vector<double> root_redcost;
+  // Root basis (captured only when cut separation is on): the root
+  // separation rounds restore it to re-solve the root on the cut-
+  // tightened LP.
+  std::shared_ptr<const lp::BasisSnapshot> root_snap;
   // Subtrees lost to LP numerical trouble / per-node limits: the search is
   // incomplete and these bounds cap the reportable global bound.
   bool dropped = false;
@@ -139,6 +149,20 @@ class EpochSearch {
     pc_.init(lp.num_vars());
     fix_done_.assign(static_cast<size_t>(lp.num_vars()), 0);
     workers_.resize(static_cast<size_t>(num_workers_));
+    // First-incumbent (feasibility-probe) searches stop at the first
+    // feasible point: cut rounds and strong-branch probes pay off through
+    // bound pruning, which such a search never reaches, so both default
+    // off there regardless of the knobs.
+    cuts_on_ = opt_.cut_separation && opt_.cut_structure != nullptr &&
+               !opt_.cut_structure->empty() && !int_vars_.empty() &&
+               !opt_.stop_at_first_incumbent;
+    // Reliability branching exists to make the pseudocost scores
+    // trustworthy early; with pseudocost branching off the probes would
+    // feed a store nobody reads.
+    reliability_on_ = opt_.reliability_branching &&
+                      opt_.pseudocost_branching &&
+                      !opt_.stop_at_first_incumbent;
+    cut_pool_ = CutPool(CutPoolOptions{opt_.cut_max_age, 4096});
   }
 
   ~EpochSearch() {
@@ -332,12 +356,26 @@ class EpochSearch {
       run_epoch(slots, results);
       const bool had_root = !root_done_;
       commit(results);
-      maybe_run_heuristic(results, had_root);
-      // Root reduced-cost fixing, re-armed by every incumbent improvement.
-      // Runs on the coordinator at the barrier (workers idle), so mutating
-      // the working LP's bounds -- which every later restore() re-reads --
+      // Root separation rounds: re-solve the root LP against successive
+      // waves of cover/clique cuts before the tree search proper starts.
+      // Runs on the coordinator at the barrier, so appending rows to the
+      // working LP -- which every engine re-syncs on its next restore() --
       // is race-free and deterministically ordered.
+      if (had_root) run_root_cut_rounds();
+      maybe_run_heuristic(results, had_root);
+      // Root reduced-cost fixing, re-armed by every incumbent improvement
+      // (and by the cut-strengthened root bound). Runs on the coordinator
+      // at the barrier (workers idle), so mutating the working LP's bounds
+      // -- which every later restore() re-reads -- is race-free and
+      // deterministically ordered.
       maybe_fix_by_reduced_cost();
+      // Node-separated cuts offered this epoch: select the best and append
+      // them, then age the pool (activity-based: entries that keep losing
+      // the selection without being re-separated are evicted).
+      if (cuts_on_ && !had_root) {
+        append_cuts(cut_pool_.select(cut_budget()));
+        cut_pool_.age_tick();
+      }
       if (stop_) break;
     }
 
@@ -361,14 +399,17 @@ class EpochSearch {
       for (const PcObservation& o : r.pc_obs) pc_.add(o.dir, o.var, o.unit);
       for (IncumbentCandidate& inc : r.incumbents)
         try_incumbent(inc.x, inc.objective);
+      for (Cut& c : r.cuts) cut_pool_.offer(std::move(c));
       result_.nodes += r.nodes;
       result_.lp_iterations += r.lp_iterations;
+      result_.strong_branches += r.strong_branches;
       if (r.solved_root) {
         root_done_ = true;
         if (r.root_lp_ok) {
           result_.root_relaxation = r.root_relaxation;
           root_x_ = std::move(r.root_x);
           root_redcost_ = std::move(r.root_redcost);
+          root_snap_ = std::move(r.root_snap);
         }
       }
       if (r.dropped) {
@@ -444,35 +485,136 @@ class EpochSearch {
     }
   }
 
+  // ------------------------------------------------------------- cuts
+  int cut_budget() const {
+    return static_cast<int>(std::min<int64_t>(
+        opt_.max_cuts_per_round,
+        std::max<int64_t>(0, opt_.max_cuts_total - result_.cuts_added)));
+  }
+
+  SeparationOptions separation_options() const {
+    SeparationOptions sep;
+    sep.max_cuts = opt_.max_cuts_per_round;
+    return sep;
+  }
+
+  // Appends selected cuts as <= rows of the working LP. Every engine
+  // adopts the rows via DualSimplex::sync_rows() on its next restore() or
+  // solve(); parent snapshots captured before the append restore cleanly
+  // (the new rows enter with their slack basic).
+  void append_cuts(const std::vector<Cut>& chosen) {
+    for (const Cut& c : chosen) {
+      lp_.add_le(c.terms, c.rhs);
+      ++result_.cuts_added;
+    }
+  }
+
+  // Root separation: alternate (separate on the root LP point, append the
+  // best cuts, re-solve the root from its captured basis) until no
+  // violated cut remains, the round budget runs out, or the LP declines to
+  // re-solve to optimality. The cut-strengthened root bound then lifts the
+  // bounds of the already-open root children and re-arms reduced-cost
+  // fixing. Coordinator-only, between epochs: deterministic and race-free.
+  void run_root_cut_rounds() {
+    if (!cuts_on_ || !root_done_ || root_x_.empty() || !root_snap_) return;
+    Worker& w = workers_[0];
+    if (!w.engine)
+      w.engine = std::make_unique<lp::DualSimplex>(lp_, opt_.simplex);
+    lp::DualSimplex& eng = *w.engine;
+    for (int round = 0; round < opt_.max_root_cut_rounds; ++round) {
+      const int budget = cut_budget();
+      if (budget <= 0) break;
+      if (elapsed() > opt_.time_limit_sec) break;
+      std::vector<Cut> cuts;
+      separate_knapsack_cuts(*opt_.cut_structure, lp_, root_x_,
+                             separation_options(), &cuts);
+      for (Cut& c : cuts) cut_pool_.offer(std::move(c));
+      const std::vector<Cut> chosen = cut_pool_.select(budget);
+      if (chosen.empty()) break;
+      append_cuts(chosen);
+      eng.restore(*root_snap_);
+      eng.set_objective_limit(lp::kInf);  // the root is never pruned
+      eng.set_time_limit(std::max(0.01, opt_.time_limit_sec - elapsed()));
+      const lp::LpResult rel = eng.solve();
+      result_.lp_iterations += rel.iterations;
+      if (rel.status != lp::LpStatus::kOptimal) break;  // keep previous root
+      result_.root_relaxation = rel.objective;
+      root_x_ = rel.x;
+      root_redcost_ = eng.structural_reduced_costs();
+      root_snap_ = std::make_shared<const lp::BasisSnapshot>(eng.snapshot());
+    }
+    cut_pool_.age_tick();
+    // The cut rounds tightened the root bound (and refreshed the root
+    // reduced costs), so the fixing slack shrank even with the incumbent
+    // unchanged: re-arm the barrier's reduced-cost fixing pass.
+    last_fix_cutoff_ = lp::kInf;
+    // The strengthened root relaxation is a valid lower bound for every
+    // subtree; lift the open (root-child) nodes onto it and hand them the
+    // post-cut root basis -- restore() reapplies their branching bounds on
+    // top, and the tighter bound prunes earlier.
+    bool changed = false;
+    for (OpenNode& n : open_) {
+      if (n.bound < result_.root_relaxation) {
+        n.bound = result_.root_relaxation;
+        changed = true;
+      }
+      n.warm = root_snap_;
+    }
+    if (changed && best_bound_pop())
+      std::make_heap(open_.begin(), open_.end(), open_after);
+  }
+
   // ------------------------------------------------------------- slots
   struct Worker {
     std::unique_ptr<lp::DualSimplex> engine;
     PseudocostStore pc;  // epoch-start copy + this slot's own observations
+    // Strong-branch scratch: per-variable "this side is proven prunable"
+    // flags for the current node (stamped by sb_touched to avoid a
+    // per-node clear).
+    std::vector<uint8_t> sb_prune[2];
+    std::vector<int> sb_touched;
   };
+
+  // Fractional integer variables of the best branching-priority tier at x
+  // -- the ONE candidate rule shared by pick_branch_var and the
+  // reliability probes, so probing and branching can never disagree on
+  // the tier. Order follows int_vars_ (ascending), which downstream
+  // strict-greater comparisons turn into a deterministic first-wins
+  // tie-break.
+  std::vector<int> branch_candidates(const std::vector<double>& x) const {
+    std::vector<int> cands;
+    int best_prio = std::numeric_limits<int>::min();
+    for (int j : int_vars_) {
+      const double f = x[j] - std::floor(x[j]);
+      if (std::min(f, 1.0 - f) <= opt_.integrality_tol) continue;
+      const int prio =
+          opt_.branch_priority.empty() ? 0 : opt_.branch_priority[j];
+      if (prio > best_prio) {
+        best_prio = prio;
+        cands.clear();
+      }
+      if (prio == best_prio) cands.push_back(j);
+    }
+    return cands;
+  }
 
   int pick_branch_var(const PseudocostStore& pc, const std::vector<double>& x,
                       double* est_down_out, double* est_up_out) const {
     int best = -1;
-    int best_prio = std::numeric_limits<int>::min();
     double best_score = -1.0;
     double best_down = 0.0, best_up = 0.0;
-    for (int j : int_vars_) {
+    for (int j : branch_candidates(x)) {
       const double f = x[j] - std::floor(x[j]);
-      const double dist = std::min(f, 1.0 - f);
-      if (dist <= opt_.integrality_tol) continue;
-      const int prio =
-          opt_.branch_priority.empty() ? 0 : opt_.branch_priority[j];
       double score, est_down = f, est_up = 1.0 - f;
       if (opt_.pseudocost_branching) {
         est_down = pc.rate(0, j) * f;
         est_up = pc.rate(1, j) * (1.0 - f);
         score = std::max(est_down, 1e-9) * std::max(est_up, 1e-9);
       } else {
-        score = dist;  // closest to 0.5 is largest
+        score = std::min(f, 1.0 - f);  // closest to 0.5 is largest
       }
-      if (prio > best_prio || (prio == best_prio && score > best_score)) {
+      if (score > best_score) {
         best = j;
-        best_prio = prio;
         best_score = score;
         best_down = est_down;
         best_up = est_up;
@@ -481,6 +623,128 @@ class EpochSearch {
     if (est_down_out) *est_down_out = best_down;
     if (est_up_out) *est_up_out = best_up;
     return best;
+  }
+
+  bool sb_pruned(const Worker& w, int dir, int var) const {
+    return !w.sb_prune[dir].empty() && w.sb_prune[dir][var] != 0;
+  }
+
+  // Clears the strong-branch prune flags left by the PREVIOUS node. Must
+  // run for every node, whether or not it probes: the scratch lives on the
+  // worker, and a stale flag leaking into a later node would make the tree
+  // depend on which worker ran which slot.
+  void sb_reset(Worker& w) const {
+    for (int v : w.sb_touched) {
+      w.sb_prune[0][v] = 0;
+      w.sb_prune[1][v] = 0;
+    }
+    w.sb_touched.clear();
+  }
+
+  // Reliability branching: before the pseudocost scores pick a branching
+  // variable, strong-branch the unreliable candidates -- those with fewer
+  // than opt_.reliability observations in some direction -- with probe
+  // solves on this worker's own engine. Each probe is capped by a
+  // deterministic pivot limit and by the incumbent prune threshold as an
+  // objective limit (the probe stops the moment the dual bound proves the
+  // child prunable). Observed degradations feed the slot-local pseudocost
+  // copy immediately (so this node's pick already benefits) and ride
+  // out.pc_obs into the committed store; sides proven prunable are flagged
+  // so the branching step skips them. Pure slot-local work: bit-identical
+  // for any worker count.
+  void strong_branch_probes(Worker& w, lp::DualSimplex& eng,
+                            const lp::LpResult& rel, double best_obj,
+                            SlotResult& out) {
+    // Candidates: the same best-priority-tier fractional variables
+    // pick_branch_var will choose from (one shared rule), restricted to
+    // the unreliable ones, best pseudocost scores first.
+    struct Cand {
+      int var;
+      double score;
+    };
+    std::vector<Cand> cands;
+    for (int j : branch_candidates(rel.x)) {
+      if (std::min(w.pc.cnt[0][j], w.pc.cnt[1][j]) >=
+          static_cast<int64_t>(opt_.reliability))
+        continue;
+      const double f = rel.x[j] - std::floor(rel.x[j]);
+      const double score = std::max(w.pc.rate(0, j) * f, 1e-9) *
+                           std::max(w.pc.rate(1, j) * (1.0 - f), 1e-9);
+      cands.push_back({j, score});
+    }
+    if (cands.empty()) return;
+    std::sort(cands.begin(), cands.end(), [](const Cand& a, const Cand& b) {
+      if (a.score != b.score) return a.score > b.score;
+      return a.var < b.var;
+    });
+    if (static_cast<int>(cands.size()) > opt_.strong_branch_candidates)
+      cands.resize(static_cast<size_t>(opt_.strong_branch_candidates));
+
+    const double threshold = prune_threshold_for(best_obj, opt_.relative_gap);
+    const int saved_iters = eng.iteration_limit();
+    eng.set_iteration_limit(std::max(1, opt_.strong_branch_iterations));
+    for (const Cand& c : cands) {
+      const int j = c.var;
+      const double frac = rel.x[j];
+      const double floor_val = std::floor(frac);
+      const double f = frac - floor_val;
+      const double lo = eng.var_lower(j), hi = eng.var_upper(j);
+      for (int dir = 0; dir < 2; ++dir) {
+        if (w.pc.cnt[dir][j] >= static_cast<int64_t>(opt_.reliability))
+          continue;  // this direction is already reliable
+        const bool side_ok = dir == 0 ? floor_val >= lo - 1e-12
+                                      : floor_val + 1.0 <= hi + 1e-12;
+        if (!side_ok) continue;
+        if (dir == 0)
+          eng.set_var_bounds(j, lo, floor_val);
+        else
+          eng.set_var_bounds(j, floor_val + 1.0, hi);
+        eng.set_objective_limit(threshold);
+        const lp::LpResult probe = eng.solve();
+        eng.set_var_bounds(j, lo, hi);
+        out.lp_iterations += probe.iterations;
+        ++out.strong_branches;
+
+        const double dist = dir == 0 ? f : 1.0 - f;
+        double child_bound = -lp::kInf;
+        bool prunable = false;
+        switch (probe.status) {
+          case lp::LpStatus::kOptimal:
+            child_bound = probe.objective;
+            prunable = child_bound >= threshold;
+            break;
+          case lp::LpStatus::kObjectiveLimit:
+            child_bound = probe.dual_bound;
+            prunable = true;
+            break;
+          case lp::LpStatus::kInfeasible:
+            prunable = true;
+            break;
+          case lp::LpStatus::kIterationLimit:
+            // Truncated probe: the dual bound still soundly proves a
+            // prune, but it is NOT recorded as a pseudocost sample -- a
+            // barely-moved dual bound would register a near-zero
+            // degradation and poison the scores (observed: worse trees
+            // than no probing at all). The variable stays unreliable; the
+            // global probe budget bounds the re-probing.
+            prunable = probe.dual_bound >= threshold;
+            break;
+          default:
+            break;
+        }
+        if (child_bound != -lp::kInf) {
+          const double unit = std::max(0.0, child_bound - rel.objective) /
+                              std::max(dist, 1e-6);
+          w.pc.add(dir, j, unit);
+          out.pc_obs.push_back({dir, j, unit});
+        }
+        if (prunable) {
+          w.sb_prune[dir][j] = 1;
+          w.sb_touched.push_back(j);
+        }
+      }
+    }
+    eng.set_iteration_limit(saved_iters);
   }
 
   // Processes one popped node on worker `wid`: restore the parent basis,
@@ -494,6 +758,11 @@ class EpochSearch {
       w.engine = std::make_unique<lp::DualSimplex>(lp_, opt_.simplex);
     lp::DualSimplex& eng = *w.engine;
     SlotResult out;
+    // Under branch & cut the root is solved alone (no dive): the root
+    // separation rounds need the pristine root basis and point, and the
+    // children they reopen inherit the cut-strengthened bound.
+    const int64_t dive_cap =
+        (cuts_on_ && start.path < 0) ? 1 : max_dive_nodes_;
 
     eng.restore(start.warm ? *start.warm : lp::BasisSnapshot{});
     {
@@ -532,6 +801,7 @@ class EpochSearch {
     double best_obj = result_.objective;  // epoch-start incumbent (or +inf)
     const int64_t nodes_base = result_.nodes;
     const int64_t iters_base = result_.lp_iterations;
+    const int64_t sb_base = result_.strong_branches;
 
     struct Cursor {
       int path;
@@ -595,6 +865,9 @@ class EpochSearch {
           out.root_relaxation = rel.objective;
           out.root_x = rel.x;
           out.root_redcost = eng.structural_reduced_costs();
+          if (cuts_on_)
+            out.root_snap =
+                std::make_shared<const lp::BasisSnapshot>(eng.snapshot());
         }
       }
       if (rel.status == lp::LpStatus::kInfeasible) break;
@@ -626,6 +899,21 @@ class EpochSearch {
           prune_threshold_for(best_obj, opt_.relative_gap))
         break;
 
+      // Reliability branching: strong-branch the unreliable candidates so
+      // the pseudocost pick below works from observed degradations instead
+      // of guesses. Probes may also prove one (or both) sides prunable.
+      // The probe budget is projected from epoch-start committed totals
+      // plus this slot's own probes -- deterministic for any worker count.
+      if (reliability_on_) {
+        if (w.sb_prune[0].empty()) {
+          w.sb_prune[0].assign(static_cast<size_t>(lp_.num_vars()), 0);
+          w.sb_prune[1].assign(static_cast<size_t>(lp_.num_vars()), 0);
+        }
+        sb_reset(w);
+        if (sb_base + out.strong_branches < opt_.strong_branch_budget)
+          strong_branch_probes(w, eng, rel, best_obj, out);
+      }
+
       double est_down = 0.0, est_up = 0.0;
       const int bv = pick_branch_var(w.pc, rel.x, &est_down, &est_up);
       if (bv < 0) {
@@ -642,9 +930,25 @@ class EpochSearch {
         out.heur_obj = rel.objective;
       }
 
+      // Node-local separation every cut_node_interval dive depths: cuts
+      // found at this node's fractional point are globally valid (they
+      // come from the original knapsack structure, never from local branch
+      // bounds), so they ride the SlotResult to the coordinator, which
+      // pools and appends them at the barrier in slot order.
+      if (cuts_on_ && opt_.cut_node_interval > 0 && !is_root &&
+          out.nodes % opt_.cut_node_interval == 0 &&
+          static_cast<int>(out.cuts.size()) < opt_.max_cuts_per_round) {
+        SeparationOptions sep = separation_options();
+        sep.max_cuts =
+            opt_.max_cuts_per_round - static_cast<int>(out.cuts.size());
+        separate_knapsack_cuts(*opt_.cut_structure, lp_, rel.x, sep,
+                               &out.cuts);
+      }
+
       // Branch. Dive into the child with the smaller estimated objective
       // degradation; the sibling joins the open queue with a snapshot of
-      // this (parent) basis so any worker can pick it up later.
+      // this (parent) basis so any worker can pick it up later. Sides a
+      // strong-branch probe proved prunable are skipped outright.
       const double frac = rel.x[bv];
       const double floor_val = std::floor(frac);
       const double cur_lo = eng.var_lower(bv);
@@ -652,8 +956,10 @@ class EpochSearch {
       const double f = frac - floor_val;
       const bool down_first =
           opt_.pseudocost_branching ? est_down <= est_up : f <= 0.5;
-      const bool down_ok = floor_val >= cur_lo - 1e-12;
-      const bool up_ok = floor_val + 1.0 <= cur_hi + 1e-12;
+      const bool down_ok =
+          floor_val >= cur_lo - 1e-12 && !sb_pruned(w, 0, bv);
+      const bool up_ok =
+          floor_val + 1.0 <= cur_hi + 1e-12 && !sb_pruned(w, 1, bv);
 
       const bool preferred_up = !down_first;
       std::optional<bool> dive_dir, open_dir;
@@ -691,7 +997,7 @@ class EpochSearch {
       };
 
       const bool can_dive = opt_.node_selection != NodeSelection::kBestBound &&
-                            out.nodes < max_dive_nodes_;
+                            out.nodes < dive_cap;
       if (!can_dive) {
         if (open_dir) out.children.push_back(make_open_child(*open_dir));
         out.children.push_back(make_open_child(*dive_dir));
@@ -802,6 +1108,12 @@ class EpochSearch {
   MilpResult result_;
   // Root-LP data driving reduced-cost fixing, plus the fixing ledger.
   std::vector<double> root_x_, root_redcost_;
+  // Branch & cut state: pool driven by the coordinator at barriers only;
+  // root_snap_ is the latest (cut-tightened) root basis.
+  bool cuts_on_ = false;
+  bool reliability_on_ = false;
+  CutPool cut_pool_;
+  std::shared_ptr<const lp::BasisSnapshot> root_snap_;
   std::vector<uint8_t> fix_done_;
   std::vector<BoundChange> global_fix_;  // frozen during epochs
   double last_fix_cutoff_ = lp::kInf;

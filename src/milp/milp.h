@@ -37,6 +37,7 @@
 
 #include "lp/lp_problem.h"
 #include "lp/simplex.h"
+#include "milp/cuts.h"
 #include "milp/presolve.h"
 
 namespace checkmate::milp {
@@ -89,6 +90,54 @@ struct MilpOptions {
   // only and applied at epoch barriers.
   bool root_reduced_cost_fixing = true;
   NodeSelection node_selection = NodeSelection::kDepthFirst;
+  // ---- Branch & cut. Separation needs a structural view of the problem
+  // (milp/cuts.h); callers that have one (the Checkmate formulation layer)
+  // pass it here, non-owning, and it must outlive the solve. With a
+  // structure present and cut_separation on, the search runs rounds of
+  // root separation after the root LP, node-local separation inside the
+  // worker dives every cut_node_interval depths, and commits/ages the cut
+  // pool at epoch barriers in slot order -- all deterministic for any
+  // num_threads. Cut rows are only ever APPENDED to the working LP (never
+  // deleted mid-search), so every parent basis snapshot restores cleanly
+  // into the grown LP (lp/simplex.h).
+  const FormulationStructure* cut_structure = nullptr;
+  bool cut_separation = true;
+  // Separation rounds at the root (each round re-solves the root LP on the
+  // cut-tightened relaxation and re-separates).
+  int max_root_cut_rounds = 8;
+  // Cuts appended per root round / per epoch barrier (best by normalized
+  // violation, deterministic order).
+  int max_cuts_per_round = 24;
+  // Hard cap on cut rows appended over the whole search (bounds every
+  // engine's basis size).
+  int max_cuts_total = 256;
+  // Workers separate on the node LP solution every this many dive depths
+  // (0 disables node-local separation; the root is always separated).
+  int cut_node_interval = 8;
+  // Pool entries losing the selection this many barriers in a row are
+  // evicted (activity-based aging; re-separation resets the clock).
+  int cut_max_age = 4;
+  // ---- Reliability branching. Until a variable has this many pseudocost
+  // observations per direction it is considered unreliable: the branching
+  // candidate scan strong-branches unreliable candidates with
+  // objective_limit-capped probe solves on the worker's own engine (the
+  // probe stops the moment the dual bound clears the incumbent prune
+  // threshold), feeding the observed degradations into the pseudocosts --
+  // after which the existing pseudocost machinery takes over. Probes are
+  // slot-local pure work committed through the ordinary pseudocost
+  // observation channel, so the bit-identity contract is untouched.
+  bool reliability_branching = true;
+  int reliability = 4;
+  // Unreliable candidates probed per node (top of the pseudocost score
+  // order within the best priority tier).
+  int strong_branch_candidates = 2;
+  // Per-probe simplex pivot cap (deterministic, machine-independent).
+  int strong_branch_iterations = 50;
+  // Total probe budget per solve: once the committed probe count crosses
+  // this, the search runs on pseudocosts alone. Counted like the other
+  // deterministic work limits (epoch-start committed total plus the
+  // slot's own probes), so the cutover point is worker-count invariant.
+  int64_t strong_branch_budget = 512;
   // Invoke the incumbent heuristic at the root and then every N nodes; the
   // effective interval backs off exponentially while the heuristic fails
   // to improve the incumbent and snaps back on success.
@@ -139,6 +188,11 @@ struct MilpResult {
   // Variables permanently fixed by root reduced-cost fixing during the
   // search (0 when the option is off or no fixing fired).
   int64_t root_fixings = 0;
+  // Cut rows appended to the working LP (root rounds + barrier commits)
+  // and strong-branch probe solves performed. Both are part of the
+  // deterministic search semantics: bit-identical for any num_threads.
+  int64_t cuts_added = 0;
+  int64_t strong_branches = 0;
   double seconds = 0.0;
   PresolveStats presolve;          // zeroed when presolve was disabled
 

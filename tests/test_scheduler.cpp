@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <cmath>
 
 #include "baselines/baselines.h"
 #include "model/autodiff.h"
@@ -145,6 +146,32 @@ TEST(Scheduler, RealModelEndToEnd) {
   EXPECT_LE(res.peak_memory, budget + 1e-3);
   EXPECT_GE(res.overhead, 1.0 - 1e-9);
   EXPECT_LT(res.overhead, 2.0);  // remat should not double compute here
+}
+
+TEST(Scheduler, RealModelClosesTightGapWithCuts) {
+  // The instance of RealModelEndToEnd at the gap that used to be
+  // unreachable: before branch & cut, the dual plateau below the optimum
+  // made 1e-4 take minutes (the 5e-4 comment above); the cover/clique
+  // cuts on the memory rows lift the root bound onto the optimum, so the
+  // same instance now PROVES a <= 1e-4 gap in seconds.
+  Scheduler sched = small_vgg_scheduler();
+  const auto& p = sched.problem();
+  auto all = sched.evaluate_schedule(baselines::checkpoint_all_schedule(p),
+                                     0.0);
+  ASSERT_TRUE(all.feasible);
+
+  IlpSolveOptions opts = bounded(60.0);
+  opts.relative_gap = 1e-4;
+  const double floor = p.memory_floor();
+  const double budget = floor + 0.5 * (all.peak_memory - floor);
+  auto res = sched.solve_optimal_ilp(budget, opts);
+  ASSERT_TRUE(res.feasible) << res.message;
+  EXPECT_EQ(res.milp_status, milp::MilpStatus::kOptimal);
+  EXPECT_GT(res.cuts_added, 0);
+  // The proven bound must actually close the requested gap.
+  EXPECT_LE(res.cost - res.best_bound,
+            1e-4 * std::max(1.0, std::abs(res.cost)) + 1e-6);
+  EXPECT_LE(res.peak_memory, budget + 1e-3);
 }
 
 TEST(Scheduler, BudgetBelowFloorRejectedInstantly) {

@@ -476,6 +476,106 @@ TEST(DualSimplex, SnapshotCarriesSteepestEdgeWeights) {
   for (size_t j = 0; j < a.x.size(); ++j) EXPECT_EQ(a.x[j], b.x[j]);
 }
 
+// ---------------------------------------------------------------------
+// Dynamic row append: the branch & cut search appends cut rows to the
+// working LP mid-search, and parent snapshots captured before the append
+// must restore cleanly into the grown LP.
+
+TEST(DualSimplex, SyncRowsReoptimizesAfterAppendedRow) {
+  LinearProgram lp = clone_test_lp(16, 29u);
+  DualSimplex solver(lp);
+  const LpResult before = solver.solve();
+  ASSERT_EQ(before.status, LpStatus::kOptimal);
+
+  // Append a valid-but-binding row: force the two cheapest activities up.
+  lp.add_ge(std::vector<std::pair<int, double>>{{0, 1.0}, {1, 1.0}},
+            before.x[0] + before.x[1] + 1.0);
+  const LpResult after = solver.solve();  // sync happens inside solve()
+  ASSERT_EQ(after.status, LpStatus::kOptimal);
+  EXPECT_GE(after.objective, before.objective - 1e-9);
+  EXPECT_NEAR(after.x[0] + after.x[1], before.x[0] + before.x[1] + 1.0, 1e-6);
+  // And the warm re-solve agrees with a cold engine over the grown LP.
+  const LpResult cold = solve_lp(lp);
+  ASSERT_EQ(cold.status, LpStatus::kOptimal);
+  EXPECT_NEAR(after.objective, cold.objective, 1e-6);
+}
+
+TEST(DualSimplex, SnapshotRestoresAcrossRowCounts) {
+  // Parent snapshot at m rows, child LP with appended cut rows: restore
+  // adopts the parent basis for the old rows and slack-bases the new ones.
+  LinearProgram lp = clone_test_lp(20, 31u);
+  DualSimplex parent(lp);
+  parent.set_var_bounds(2, 1.0, 3.0);  // a "branching path" override
+  ASSERT_EQ(parent.solve().status, LpStatus::kOptimal);
+  const BasisSnapshot snap = parent.snapshot();
+  const int rows_at_capture = lp.num_rows();
+  ASSERT_EQ(snap.num_rows, rows_at_capture);
+
+  lp.add_ge(std::vector<std::pair<int, double>>{{4, 1.0}, {5, 1.0}}, 3.0);
+  lp.add_ge(std::vector<std::pair<int, double>>{{6, 1.0}, {7, 2.0}}, 4.0);
+
+  DualSimplex child(lp);  // fresh engine already sees the grown LP
+  child.restore(snap);
+  const LpResult res = child.solve();
+  ASSERT_EQ(res.status, LpStatus::kOptimal);
+  // The snapshot's bound override survived the cross-row-count restore.
+  EXPECT_GE(res.x[2], 1.0 - 1e-9);
+  EXPECT_LE(res.x[2], 3.0 + 1e-9);
+  LpResult cold;
+  {
+    DualSimplex fresh(lp);
+    fresh.set_var_bounds(2, 1.0, 3.0);
+    cold = fresh.solve();
+  }
+  ASSERT_EQ(cold.status, LpStatus::kOptimal);
+  EXPECT_NEAR(res.objective, cold.objective, 1e-6);
+
+  // The parent engine itself syncs on its next solve and agrees.
+  const LpResult parent_res = parent.solve();
+  ASSERT_EQ(parent_res.status, LpStatus::kOptimal);
+  EXPECT_NEAR(parent_res.objective, cold.objective, 1e-6);
+}
+
+TEST(DualSimplex, CrossRowCountRestoreIsBitIdenticalAndCarriesWeights) {
+  // Two engines restored from the same pre-append snapshot over the grown
+  // LP must follow bit-identical trajectories -- including the carried
+  // steepest-edge weights (snapshot.dse_weights covers the OLD rows; the
+  // appended rows deterministically start at the unit frame).
+  LinearProgram lp = clone_test_lp(24, 37u);
+  DualSimplex original(lp);
+  ASSERT_EQ(original.solve().status, LpStatus::kOptimal);
+  const BasisSnapshot snap = original.snapshot();
+  ASSERT_EQ(static_cast<int>(snap.dse_weights.size()), snap.num_rows);
+
+  lp.add_ge(std::vector<std::pair<int, double>>{{0, 1.0}, {3, 1.0}}, 4.0);
+
+  DualSimplex a(lp), b(lp);
+  a.restore(snap);
+  b.restore(snap);
+  a.set_var_bounds(9, 2.0, 4.0);
+  b.set_var_bounds(9, 2.0, 4.0);
+  const LpResult ra = a.solve();
+  const LpResult rb = b.solve();
+  ASSERT_EQ(ra.status, LpStatus::kOptimal);
+  EXPECT_EQ(ra.objective, rb.objective);
+  EXPECT_EQ(ra.iterations, rb.iterations);
+  ASSERT_EQ(ra.x.size(), rb.x.size());
+  for (size_t j = 0; j < ra.x.size(); ++j) EXPECT_EQ(ra.x[j], rb.x[j]);
+}
+
+TEST(DualSimplex, RestoreRejectsSnapshotWithMoreRowsThanLp) {
+  // Rows only ever grow; a snapshot from a bigger LP is a caller bug and
+  // must fail loudly instead of corrupting the basis.
+  LinearProgram big = clone_test_lp(10, 41u);
+  LinearProgram small = big;
+  big.add_ge(std::vector<std::pair<int, double>>{{0, 1.0}}, 1.0);
+  DualSimplex big_engine(big);
+  ASSERT_EQ(big_engine.solve().status, LpStatus::kOptimal);
+  const BasisSnapshot snap = big_engine.snapshot();
+  DualSimplex small_engine(small);
+  EXPECT_THROW(small_engine.restore(snap), std::logic_error);
+}
+
 TEST(DualSimplex, ModeratelyLargeStructuredLp) {
   // Staircase LP with 200 variables / 200 rows; verifies the sparse path
   // and refactorization cadence.

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <random>
+#include <stdexcept>
 #include <vector>
 
 namespace checkmate::lp {
@@ -93,6 +94,60 @@ TEST(SparseMatrix, MultiplyMatchesDense) {
       EXPECT_NEAR(y[r], expect, 1e-12);
     }
   }
+}
+
+TEST(SparseMatrix, AppendRowsExtendsCscAndCsrMirror) {
+  // Branch & cut grows the working matrix by cut rows against a warm
+  // basis; both access paths (columns for FTRAN, rows for hypersparse
+  // pricing) must agree with a from-scratch build afterwards.
+  std::mt19937 rng(11);
+  std::uniform_real_distribution<double> val(-2.0, 2.0);
+  const int rows = 9, cols = 13, extra = 4;
+  std::vector<Triplet> base, appended;
+  for (int r = 0; r < rows; ++r)
+    for (int c = 0; c < cols; ++c)
+      if (rng() % 3 == 0) base.push_back({r, c, val(rng)});
+  for (int r = rows; r < rows + extra; ++r)
+    for (int c = 0; c < cols; ++c)
+      if (rng() % 4 == 0) appended.push_back({r, c, val(rng)});
+  // A duplicate triplet in an appended row must be summed like the ctor.
+  appended.push_back({rows, 2, 0.5});
+  appended.push_back({rows, 2, 0.25});
+
+  SparseMatrix grown(rows, cols, base);
+  grown.append_rows(extra, appended);
+  std::vector<Triplet> all = base;
+  all.insert(all.end(), appended.begin(), appended.end());
+  SparseMatrix fresh(rows + extra, cols, all);
+
+  ASSERT_EQ(grown.rows(), fresh.rows());
+  ASSERT_EQ(grown.nnz(), fresh.nnz());
+  for (int j = 0; j < cols; ++j) {
+    auto gr = grown.col_rows(j), fr = fresh.col_rows(j);
+    auto gv = grown.col_values(j), fv = fresh.col_values(j);
+    ASSERT_EQ(gr.size(), fr.size()) << "col " << j;
+    for (size_t k = 0; k < gr.size(); ++k) {
+      EXPECT_EQ(gr[k], fr[k]);
+      EXPECT_EQ(gv[k], fv[k]);
+    }
+  }
+  for (int i = 0; i < rows + extra; ++i) {
+    auto gc = grown.row_cols(i), fc = fresh.row_cols(i);
+    auto gv = grown.row_values(i), fv = fresh.row_values(i);
+    ASSERT_EQ(gc.size(), fc.size()) << "row " << i;
+    for (size_t k = 0; k < gc.size(); ++k) {
+      EXPECT_EQ(gc[k], fc[k]);
+      EXPECT_EQ(gv[k], fv[k]);
+    }
+  }
+}
+
+TEST(SparseMatrix, AppendRowsRejectsOutOfRangeTriplets) {
+  SparseMatrix m(2, 2, std::vector<Triplet>{{0, 0, 1.0}, {1, 1, 1.0}});
+  EXPECT_THROW(m.append_rows(1, std::vector<Triplet>{{0, 0, 1.0}}),
+               std::out_of_range);  // touches an existing row
+  EXPECT_THROW(m.append_rows(1, std::vector<Triplet>{{3, 0, 1.0}}),
+               std::out_of_range);  // beyond the appended range
 }
 
 }  // namespace
