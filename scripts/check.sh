@@ -59,6 +59,16 @@ if ! command -v python3 >/dev/null 2>&1; then
   exit 0
 fi
 
+# plot_bench.py must stay usable before the first baseline lands (it
+# renders the trajectory embed on fresh clones too): regression-check the
+# empty-history path against a zero-commit scratch repo -- it has to exit 0
+# and still write a well-formed SVG.
+PLOT_TMP="$(mktemp -d)"
+trap 'rm -rf "$PLOT_TMP"' EXIT
+git -C "$PLOT_TMP" init -q
+python3 scripts/plot_bench.py --repo "$PLOT_TMP" --out "$PLOT_TMP/stub.svg"
+grep -q '</svg>' "$PLOT_TMP/stub.svg"
+
 "$BUILD_DIR/sweep_bench" --json="$BUILD_DIR/BENCH_sweep_fresh.json"
 python3 scripts/compare_bench.py BENCH_sweep.json \
   "$BUILD_DIR/BENCH_sweep_fresh.json"

@@ -15,7 +15,10 @@ Handles both committed formats:
                      contract: the threads2/threads4 configs must report
                      node counts identical to the single-threaded shipped
                      config ("overhaul") on every instance of the fresh
-                     run;
+                     run; and the backend cross-check: wherever the dense
+                     ("overhaul") and retention-interval ("interval")
+                     configs both prove optimality on an instance, their
+                     objectives must agree to within the proof gap;
   BENCH_sweep.json   (sweep_bench --json): records keyed by
                      (instance, cold|cached), gated on total node counts;
                      additionally fails if any fresh sweep point lost
@@ -25,7 +28,8 @@ Handles both committed formats:
 Rows present in only one of baseline/fresh are skipped with a warning, not
 failed: a PR that adds or retires a bench instance/config must not brick the
 gate (the committed baseline is refreshed in the same PR, and the warning
-keeps the mismatch visible in the log). EXCEPTION: the ablation configs
+keeps the mismatch visible in the log). If NO rows overlap at all the gate
+fails -- a comparison that gated nothing is a misconfiguration, not a pass. EXCEPTION: the ablation configs
 (no_lp_hotpath, no_rcfix, no_cuts, no_reliability) are load-bearing -- they
 document what each subsystem buys -- so a fresh solver run that silently
 drops one of them FAILS instead of warning.
@@ -117,10 +121,12 @@ def main():
 
     failures = []
     warnings = []
+    overlap = 0
     for key, (base_nodes, base_secs, base_iters) in sorted(base.items()):
         if key not in fresh:
             warnings.append(f"{key}: only in baseline; skipped")
             continue
+        overlap += 1
         fresh_nodes, fresh_secs, fresh_iters = fresh[key]
         limit = args.max_node_ratio * base_nodes + args.slack
         status = "ok" if fresh_nodes <= limit else "REGRESSED"
@@ -143,6 +149,15 @@ def main():
     for key in sorted(fresh):
         if key not in base:
             warnings.append(f"{key}: only in fresh run; skipped")
+
+    # The per-row gates above skip non-overlapping rows, so with zero
+    # overlap the loop gates nothing and the run would "pass" having
+    # compared nothing (e.g. baseline and fresh from different benches, or
+    # a renamed instance set). That is a misconfiguration, not a pass.
+    if overlap == 0:
+        failures.append(
+            "baseline and fresh share no (instance, config) rows -- "
+            "nothing was gated; wrong baseline file or renamed instances?")
 
     if kind == "micro_solver_bench":
         # Ablation rows are part of the bench contract: if the baseline
@@ -176,6 +191,31 @@ def main():
                 failures.append(
                     f"{instance}: worker-count determinism violated: "
                     + ", ".join(f"{c}={n}" for c, n in sorted(configs.items())))
+
+        # Dense-vs-interval cross-check: both backends solve the same
+        # rematerialization instance, so wherever both prove optimality
+        # their objectives must agree to within the proof gap. A divergence
+        # means one formulation dropped or mispriced a schedule class.
+        gap = fresh_doc.get("relative_gap", 1e-3)
+        fresh_costs = {(r["instance"], r["config"]): r.get("cost")
+                       for r in fresh_doc["results"]}
+        for (instance, config) in sorted(fresh):
+            if config != "interval":
+                continue
+            dense_key, interval_key = (instance, "overhaul"), (instance, config)
+            if dense_key not in fresh:
+                continue
+            pair_status = [statuses.get(dense_key), statuses.get(interval_key)]
+            if any(st != "optimal" for st in pair_status):
+                warnings.append(
+                    f"{instance}: dense-vs-interval cost check skipped "
+                    f"(statuses: {pair_status[0]}, {pair_status[1]})")
+                continue
+            dc, ic = fresh_costs[dense_key], fresh_costs[interval_key]
+            if abs(dc - ic) > gap * max(1.0, abs(dc)):
+                failures.append(
+                    f"{instance}: dense (overhaul) and interval objectives "
+                    f"diverge: {dc:.6g} vs {ic:.6g} (> gap {gap})")
 
     if kind == "sweep_bench":
         for inst in fresh_doc["instances"]:

@@ -30,7 +30,10 @@ def git(repo, *args):
 def history(repo, path):
     """[(short_sha, subject, parsed_json)] oldest -> newest for `path`."""
     out = []
-    log = git(repo, "log", "--reverse", "--format=%h%x00%s", "--", path)
+    try:
+        log = git(repo, "log", "--reverse", "--format=%h%x00%s", "--", path)
+    except subprocess.CalledProcessError:
+        return []  # zero-commit repo: git log exits non-zero
     for line in log.splitlines():
         sha, _, subject = line.partition("\x00")
         try:
@@ -175,9 +178,20 @@ def main():
     solver_hist = history(args.repo, args.solver)
     sweep_hist = history(args.repo, args.sweep)
     if not solver_hist and not sweep_hist:
-        print("no committed bench baselines found in git history",
-              file=sys.stderr)
-        return 1
+        # Fresh clone / pre-first-bench checkout: still emit a valid SVG so
+        # downstream consumers (README embed, CI artifact upload) never see
+        # a missing or truncated file, and exit 0 -- an empty history is a
+        # state of the repo, not a failure of the renderer.
+        svg = Svg(640, 120)
+        svg.text(320, 55, "Checkmate benchmark trajectory", size=15,
+                 anchor="middle", weight="bold")
+        svg.text(320, 80, "no committed bench baselines in git history yet",
+                 size=12, anchor="middle", color="#888888")
+        with open(args.out, "w") as f:
+            f.write(svg.render())
+        print(f"wrote {args.out} (stub: no committed bench baselines "
+              f"in git history)")
+        return 0
 
     panels = []  # (title, series, value_index, unit, commits, log_scale)
     if solver_hist:

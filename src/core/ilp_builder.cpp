@@ -16,7 +16,10 @@ IlpFormulation::IlpFormulation(const RematProblem& problem,
   problem.validate();
   if (opts_.budget_bytes <= 0.0)
     throw std::invalid_argument("IlpFormulation: budget must be positive");
-  build();
+  if (opts_.formulation == IlpFormulationKind::kInterval)
+    build_interval();
+  else
+    build();
 }
 
 void IlpFormulation::build() {
@@ -194,6 +197,8 @@ void IlpFormulation::set_budget(double budget_bytes) {
 }
 
 milp::FormulationStructure IlpFormulation::cut_structure() const {
+  if (opts_.formulation == IlpFormulationKind::kInterval)
+    return cut_structure_interval();
   const RematProblem& p = *problem_;
   const int n = p.size();
   milp::FormulationStructure s;
@@ -284,6 +289,8 @@ std::vector<std::vector<double>> IlpFormulation::extract_fractional_s(
 
 std::optional<std::vector<double>> IlpFormulation::assemble_assignment(
     const RematSolution& sol) const {
+  if (opts_.formulation == IlpFormulationKind::kInterval)
+    return assemble_assignment_interval(sol);
   const RematProblem& p = *problem_;
   const int n = p.size();
   if (!sol.check_feasible(p).empty()) return std::nullopt;

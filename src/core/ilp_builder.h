@@ -28,10 +28,37 @@
 
 namespace checkmate {
 
+// Which MILP encoding of the rematerialization problem to build.
+//
+//   kDense     Problem 9 verbatim: per-step memory accounting U[t][k] with
+//              the FREE deallocation linearization. Exact eager-free
+//              semantics, O(n^2) binaries plus O(n E) FREE variables.
+//   kInterval  Moccasin-style retention intervals: a value computed or
+//              carried in stage t is charged to stage t's single residency
+//              row for the whole stage, so each (re)computation of value i
+//              opens one retention interval [t_compute, t_drop) over
+//              stages and the per-stage memory row is assembled from
+//              interval membership (S[t][i] = carried in, R[t][i] =
+//              (re)computed here; constraint (1c) is the interval-chaining
+//              row). Drops per-step accounting entirely -- no U recurrence,
+//              no FREE variables -- shrinking the LP by an order of
+//              magnitude on deep graphs. The schedule class is a
+//              restriction of the dense one: stage-granular residency
+//              instead of eager intra-stage frees, and backward (gradient)
+//              nodes are computed exactly once at their own stage, never
+//              rematerialized. Every solution is dense-feasible and
+//              simulator-valid; the equivalence suite
+//              (tests/test_interval_formulation.cpp) cross-checks proven
+//              objectives against the dense backend on every small
+//              instance. Partitioned form only.
+enum class IlpFormulationKind { kDense, kInterval };
+
 struct IlpBuildOptions {
   double budget_bytes = 0.0;
   bool partitioned = true;          // frontier-advancing stages (Section 4.6)
   bool eliminate_diag_free = true;  // Section 4.8
+  // Backend selection; see IlpFormulationKind.
+  IlpFormulationKind formulation = IlpFormulationKind::kDense;
   // Optional cap on total recomputation cost (Eq. 10, in original cost
   // units): sum C_i R[t][i] <= cost_cap.
   std::optional<double> cost_cap;
@@ -107,7 +134,11 @@ class IlpFormulation {
       const RematSolution& sol) const;
 
  private:
-  void build();
+  void build();           // dense backend (Problem 9)
+  void build_interval();  // retention-interval backend (ilp_builder_interval.cpp)
+  milp::FormulationStructure cut_structure_interval() const;
+  std::optional<std::vector<double>> assemble_assignment_interval(
+      const RematSolution& sol) const;
 
   const RematProblem* problem_;
   IlpBuildOptions opts_;

@@ -196,6 +196,7 @@ ScheduleResult Scheduler::solve_optimal_ilp(
   build.budget_bytes = budget_bytes;
   build.partitioned = options.partitioned;
   build.eliminate_diag_free = options.eliminate_diag_free;
+  build.formulation = options.formulation;
   build.cost_cap = options.cost_cap;
   const IlpFormulation form(problem_, build);
   return solve_ilp_on_formulation(form, options);

@@ -22,6 +22,9 @@ struct IlpSolveOptions {
   bool use_rounding_heuristic = true;  // inject two-phase rounding incumbents
   bool partitioned = true;             // frontier-advancing stages
   bool eliminate_diag_free = true;
+  // MILP backend: the dense Problem 9 encoding or the sparse
+  // retention-interval one (see IlpFormulationKind in core/ilp_builder.h).
+  IlpFormulationKind formulation = IlpFormulationKind::kDense;
   bool stop_at_first_incumbent = false;
   // Solver machinery knobs (threaded straight into milp::MilpOptions; the
   // defaults are the overhauled fast path, the ablation benches flip them).

@@ -182,4 +182,27 @@ DnnGraph segnet(int64_t batch, int64_t height, int64_t width) {
   return std::move(b).build();
 }
 
+DnnGraph transformer_stack(int blocks, int64_t batch, int64_t d_model,
+                           int64_t seq_len) {
+  GraphBuilder b("Transformer-" + std::to_string(blocks));
+  // Tokens as 1x1-conv spatial positions: a pointwise conv over a
+  // (d_model, seq_len, 1) map is exactly a per-token linear layer.
+  NodeId x = b.input(TensorShape::nchw(batch, d_model, seq_len, 1));
+  x = b.conv2d(x, d_model, 1, 1, "embed");
+  for (int blk = 1; blk <= blocks; ++blk) {
+    const std::string tag = "blk" + std::to_string(blk);
+    // Fused attention sublayer (QKV + output projection) + residual.
+    NodeId attn = b.conv2d(x, d_model, 1, 1, tag + "_attn");
+    x = b.add(x, attn, tag + "_attn_res");
+    // 4x-expand MLP sublayer + residual.
+    NodeId up = b.conv2d(x, 4 * d_model, 1, 1, tag + "_mlp_up");
+    NodeId down = b.conv2d(up, d_model, 1, 1, tag + "_mlp_down");
+    x = b.add(x, down, tag + "_mlp_res");
+  }
+  x = b.avg_pool_global(x, "pool");
+  x = b.dense(x, 1000, "head");
+  b.loss(x);
+  return std::move(b).build();
+}
+
 }  // namespace checkmate::model::zoo

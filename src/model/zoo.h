@@ -35,4 +35,14 @@ DnnGraph unet(int64_t batch, int64_t height = 416, int64_t width = 608);
 DnnGraph fcn8(int64_t batch, int64_t height = 416, int64_t width = 608);
 DnnGraph segnet(int64_t batch, int64_t height = 416, int64_t width = 608);
 
+// Pre-norm transformer encoder stack at fused per-sublayer granularity:
+// each block is attention-projection + residual add + 4x-expand MLP
+// (up-projection, down-projection) + residual add, with tokens laid out as
+// 1x1-conv spatial positions so every linear is a pointwise conv. 20
+// blocks give a >= 200-stage training graph -- the deep-instance family
+// the retention-interval backend exists for (the dense backend cannot
+// even root-solve at this depth).
+DnnGraph transformer_stack(int blocks, int64_t batch = 8,
+                           int64_t d_model = 256, int64_t seq_len = 128);
+
 }  // namespace checkmate::model::zoo

@@ -27,6 +27,7 @@ size_t FormulationKeyHash::operator()(const FormulationKey& k) const {
   };
   mix(static_cast<uint64_t>(k.partitioned));
   mix(static_cast<uint64_t>(k.eliminate_diag_free) << 1);
+  mix(static_cast<uint64_t>(k.formulation) << 2);
   if (k.has_cost_cap) mix(std::bit_cast<uint64_t>(k.cost_cap));
   return static_cast<size_t>(h);
 }
@@ -41,6 +42,7 @@ std::shared_ptr<CacheEntry> FormulationCache::acquire(
   key.problem_fingerprint = problem.fingerprint();
   key.partitioned = build.partitioned;
   key.eliminate_diag_free = build.eliminate_diag_free;
+  key.formulation = build.formulation;
   key.has_cost_cap = build.cost_cap.has_value();
   key.cost_cap = build.cost_cap.value_or(0.0);
 

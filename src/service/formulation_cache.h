@@ -36,6 +36,10 @@ struct FormulationKey {
   uint64_t problem_fingerprint = 0;
   bool partitioned = true;
   bool eliminate_diag_free = true;
+  // Backend shape (dense vs retention-interval): the two backends build
+  // different LPs over different variable layouts, so they can never share
+  // a cached formulation or its presolve artifacts.
+  IlpFormulationKind formulation = IlpFormulationKind::kDense;
   bool has_cost_cap = false;
   double cost_cap = 0.0;
 

@@ -37,6 +37,7 @@ std::shared_ptr<CacheEntry> PlanService::acquire(
   build.budget_bytes = reference_budget_bytes;
   build.partitioned = options.partitioned;
   build.eliminate_diag_free = options.eliminate_diag_free;
+  build.formulation = options.formulation;
   build.cost_cap = options.cost_cap;
   bool hit = false;
   int64_t evictions = 0;
@@ -77,9 +78,15 @@ ScheduleResult PlanService::solve_locked(CacheEntry& entry,
   // The query's share of the service thread budget feeds the in-solve
   // parallel tree search unless the caller pinned num_threads explicitly.
   // Either way the answer is identical (epoch-lockstep determinism); only
-  // wall-clock attribution changes.
+  // wall-clock attribution changes. <= 0 covers both 0 (auto) and negative
+  // requests: letting a negative through would reach resolve_tree_threads'
+  // auto path and grab every hardware thread per query, outside the
+  // service budget. The share itself is clamped to >= 1 -- when queries
+  // outnumber budgeted threads the integer split budget/Q rounds to zero,
+  // and a zero-thread solve must still run single-threaded rather than
+  // fall through to the auto path.
   IlpSolveOptions options = options_in;
-  if (options.num_threads == 0) options.num_threads = tree_threads;
+  if (options.num_threads <= 0) options.num_threads = std::max(1, tree_threads);
   {
     std::lock_guard lock(stats_mu_);
     ++stats_.queries;
@@ -280,6 +287,7 @@ std::vector<ScheduleResult> PlanService::plan_many(
     key.problem_fingerprint = q.problem->fingerprint();
     key.partitioned = q.options.partitioned;
     key.eliminate_diag_free = q.options.eliminate_diag_free;
+    key.formulation = q.options.formulation;
     key.has_cost_cap = q.options.cost_cap.has_value();
     key.cost_cap = q.options.cost_cap.value_or(0.0);
     Group& g = groups[key];

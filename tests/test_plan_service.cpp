@@ -286,6 +286,58 @@ TEST(SolvePool, AutoWorkerCountIsAlwaysPositive) {
   EXPECT_EQ(ran.load(), 1);
 }
 
+TEST(PlanService, ManyGroupsOnTinyThreadBudgetStaysDeterministic) {
+  // Q >> threads regression, companion to the hardware_concurrency()==0
+  // guard above: with far more query groups than budgeted threads, the
+  // per-solve share budget/Q truncates to zero. solve_locked must clamp
+  // that to one tree worker -- and must route non-positive shares through
+  // the clamp rather than the "0 = auto" path, which would hand every
+  // solve a full hardware thread count outside the service budget (and on
+  // hardware_concurrency()==0 platforms, nondeterministically so).
+  std::vector<RematProblem> problems;
+  std::vector<double> budgets;
+  for (int layers = 2; layers <= 9; ++layers) {
+    problems.push_back(RematProblem::unit_training_chain(layers));
+    budgets.push_back(layers + 2.0);  // tight-ish but feasible
+  }
+  std::vector<service::PlanQuery> queries;
+  for (size_t i = 0; i < problems.size(); ++i)  // 8 distinct groups
+    queries.push_back({&problems[i], budgets[i], fast_opts()});
+
+  service::PlanServiceOptions tiny;
+  tiny.num_threads = 2;  // Q = 8 groups >> 2 budgeted threads
+  service::PlanService svc(tiny);
+  const auto got = svc.plan_many(queries);
+
+  service::PlanServiceOptions solo;
+  solo.num_threads = 1;
+  service::PlanService svc_solo(solo);
+  ASSERT_EQ(got.size(), queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    ASSERT_EQ(got[i].milp_status, milp::MilpStatus::kOptimal) << i;
+    const auto ref = svc_solo.plan(*queries[i].problem,
+                                   queries[i].budget_bytes, fast_opts());
+    ASSERT_EQ(ref.milp_status, milp::MilpStatus::kOptimal) << i;
+    EXPECT_EQ(got[i].cost, ref.cost) << i;
+    EXPECT_EQ(got[i].nodes, ref.nodes) << i;
+    EXPECT_EQ(got[i].lp_iterations, ref.lp_iterations) << i;
+  }
+
+  // A query that explicitly asks for a negative worker count gets the
+  // single-thread clamp too, not the auto-all-cores path. Both services
+  // fresh: svc_solo would answer this repeat query from its warm-start
+  // chain (nodes == 0) instead of solving.
+  service::PlanService svc_neg;
+  IlpSolveOptions neg = fast_opts();
+  neg.num_threads = -3;
+  const auto n = svc_neg.plan(problems[4], budgets[4], neg);
+  service::PlanService svc_ref(solo);
+  const auto r = svc_ref.plan(problems[4], budgets[4], fast_opts());
+  ASSERT_EQ(n.milp_status, milp::MilpStatus::kOptimal);
+  EXPECT_EQ(n.cost, r.cost);
+  EXPECT_EQ(n.nodes, r.nodes);
+}
+
 TEST(PlanService, ThreadBudgetDoesNotChangeAnswers) {
   // The unified thread budget splits between query workers and in-solve
   // tree workers; epoch-lockstep determinism means every split returns
