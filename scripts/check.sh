@@ -12,7 +12,9 @@
 # Every test carries a ctest TIMEOUT property, so a hung solver fails
 # loudly instead of wedging the pipeline. The bench gates re-run the
 # committed BENCH_*.json scenarios and fail on >2x node-count regressions
-# (node counts are machine-independent; wall time is never gated).
+# (node counts are machine-independent) plus a loose >4x wall-time gate on
+# the shipped configs (catches a robustness hook leaking onto the happy
+# path; see compare_bench.py).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -47,6 +49,22 @@ if [ "$CHECK_TIER" = "full" ]; then
     --target test_milp_parallel test_plan_service test_simplex test_cuts
   TSAN_OPTIONS="halt_on_error=1" ctest --test-dir "$TSAN_DIR" \
     -R 'test_milp_parallel|test_plan_service|test_simplex|test_cuts' \
+    --output-on-failure
+fi
+
+# Nightly chaos stage: rebuild with AddressSanitizer+UBSan and the
+# deterministic fault-injection points compiled in, then run the chaos
+# tier -- zoo sweeps under each fault schedule and tight deadlines, with
+# every recovery path exercised. ASan turns a leaked register file or a
+# use-after-restore during recovery into a hard failure.
+if [ "$CHECK_TIER" = "full" ]; then
+  ASAN_DIR="${ASAN_BUILD_DIR:-build-asan}"
+  cmake -B "$ASAN_DIR" -S . "${GENERATOR_FLAGS[@]}" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo -DCHECKMATE_ASAN=ON \
+    -DCHECKMATE_FAULT_INJECTION=ON
+  cmake --build "$ASAN_DIR" -j --target test_chaos test_robust
+  ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
+    ctest --test-dir "$ASAN_DIR" -R 'test_chaos|test_robust' \
     --output-on-failure
 fi
 

@@ -37,8 +37,13 @@ drops one of them FAILS instead of warning.
 Node counts are deterministic for completed searches (the tree does not
 depend on wall-clock speed or worker count unless a limit is hit), so a >2x
 jump means the solver or the service regressed, not that the machine was
-slow. Wall-time ratios are printed alongside the node ratios for
-information but never gated -- they are machine-dependent.
+slow. Wall-time ratios are printed alongside the node ratios; because they
+are machine-dependent they get a deliberately loose gate: a shipped-config
+row (solver "overhaul", sweep cold/cached) whose baseline time clears
+--wall-floor must not exceed --max-wall-ratio (default 4x) times it. That
+catches a robustness hook leaking onto the happy path (a per-node deadline
+check or fault probe gone hot) while staying far above scheduler noise;
+ablation and thread-scaling rows stay ungated.
 """
 
 import argparse
@@ -98,6 +103,12 @@ def main():
     ap.add_argument("--iter-slack", type=int, default=2000,
                     help="absolute LP-iteration slack (same role as --slack "
                          "for the iteration gate)")
+    ap.add_argument("--max-wall-ratio", type=float, default=4.0,
+                    help="shipped-config wall-time blowup that fails the "
+                         "gate (loose on purpose: machine-dependent)")
+    ap.add_argument("--wall-floor", type=float, default=0.05,
+                    help="baseline seconds below which the wall gate is "
+                         "skipped (sub-50ms rows are pure noise)")
     args = ap.parse_args()
 
     with open(args.baseline) as f:
@@ -139,6 +150,14 @@ def main():
                 failures.append(
                     f"{key}: lp_iterations {base_iters} -> {fresh_iters} "
                     f"(> {args.max_node_ratio}x + {args.iter_slack})")
+        wall_gated = kind == "sweep_bench" or key[1] == "overhaul"
+        if (wall_gated and base_secs and fresh_secs is not None
+                and base_secs > args.wall_floor
+                and fresh_secs > args.max_wall_ratio * base_secs):
+            status = "REGRESSED"
+            failures.append(
+                f"{key}: wall time {base_secs:.3f}s -> {fresh_secs:.3f}s "
+                f"(> {args.max_wall_ratio}x)")
         print(f"  {'/'.join(key):44s} nodes {base_nodes:>8d} -> "
               f"{fresh_nodes:>8d}  {status}{iters_txt}"
               f"{fmt_wall(base_secs, fresh_secs)}")

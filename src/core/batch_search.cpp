@@ -22,14 +22,29 @@ MaxBatchResult max_batch_size(const ProblemFactory& factory,
   auto check = [&](int64_t b) {
     auto it = memo.find(b);
     if (it != memo.end()) return it->second;
-    const RematProblem p = factory(b);
-    const bool ok = probe(p);
+    bool ok = false;
+    try {
+      const RematProblem p = factory(b);
+      if (b == options.min_batch)
+        result.min_batch_memory_floor_bytes = p.memory_floor();
+      ok = probe(p);
+    } catch (const std::exception&) {
+      // A probe that dies proves nothing about feasibility; counting it
+      // infeasible keeps the search monotone and never aborts the caller.
+      ok = false;
+    }
     memo.emplace(b, ok);
     result.probes.push_back({b, ok});
     return ok;
   };
 
-  if (!check(options.min_batch)) return result;  // max_batch = 0
+  if (!check(options.min_batch)) {
+    // Typed instead of garbage: max_batch stays 0 and the min_batch
+    // instance's memory floor serves as the certificate whenever it
+    // exceeds the budget (then no batch size can ever fit).
+    result.infeasible_at_min_batch = true;
+    return result;
+  }
 
   // Exponential growth to bracket the frontier.
   int64_t lo = options.min_batch;

@@ -41,6 +41,15 @@ struct BatchProbe {
 struct MaxBatchResult {
   int64_t max_batch = 0;  // 0: not even min_batch fits
   std::vector<BatchProbe> probes;
+  // Typed outcome for the max_batch == 0 case: the min_batch instance
+  // itself does not fit. memory_floor_bytes records that instance's
+  // structural memory floor (largest single-stage working set, i.e. the
+  // checkpoint-nothing minimum) -- when it exceeds the probe's budget the
+  // infeasibility is *proven* for every batch size; otherwise the probe
+  // merely found no schedule. A probe that throws (numerical failure,
+  // injected fault) counts as infeasible rather than escaping the search.
+  bool infeasible_at_min_batch = false;
+  double min_batch_memory_floor_bytes = 0.0;
 };
 
 // Exponential growth + binary search over the feasibility probe. Probes

@@ -73,6 +73,8 @@ ScheduleResult solve_ilp_on_formulation(const IlpFormulation& form,
     mopts.max_lp_iterations = options.max_lp_iterations;
   if (options.max_nodes > 0) mopts.max_nodes = options.max_nodes;
   mopts.num_threads = options.num_threads;
+  mopts.deadline = options.deadline;
+  mopts.cancel = options.cancel;
   if (reuse.known_lower_bound_cost != -lp::kInf)
     mopts.known_lower_bound = form.scale_cost(reuse.known_lower_bound_cost);
 
@@ -87,8 +89,12 @@ ScheduleResult solve_ilp_on_formulation(const IlpFormulation& form,
   // Seed branch & bound with the cheapest feasible baseline schedule so
   // bound pruning is active from the root (Section 6.2: the ILP's feasible
   // set is a superset of every baseline's). Skipping is only honored when
-  // the warm start actually assembled -- never start incumbent-less.
+  // the warm start actually assembled -- never start incumbent-less. An
+  // already-expired deadline also skips the pass: the search terminates at
+  // its first barrier anyway and the caller's fallback ladder supplies the
+  // heuristic plan.
   if (partitioned && options.use_rounding_heuristic &&
+      !options.deadline.expired() && !options.cancel.cancelled() &&
       !(reuse.skip_baseline_seeds && warm_started)) {
     double best_seed_cost = lp::kInf;
     std::optional<std::vector<double>> best_seed;
@@ -156,6 +162,15 @@ ScheduleResult solve_ilp_on_formulation(const IlpFormulation& form,
   res.root_relaxation = form.unscale_cost(mres.root_relaxation);
   if (!mres.has_solution()) {
     res.message = std::string("MILP: ") + milp::to_string(mres.status);
+    // A completed dense search proves the instance itself infeasible. The
+    // interval backend is a restriction of the dense feasible set, so its
+    // infeasibility proves nothing about the problem -- leave it untyped
+    // and let callers fall back (heuristics may still fit the budget).
+    if (mres.status == milp::MilpStatus::kInfeasible &&
+        options.formulation == IlpFormulationKind::kDense) {
+      res.proven_infeasible = true;
+      res.memory_floor_bytes = problem.memory_floor();
+    }
     return res;
   }
   if (!partitioned) {
@@ -185,10 +200,13 @@ ScheduleResult Scheduler::solve_optimal_ilp(
     double budget_bytes, const IlpSolveOptions& options) const {
   if (budget_bytes < problem_.memory_floor()) {
     // No schedule can fit: some operation's working set alone exceeds the
-    // budget. Saves branch & bound from grinding on a hopeless proof.
+    // budget. Saves branch & bound from grinding on a hopeless proof, and
+    // the floor itself is the infeasibility certificate.
     ScheduleResult res;
     res.milp_status = milp::MilpStatus::kInfeasible;
     res.message = "budget below structural memory floor";
+    res.proven_infeasible = true;
+    res.memory_floor_bytes = problem_.memory_floor();
     return res;
   }
 

@@ -61,6 +61,12 @@ struct IlpSolveOptions {
   // units), threaded into the formulation. The max-batch feasibility
   // probes combine it with stop_at_first_incumbent.
   std::optional<double> cost_cap;
+  // Absolute deadline / cancellation token for the query (both default
+  // inert), threaded through branch & bound down to every node LP. See
+  // robust/deadline.h for the determinism contract; PlanService sweeps
+  // apportion a query deadline across their points.
+  robust::Deadline deadline;
+  robust::CancelToken cancel;
 };
 
 struct ApproxOptions {
@@ -92,6 +98,14 @@ struct ScheduleResult {
   int64_t cuts_added = 0;        // cut rows appended by branch & cut
   int64_t strong_branches = 0;   // reliability-branching probe solves
   double seconds = 0.0;
+
+  // Typed infeasibility: true only when NO schedule can fit the budget,
+  // with the structural memory floor (the peak no policy can go below:
+  // the largest single-stage working set) as the certificate. A mere
+  // failure to find a plan (truncated search, restricted backend) leaves
+  // this false -- absence of proof is not proof of absence.
+  bool proven_infeasible = false;
+  double memory_floor_bytes = 0.0;  // certificate when proven_infeasible
 };
 
 // Validates and prices a schedule against a budget (0 disables the budget

@@ -10,6 +10,17 @@ SimulationResult simulate_plan(const RematProblem& p,
   SimulationResult res;
   const int n = p.size();
 
+  auto fail = [&](std::string msg) {
+    res.valid = false;
+    res.error = std::move(msg);
+    return res;
+  };
+
+  // Shape guards before any allocation sized from the plan: a malformed
+  // plan must produce a diagnostic, never a crash or a giant allocation.
+  if (plan.num_registers < 0)
+    return fail("plan declares a negative register count");
+
   std::vector<int> reg_of_node(n, -1);
   std::vector<NodeId> node_of_reg(plan.num_registers, -1);
   std::vector<bool> resident(n, false);
@@ -18,16 +29,14 @@ SimulationResult simulate_plan(const RematProblem& p,
   double mem = p.fixed_overhead;
   res.peak_memory = mem;
 
-  auto fail = [&](std::string msg) {
-    res.valid = false;
-    res.error = std::move(msg);
-    return res;
-  };
-
   for (size_t idx = 0; idx < plan.statements.size(); ++idx) {
     const Statement& st = plan.statements[idx];
     if (st.node < 0 || st.node >= n)
       return fail("statement " + std::to_string(idx) + ": bad node id");
+    if (st.stage < 0 || st.stage >= n)
+      return fail("statement " + std::to_string(idx) + ": stage " +
+                  std::to_string(st.stage) + " out of range [0, " +
+                  std::to_string(n) + ")");
 
     if (st.kind == StatementKind::kCompute) {
       for (NodeId d : p.graph.deps(st.node)) {

@@ -28,6 +28,19 @@ std::string RematSolution::check_feasible(const RematProblem& p) const {
   const int T = stages();
   if (T != n || static_cast<int>(S.size()) != n)
     return "solution must have T == n stages";
+  // Ragged-row guard: every R/S row must span all n nodes. Without this,
+  // the per-constraint checks below would index out of bounds on a
+  // malformed matrix instead of reporting it.
+  for (int t = 0; t < T; ++t) {
+    if (static_cast<int>(R[t].size()) != n)
+      return "malformed solution: R row " + std::to_string(t) + " has " +
+             std::to_string(R[t].size()) + " entries, expected " +
+             std::to_string(n);
+    if (static_cast<int>(S[t].size()) != n)
+      return "malformed solution: S row " + std::to_string(t) + " has " +
+             std::to_string(S[t].size()) + " entries, expected " +
+             std::to_string(n);
+  }
   auto at = [](const BoolMatrix& m, int t, int i) -> uint8_t {
     return m[t][i];
   };

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <cstdlib>
 
+#include "robust/fault_injection.h"
+
 namespace checkmate::lp {
 
 namespace {
@@ -10,6 +12,9 @@ constexpr double kPivotTol = 1e-11;
 }
 
 bool LuFactorization::factorize(int m, std::span<const BasisColumn> cols) {
+  // Chaos tier: an injected LU breakdown reports the basis singular, which
+  // exercises the same recovery ladder as a genuinely degenerate basis.
+  if (robust::fault(robust::FaultPoint::kLuFactorize)) return false;
   m_ = m;
   l_ptr_.assign(1, 0);
   l_idx_.clear();

@@ -7,6 +7,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "robust/fault_injection.h"
+
 namespace checkmate::lp {
 
 const char* to_string(LpStatus status) {
@@ -731,10 +733,14 @@ LpResult DualSimplex::solve() {
     d_dirty_ = false;
   } else if (needs_refactor_) {
     // A restored basis: rebuild the factorization now; a singular restored
-    // basis (numerically degenerate snapshot) falls back to a clean slack
-    // basis rather than failing the solve.
+    // basis (numerically degenerate snapshot, or an injected
+    // snapshot-restore mismatch) falls back to a clean slack basis rather
+    // than failing the solve. Bound overrides survive the fallback --
+    // make_initial_basis keeps the current lo_/hi_ -- so the recovery
+    // re-lifts the branch decisions onto a fresh basis.
     needs_refactor_ = false;
-    if (!refactorize()) {
+    if (robust::fault(robust::FaultPoint::kSnapshotRestore) ||
+        !refactorize()) {
       make_initial_basis();
       if (!refactorize()) {
         basis_valid_ = false;
@@ -782,13 +788,21 @@ LpResult DualSimplex::solve() {
 
   int iters = 0;
   int numerical_retries = 0;
-  const auto deadline =
-      std::chrono::steady_clock::now() +
-      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
-          std::chrono::duration<double>(opt_.time_limit_sec));
+  // Effective deadline: the per-solve wall-clock cap combined with the
+  // caller's absolute deadline; cancellation rides the same check. Checked
+  // on a cheap stride (every 64 pivots) and once up front so a solve whose
+  // deadline already passed returns immediately with a sound bound.
+  const robust::Deadline deadline = robust::Deadline::sooner(
+      opt_.deadline, robust::Deadline::after(opt_.time_limit_sec));
+  if (deadline.expired() || opt_.cancel.cancelled()) {
+    result.status = LpStatus::kIterationLimit;
+    result.dual_bound = truncated_dual_bound();
+    result.iterations = 0;
+    return result;
+  }
   while (iters < opt_.max_iterations) {
-    if ((iters & 0xff) == 0xff &&
-        std::chrono::steady_clock::now() > deadline) {
+    if ((iters & 0x3f) == 0x3f &&
+        (deadline.expired() || opt_.cancel.cancelled())) {
       result.status = LpStatus::kIterationLimit;
       result.dual_bound = truncated_dual_bound();
       result.iterations = iters;

@@ -39,6 +39,7 @@
 #include "lp/lp_problem.h"
 #include "lp/lu.h"
 #include "lp/sparse_matrix.h"
+#include "robust/deadline.h"
 
 namespace checkmate::lp {
 
@@ -75,6 +76,11 @@ struct SimplexOptions {
   // the bound's magnitude multiplies into floating-point cancellation error
   // (~bound * 1e-16) during pivoting.
   double artificial_bound = 1e7;
+  // Absolute deadline and cancellation token, checked on the same cheap
+  // iteration stride as the wall-clock limit. Either trips the solve into
+  // kIterationLimit with a sound truncated dual bound. Both default inert.
+  robust::Deadline deadline;
+  robust::CancelToken cancel;
 };
 
 // Engine-independent capture of the warm-start-relevant simplex state:

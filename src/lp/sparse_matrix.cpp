@@ -2,13 +2,19 @@
 
 #include <algorithm>
 #include <cmath>
+#include <new>
 #include <stdexcept>
+
+#include "robust/fault_injection.h"
 
 namespace checkmate::lp {
 
 SparseMatrix::SparseMatrix(int rows, int cols,
                            std::span<const Triplet> triplets, double drop_tol)
     : rows_(rows), cols_(cols) {
+  // Chaos tier: an injected allocation failure surfaces exactly like a
+  // real out-of-memory during matrix assembly.
+  if (robust::fault(robust::FaultPoint::kSparseAlloc)) throw std::bad_alloc();
   if (rows < 0 || cols < 0)
     throw std::invalid_argument("SparseMatrix: negative dimension");
   for (const Triplet& t : triplets) {
@@ -70,6 +76,9 @@ SparseMatrix::SparseMatrix(int rows, int cols,
 
 void SparseMatrix::append_rows(int new_rows,
                                std::span<const Triplet> triplets) {
+  // Chaos tier: cut-row appends can fail like any other allocation; the
+  // strong guarantee holds (the matrix is untouched on a throw here).
+  if (robust::fault(robust::FaultPoint::kCutRowAppend)) throw std::bad_alloc();
   if (new_rows < 0) throw std::invalid_argument("append_rows: negative count");
   const int old_rows = rows_;
   const int total_rows = old_rows + new_rows;

@@ -12,6 +12,7 @@
 #include "lp/simplex.h"
 #include "milp/cuts.h"
 #include "milp/presolve.h"
+#include "robust/fault_injection.h"
 
 namespace checkmate::milp {
 
@@ -225,11 +226,21 @@ class EpochSearch {
     if (stop_) return true;
     if (result_.nodes >= opt_.max_nodes ||
         result_.lp_iterations >= opt_.max_lp_iterations ||
-        elapsed() > opt_.time_limit_sec) {
+        elapsed() > opt_.time_limit_sec || opt_.deadline.expired() ||
+        opt_.cancel.cancelled()) {
       stop_ = true;
       search_complete_ = false;
     }
     return stop_;
+  }
+
+  // Wall-clock budget still available to the search: the per-solve time
+  // limit combined with the caller's absolute deadline. Cancellation is
+  // treated as an expired budget everywhere this is consulted.
+  double remaining_sec() const {
+    const double rem = std::min(opt_.time_limit_sec - elapsed(),
+                                opt_.deadline.remaining_sec());
+    return opt_.cancel.cancelled() ? 0.0 : rem;
   }
 
   static double prune_threshold_for(double incumbent_obj, double gap) {
@@ -434,7 +445,12 @@ class EpochSearch {
         pick = &r;
     if (!pick) return;
     const double before = result_.objective;
-    if (auto cand = heuristic_(pick->heur_x)) offer_candidate(*cand);
+    try {
+      if (auto cand = heuristic_(pick->heur_x)) offer_candidate(*cand);
+    } catch (const std::exception&) {
+      // A heuristic that dies (it may run its own LP solves, which can hit
+      // injected allocation faults) just contributes no incumbent.
+    }
     const int64_t base = std::max(1, opt_.heuristic_interval);
     if (result_.objective < before - 1e-12) {
       heur_interval_ = base;
@@ -518,30 +534,38 @@ class EpochSearch {
   void run_root_cut_rounds() {
     if (!cuts_on_ || !root_done_ || root_x_.empty() || !root_snap_) return;
     Worker& w = workers_[0];
-    if (!w.engine)
-      w.engine = std::make_unique<lp::DualSimplex>(lp_, opt_.simplex);
-    lp::DualSimplex& eng = *w.engine;
-    for (int round = 0; round < opt_.max_root_cut_rounds; ++round) {
-      const int budget = cut_budget();
-      if (budget <= 0) break;
-      if (elapsed() > opt_.time_limit_sec) break;
-      std::vector<Cut> cuts;
-      separate_knapsack_cuts(*opt_.cut_structure, lp_, root_x_,
-                             separation_options(), &cuts);
-      for (Cut& c : cuts) cut_pool_.offer(std::move(c));
-      const std::vector<Cut> chosen = cut_pool_.select(budget);
-      if (chosen.empty()) break;
-      append_cuts(chosen);
-      eng.restore(*root_snap_);
-      eng.set_objective_limit(lp::kInf);  // the root is never pruned
-      eng.set_time_limit(std::max(0.01, opt_.time_limit_sec - elapsed()));
-      const lp::LpResult rel = eng.solve();
-      result_.lp_iterations += rel.iterations;
-      if (rel.status != lp::LpStatus::kOptimal) break;  // keep previous root
-      result_.root_relaxation = rel.objective;
-      root_x_ = rel.x;
-      root_redcost_ = eng.structural_reduced_costs();
-      root_snap_ = std::make_shared<const lp::BasisSnapshot>(eng.snapshot());
+    try {
+      if (!w.engine)
+        w.engine = std::make_unique<lp::DualSimplex>(lp_, opt_.simplex);
+      lp::DualSimplex& eng = *w.engine;
+      for (int round = 0; round < opt_.max_root_cut_rounds; ++round) {
+        const int budget = cut_budget();
+        if (budget <= 0) break;
+        if (remaining_sec() <= 0.0) break;
+        std::vector<Cut> cuts;
+        separate_knapsack_cuts(*opt_.cut_structure, lp_, root_x_,
+                               separation_options(), &cuts);
+        for (Cut& c : cuts) cut_pool_.offer(std::move(c));
+        const std::vector<Cut> chosen = cut_pool_.select(budget);
+        if (chosen.empty()) break;
+        append_cuts(chosen);
+        eng.restore(*root_snap_);
+        eng.set_objective_limit(lp::kInf);  // the root is never pruned
+        eng.set_time_limit(std::max(0.01, remaining_sec()));
+        const lp::LpResult rel = eng.solve();
+        result_.lp_iterations += rel.iterations;
+        if (rel.status != lp::LpStatus::kOptimal) break;  // keep previous root
+        result_.root_relaxation = rel.objective;
+        root_x_ = rel.x;
+        root_redcost_ = eng.structural_reduced_costs();
+        root_snap_ = std::make_shared<const lp::BasisSnapshot>(eng.snapshot());
+      }
+    } catch (const std::exception&) {
+      // Recovery ladder: a cut round that dies (e.g. an injected cut-row
+      // append failure) abandons further rounds and keeps the previous
+      // root. The engine is rebuilt from the working LP on its next use,
+      // so a partially-synced matrix cannot leak into later nodes.
+      w.engine.reset();
     }
     cut_pool_.age_tick();
     // The cut rounds tightened the root bound (and refreshed the root
@@ -573,6 +597,12 @@ class EpochSearch {
     // per-node clear).
     std::vector<uint8_t> sb_prune[2];
     std::vector<int> sb_touched;
+    // Measured LP throughput on this worker (cumulative over its node
+    // solves), used to clamp a node's pivot budget from the remaining
+    // wall-clock deadline. Purely advisory: the clamp only binds when the
+    // remaining budget is tight, so deadline-free runs are untouched.
+    double solve_secs = 0.0;
+    int64_t solve_iters = 0;
   };
 
   // Fractional integer variables of the best branching-priority tier at x
@@ -833,18 +863,38 @@ class EpochSearch {
       // slot's own work (never other in-flight slots) and capped by this
       // slot's even share of the remaining budget -- both deterministic
       // for any worker count.
+      const double rem = remaining_sec();
       if (out.nodes >= slot_node_allowance_ ||
           out.lp_iterations >= slot_iter_allowance_ ||
           nodes_base + out.nodes >= opt_.max_nodes ||
           iters_base + out.lp_iterations >= opt_.max_lp_iterations ||
-          elapsed() > opt_.time_limit_sec) {
+          rem <= 0.0) {
         requeue_cursor();
         break;
       }
       // Never let one node LP outlive the solver's remaining budget. The
       // floor only guards against a non-positive limit -- it must not grant
       // time the global budget no longer has.
-      eng.set_time_limit(std::max(0.01, opt_.time_limit_sec - elapsed()));
+      eng.set_time_limit(std::max(0.01, rem));
+      // Deadline-overshoot guard: clamp the node's pivot budget from the
+      // remaining wall clock using this worker's measured pivot rate. The
+      // clamp only binds when the projected full-budget solve would not
+      // fit in the remaining time (a 2x margin keeps the estimate
+      // conservative), so deadline-free runs keep the configured limit and
+      // their exact node/iteration counts; under deadline pressure a long
+      // node LP is cut off close to the budget instead of overshooting it
+      // by a whole refactorize-to-refactorize stretch.
+      {
+        int cap = opt_.simplex.max_iterations;
+        if (w.solve_secs > 1e-3 && w.solve_iters > 256) {
+          const double rate =
+              static_cast<double>(w.solve_iters) / w.solve_secs;
+          const double fit = rate * rem * 2.0;
+          if (fit < static_cast<double>(cap))
+            cap = std::max(256, static_cast<int>(fit));
+        }
+        eng.set_iteration_limit(cap);
+      }
       // Dual objective cutoff: a node whose relaxation bound crosses the
       // incumbent prune threshold is discarded anyway, so let the dual
       // simplex stop the moment it proves that instead of polishing to
@@ -855,7 +905,11 @@ class EpochSearch {
           cur.path < 0 ? lp::kInf
                        : prune_threshold_for(best_obj, opt_.relative_gap));
       ++out.nodes;
+      const Clock::time_point node_t0 = Clock::now();
       const lp::LpResult rel = eng.solve();
+      w.solve_secs +=
+          std::chrono::duration<double>(Clock::now() - node_t0).count();
+      w.solve_iters += rel.iterations;
       out.lp_iterations += rel.iterations;
       const bool is_root = cur.path < 0;
       if (is_root) {
@@ -1012,6 +1066,30 @@ class EpochSearch {
     return out;
   }
 
+  // Fault boundary around one slot. A slot that dies -- engine
+  // construction failing on an injected allocation fault, a cut-row sync
+  // throwing, a genuine bad_alloc -- becomes a prunable node bounded by
+  // its parent relaxation, committed in slot order like any other result
+  // (the last rung of the recovery ladder: refactorize -> slack-basis
+  // reset -> per-node abandon). The worker's engine is discarded so the
+  // next slot rebuilds it from the working LP instead of reusing
+  // half-mutated state.
+  SlotResult guarded_slot(int wid, const OpenNode& start) {
+    if (robust::fault(robust::FaultPoint::kWorkerStall))
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    try {
+      return process_slot(wid, start);
+    } catch (const std::exception&) {
+      workers_[static_cast<size_t>(wid)].engine.reset();
+      SlotResult out;
+      out.nodes = 1;  // the failed node counts toward the work limits
+      if (start.path < 0) out.solved_root = true;  // root died: no LP info
+      out.dropped = true;
+      out.dropped_bound = start.bound;
+      return out;
+    }
+  }
+
   // ---------------------------------------------------------- dispatch
   // Epoch barrier: slots are claimed from a shared index under the pool
   // mutex (dynamic load balance is safe because a slot's result does not
@@ -1026,7 +1104,7 @@ class EpochSearch {
         std::min<int>(num_workers_, static_cast<int>(slots.size()));
     if (want <= 1) {
       for (size_t i = 0; i < slots.size(); ++i)
-        results[i] = process_slot(0, slots[i]);
+        results[i] = guarded_slot(0, slots[i]);
       return;
     }
     ensure_pool(want - 1);
@@ -1047,7 +1125,7 @@ class EpochSearch {
         if (epoch_next_ >= slots.size()) break;
         i = epoch_next_++;
       }
-      results[i] = process_slot(0, slots[i]);
+      results[i] = guarded_slot(0, slots[i]);
       std::lock_guard lock(pool_mu_);
       if (--epoch_pending_ == 0) pool_done_cv_.notify_all();
     }
@@ -1074,7 +1152,7 @@ class EpochSearch {
         if (epoch_next_ >= epoch_slot_count_) break;
         const size_t i = epoch_next_++;
         lock.unlock();
-        (*epoch_results_)[i] = process_slot(wid, (*epoch_slots_)[i]);
+        (*epoch_results_)[i] = guarded_slot(wid, (*epoch_slots_)[i]);
         lock.lock();
         if (--epoch_pending_ == 0) pool_done_cv_.notify_all();
       }

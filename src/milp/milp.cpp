@@ -29,9 +29,13 @@ const char* to_string(NodeSelection mode) {
 MilpResult solve_milp(const lp::LinearProgram& lp, const MilpOptions& options,
                       IncumbentHeuristic heuristic) {
   MilpOptions opts = options;
-  // A single node LP must never outlive the overall budget.
+  // A single node LP must never outlive the overall budget, and the
+  // solve-wide deadline / cancel token reach every node LP too.
   opts.simplex.time_limit_sec =
       std::min(opts.simplex.time_limit_sec, opts.time_limit_sec);
+  opts.simplex.deadline =
+      robust::Deadline::sooner(opts.simplex.deadline, opts.deadline);
+  if (!opts.simplex.cancel.active()) opts.simplex.cancel = opts.cancel;
 
   if (!opts.presolve) return branch_and_bound(lp, opts, heuristic);
 

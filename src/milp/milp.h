@@ -164,6 +164,15 @@ struct MilpOptions {
   // becomes the starting incumbent, enabling bound pruning from the very
   // first node.
   std::vector<std::vector<double>> initial_solutions;
+  // Absolute deadline / cancellation token for the whole solve (both
+  // default inert). The search *acts* on them only at epoch barriers, so a
+  // deadline observed at epoch k terminates with the committed incumbent
+  // and bound of epochs <= k -- bit-identical for any num_threads at that
+  // epoch; node LPs additionally truncate against them mid-solve (sound,
+  // machine-dependent truncation point, like time_limit_sec). Both are
+  // forwarded into the simplex options automatically.
+  robust::Deadline deadline;
+  robust::CancelToken cancel;
   lp::SimplexOptions simplex;
 };
 

@@ -1,0 +1,113 @@
+// Deadlines and cooperative cancellation for the solve pipeline.
+//
+// A Deadline is an absolute point on the steady clock (so it composes
+// across nested components without re-counting elapsed time); a
+// CancelToken is a shared flag a caller can flip to abandon work early.
+// Both are cheap value types designed to be copied into options structs:
+// the default-constructed instances are inert (never expire / never
+// cancelled), so existing call sites pay nothing.
+//
+// Determinism contract: the tree search only *acts* on deadline expiry and
+// cancellation at epoch barriers (milp/branch_and_bound.cpp), so a
+// deadline hit observed at epoch k yields the committed incumbent/bound of
+// epochs <= k -- identical for any worker-thread count. Inside a node's LP
+// the deadline truncates the simplex iteration loop on a cheap stride;
+// like the wall-clock time limit this makes *where* truncation lands
+// machine-dependent, but never unsound: truncated solves report
+// kIterationLimit with a valid dual bound.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <limits>
+#include <memory>
+
+namespace checkmate::robust {
+
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  // Default: never expires.
+  Deadline() = default;
+
+  static Deadline never() { return Deadline(); }
+
+  // Expires `seconds` from now. Non-positive values are already expired.
+  static Deadline after(double seconds) {
+    Deadline d;
+    d.finite_ = true;
+    d.when_ = Clock::now() + to_duration(seconds);
+    return d;
+  }
+
+  static Deadline at(Clock::time_point tp) {
+    Deadline d;
+    d.finite_ = true;
+    d.when_ = tp;
+    return d;
+  }
+
+  bool finite() const { return finite_; }
+
+  // Seconds until expiry; +inf for a never-deadline, exactly 0 once
+  // expired (clamped: callers divide this into per-point budgets and must
+  // never see a negative share).
+  double remaining_sec() const {
+    if (!finite_) return std::numeric_limits<double>::infinity();
+    const double rem =
+        std::chrono::duration<double>(when_ - Clock::now()).count();
+    return rem > 0.0 ? rem : 0.0;
+  }
+
+  bool expired() const { return finite_ && Clock::now() >= when_; }
+
+  // The earlier of two deadlines (never-deadlines are the identity).
+  static Deadline sooner(const Deadline& a, const Deadline& b) {
+    if (!a.finite_) return b;
+    if (!b.finite_) return a;
+    return a.when_ <= b.when_ ? a : b;
+  }
+
+ private:
+  static Clock::duration to_duration(double seconds) {
+    if (seconds <= 0.0) return Clock::duration::zero();
+    const double max_sec =
+        std::chrono::duration<double>(Clock::duration::max()).count() * 0.5;
+    if (seconds > max_sec) seconds = max_sec;
+    return std::chrono::duration_cast<Clock::duration>(
+        std::chrono::duration<double>(seconds));
+  }
+
+  Clock::time_point when_{};
+  bool finite_ = false;
+};
+
+// Shared cancellation flag. Copies share the flag; the default-constructed
+// token has no flag and can never report cancellation (zero-cost inert).
+class CancelToken {
+ public:
+  CancelToken() = default;
+
+  // A fresh, uncancelled token backed by a real flag.
+  static CancelToken make() {
+    CancelToken t;
+    t.flag_ = std::make_shared<std::atomic<bool>>(false);
+    return t;
+  }
+
+  void cancel() const {
+    if (flag_) flag_->store(true, std::memory_order_relaxed);
+  }
+
+  bool cancelled() const {
+    return flag_ && flag_->load(std::memory_order_relaxed);
+  }
+
+  bool active() const { return flag_ != nullptr; }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+}  // namespace checkmate::robust

@@ -1,0 +1,84 @@
+#include "robust/fault_injection.h"
+
+namespace checkmate::robust {
+
+const char* to_string(FaultPoint point) {
+  switch (point) {
+    case FaultPoint::kLuFactorize: return "lu_factorize";
+    case FaultPoint::kSnapshotRestore: return "snapshot_restore";
+    case FaultPoint::kCutRowAppend: return "cut_row_append";
+    case FaultPoint::kSparseAlloc: return "sparse_alloc";
+    case FaultPoint::kWorkerStall: return "worker_stall";
+    case FaultPoint::kNumFaultPoints: break;
+  }
+  return "unknown";
+}
+
+#ifdef CHECKMATE_FAULT_INJECTION
+
+namespace {
+
+// splitmix64: cheap, well-mixed hash of (seed, counter).
+uint64_t mix(uint64_t seed, uint64_t x) {
+  uint64_t z = seed + x * 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+FaultInjector& FaultInjector::instance() {
+  static FaultInjector injector;
+  return injector;
+}
+
+void FaultInjector::arm(FaultPoint point, uint64_t seed, uint64_t period,
+                        uint64_t limit) {
+  Slot& s = slots_[static_cast<int>(point)];
+  s.seed = seed;
+  s.period = period == 0 ? 1 : period;
+  s.limit = limit;
+  s.hits.store(0, std::memory_order_relaxed);
+  s.fired.store(0, std::memory_order_relaxed);
+  s.armed.store(true, std::memory_order_release);
+}
+
+void FaultInjector::disarm(FaultPoint point) {
+  slots_[static_cast<int>(point)].armed.store(false,
+                                              std::memory_order_release);
+}
+
+void FaultInjector::disarm_all() {
+  for (Slot& s : slots_) s.armed.store(false, std::memory_order_release);
+}
+
+bool FaultInjector::should_fail(FaultPoint point) {
+  Slot& s = slots_[static_cast<int>(point)];
+  if (!s.armed.load(std::memory_order_acquire)) return false;
+  const uint64_t hit = s.hits.fetch_add(1, std::memory_order_relaxed);
+  if (mix(s.seed, hit) % s.period != 0) return false;
+  if (s.limit != 0) {
+    // Claim one of the limited firings; later claimants pass through.
+    const uint64_t n = s.fired.fetch_add(1, std::memory_order_relaxed);
+    if (n >= s.limit) return false;
+    return true;
+  }
+  s.fired.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+uint64_t FaultInjector::hits(FaultPoint point) const {
+  return slots_[static_cast<int>(point)].hits.load(std::memory_order_relaxed);
+}
+
+uint64_t FaultInjector::fired(FaultPoint point) const {
+  const uint64_t f =
+      slots_[static_cast<int>(point)].fired.load(std::memory_order_relaxed);
+  const uint64_t lim = slots_[static_cast<int>(point)].limit;
+  return lim != 0 && f > lim ? lim : f;
+}
+
+#endif  // CHECKMATE_FAULT_INJECTION
+
+}  // namespace checkmate::robust

@@ -1,0 +1,79 @@
+// Deterministic fault injection for the chaos test tier.
+//
+// Named failure points are compiled into the hot paths only when
+// CHECKMATE_FAULT_INJECTION is defined (a CMake option); otherwise
+// fault(...) is a constexpr false and the probes vanish entirely, so the
+// shipped binaries carry no cost.
+//
+// Firing is deterministic: each armed point fires on the hits whose
+// seeded hash of the per-point hit counter lands on the configured period,
+// up to an optional total-firing limit. With a single solver thread the
+// hit sequence is reproducible, so an armed schedule yields bit-identical
+// failures (and therefore bit-identical recovery behaviour) run to run;
+// with multiple threads the *set* of injected failures is still bounded
+// and every failure must be recovered from, but which worker observes a
+// given firing is scheduling-dependent -- the chaos tier asserts exact
+// determinism single-threaded and recovery/feasibility multi-threaded.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace checkmate::robust {
+
+enum class FaultPoint {
+  kLuFactorize = 0,     // LU breakdown: factorize() reports singular
+  kSnapshotRestore,     // restored-basis refactorize mismatch
+  kCutRowAppend,        // SparseMatrix::append_rows allocation failure
+  kSparseAlloc,         // SparseMatrix construction allocation failure
+  kWorkerStall,         // a tree-search worker stalls for a few ms
+  kNumFaultPoints,
+};
+
+const char* to_string(FaultPoint point);
+
+#ifdef CHECKMATE_FAULT_INJECTION
+
+class FaultInjector {
+ public:
+  static FaultInjector& instance();
+
+  // Arms `point`: every hit whose seeded hash satisfies
+  // hash(seed, hit_index) % period == 0 fires, up to `limit` total
+  // firings (0 = unlimited). period == 1 fires on every hit.
+  void arm(FaultPoint point, uint64_t seed, uint64_t period,
+           uint64_t limit = 0);
+  void disarm(FaultPoint point);
+  void disarm_all();
+
+  // Called from the instrumented sites. Counts the hit and reports
+  // whether this hit should fail.
+  bool should_fail(FaultPoint point);
+
+  uint64_t hits(FaultPoint point) const;
+  uint64_t fired(FaultPoint point) const;
+
+ private:
+  struct Slot {
+    std::atomic<bool> armed{false};
+    uint64_t seed = 0;
+    uint64_t period = 1;
+    uint64_t limit = 0;
+    std::atomic<uint64_t> hits{0};
+    std::atomic<uint64_t> fired{0};
+  };
+  Slot slots_[static_cast<int>(FaultPoint::kNumFaultPoints)];
+};
+
+inline bool fault(FaultPoint point) {
+  return FaultInjector::instance().should_fail(point);
+}
+
+#else
+
+// Injection compiled out: probes are constant-false and fold away.
+inline constexpr bool fault(FaultPoint) { return false; }
+
+#endif  // CHECKMATE_FAULT_INJECTION
+
+}  // namespace checkmate::robust

@@ -6,6 +6,8 @@
 #include <thread>
 #include <unordered_map>
 
+#include "baselines/baselines.h"
+
 namespace checkmate::service {
 
 namespace {
@@ -17,7 +19,71 @@ ScheduleResult infeasible_result(const char* message) {
   return res;
 }
 
+// Budget below the structural memory floor: a *proof* of infeasibility
+// (some single-stage working set alone exceeds the budget), so the typed
+// flag and the floor certificate are set.
+ScheduleResult floor_infeasible(const RematProblem& problem) {
+  ScheduleResult res = infeasible_result("budget below structural memory floor");
+  res.proven_infeasible = true;
+  res.memory_floor_bytes = problem.memory_floor();
+  return res;
+}
+
+// Re-apportion a finite query deadline across the remaining sweep points:
+// with k points left, the next solve gets at most remaining/k, so one slow
+// instance cannot starve the rest of the sweep. Inert deadlines pass
+// through untouched.
+IlpSolveOptions apportion_deadline(const IlpSolveOptions& base,
+                                   size_t points_left) {
+  if (!base.deadline.finite() || points_left == 0) return base;
+  IlpSolveOptions o = base;
+  const double share = std::max(0.0, base.deadline.remaining_sec()) /
+                       static_cast<double>(points_left);
+  o.deadline =
+      robust::Deadline::sooner(base.deadline, robust::Deadline::after(share));
+  o.time_limit_sec = std::min(o.time_limit_sec, std::max(share, 1e-3));
+  return o;
+}
+
+// The heuristic rung of the fallback ladder: cheapest simulator-validated
+// baseline schedule that fits the budget. Checkpoint-all first (the safe
+// anchor: minimal retention), then the Chen sqrt(n) family and greedy
+// variants, then budget-aware retention caps for the tight-budget regime.
+// None of these touch the LP machinery, so they survive every numerical
+// failure and fault schedule the solver can hit.
+std::optional<ScheduleResult> heuristic_fallback(const RematProblem& problem,
+                                                 double budget_bytes) {
+  std::optional<ScheduleResult> best;
+  auto offer = [&](const RematSolution& sol) {
+    ScheduleResult eval = evaluate_schedule_against(problem, sol, budget_bytes);
+    if (!eval.feasible) return;
+    if (!best || eval.cost < best->cost) best = std::move(eval);
+  };
+  offer(baselines::checkpoint_all_schedule(problem));
+  using baselines::BaselineKind;
+  for (auto kind : {BaselineKind::kChenSqrtN, BaselineKind::kLinearizedSqrtN,
+                    BaselineKind::kLinearizedGreedy, BaselineKind::kApGreedy}) {
+    for (const auto& bs : baselines::baseline_schedules(problem, kind))
+      offer(bs.solution);
+  }
+  const double headroom = budget_bytes - problem.fixed_overhead;
+  for (double frac : {0.95, 0.85, 0.75, 0.6, 0.45, 0.3, 0.2, 0.12, 0.06, 0.03})
+    offer(baselines::budget_aware_schedule(problem, frac * headroom));
+  if (best) best->message = "plan service: heuristic fallback";
+  return best;
+}
+
 }  // namespace
+
+const char* to_string(PlanProvenance provenance) {
+  switch (provenance) {
+    case PlanProvenance::kProvenOptimal: return "proven_optimal";
+    case PlanProvenance::kIncumbent: return "incumbent";
+    case PlanProvenance::kHeuristicFallback: return "heuristic_fallback";
+    case PlanProvenance::kInfeasible: return "infeasible";
+  }
+  return "unknown";
+}
 
 PlanService::PlanService(PlanServiceOptions options)
     : opts_(options), cache_(options.max_cache_entries) {}
@@ -93,7 +159,7 @@ ScheduleResult PlanService::solve_locked(CacheEntry& entry,
   }
   const RematProblem& problem = entry.problem;
   if (budget_bytes < problem.memory_floor())
-    return infeasible_result("budget below structural memory floor");
+    return floor_infeasible(problem);
 
   // A chained schedule's memory use is budget-independent, so it is
   // feasible here iff its simulated peak fits this budget. (The chain is
@@ -212,7 +278,7 @@ ScheduleResult PlanService::plan(const RematProblem& problem,
   if (budget_bytes <= 0.0 || budget_bytes < problem.memory_floor()) {
     std::lock_guard lock(stats_mu_);
     ++stats_.queries;
-    return infeasible_result("budget below structural memory floor");
+    return floor_infeasible(problem);
   }
   auto entry = acquire(problem, budget_bytes, options);
   std::lock_guard lock(entry->mu);
@@ -238,8 +304,7 @@ std::vector<ScheduleResult> PlanService::sweep(
   });
   const double max_budget = budgets[order.front()];
   if (max_budget <= 0.0) {
-    for (auto& r : out)
-      r = infeasible_result("budget below structural memory floor");
+    for (auto& r : out) r = floor_infeasible(problem);
     std::lock_guard lock(stats_mu_);
     stats_.queries += static_cast<int64_t>(budgets.size());
     return out;
@@ -251,9 +316,14 @@ std::vector<ScheduleResult> PlanService::sweep(
   // the artifacts through the U-bound clamp.
   ensure_presolve(*entry, max_budget, options);
   // Sweep points share one cache entry and run serially, so each solve
-  // gets the full budget as tree workers.
-  for (size_t idx : order)
-    out[idx] = solve_locked(*entry, budgets[idx], options, thread_budget());
+  // gets the full budget as tree workers. A finite query deadline is
+  // re-apportioned before every point (remaining / points left).
+  size_t left = order.size();
+  for (size_t idx : order) {
+    out[idx] = solve_locked(*entry, budgets[idx],
+                            apportion_deadline(options, left), thread_budget());
+    --left;
+  }
   return out;
 }
 
@@ -278,7 +348,7 @@ std::vector<ScheduleResult> PlanService::plan_many(
     }
     if (q.budget_bytes <= 0.0 ||
         q.budget_bytes < q.problem->memory_floor()) {
-      out[i] = infeasible_result("budget below structural memory floor");
+      out[i] = floor_infeasible(*q.problem);
       std::lock_guard lock(stats_mu_);
       ++stats_.queries;
       continue;
@@ -306,9 +376,15 @@ std::vector<ScheduleResult> PlanService::plan_many(
                            queries[order.front()].options);
       std::lock_guard lock(entry->mu);
       ensure_presolve(*entry, g.max_budget, queries[order.front()].options);
-      for (size_t idx : order)
+      // Each query keeps its own deadline; a finite one is clamped to its
+      // share of what remains across this group's unfinished points.
+      size_t left = order.size();
+      for (size_t idx : order) {
         out[idx] = solve_locked(*entry, queries[idx].budget_bytes,
-                                queries[idx].options, tree_threads);
+                                apportion_deadline(queries[idx].options, left),
+                                tree_threads);
+        --left;
+      }
     } catch (const std::exception& e) {
       for (size_t idx : order)
         if (out[idx].message.empty())
@@ -347,6 +423,115 @@ std::vector<ScheduleResult> PlanService::plan_many(
     pool_->submit([&run_group, g, tree_threads] { run_group(*g, tree_threads); });
   }
   pool_->wait_idle();
+  return out;
+}
+
+PlanOutcome PlanService::plan_robust(const RematProblem& problem,
+                                     double budget_bytes,
+                                     const IlpSolveOptions& options) {
+  PlanOutcome out;
+  out.memory_floor_bytes = problem.memory_floor();
+  // Rung 0: the floor check is a proof -- nothing below can help.
+  if (budget_bytes <= 0.0 || budget_bytes < out.memory_floor_bytes) {
+    out.provenance = PlanProvenance::kInfeasible;
+    out.result = floor_infeasible(problem);
+    out.lower_bound = lp::kInf;
+    out.why_degraded = "budget below structural memory floor";
+    return out;
+  }
+
+  const double ideal = problem.total_cost_all_nodes();
+  std::string degradation;
+  bool proven_infeasible = false;
+
+  // Rungs 1-2: the MILP, unless the deadline is already gone or the query
+  // was cancelled (the search would only burn the fallback's time). Any
+  // exception out of the solver stack (injected faults, allocation
+  // failure) degrades to the heuristic rung instead of escaping.
+  if (options.deadline.expired() || options.cancel.cancelled()) {
+    degradation = options.cancel.cancelled()
+                      ? "query cancelled before the solve started"
+                      : "deadline expired before the solve started";
+  } else {
+    try {
+      ScheduleResult res = plan(problem, budget_bytes, options);
+      if (res.feasible) {
+        out.result = std::move(res);
+        out.lower_bound = std::max(ideal, out.result.best_bound);
+        out.gap = std::max(0.0, (out.result.cost - out.lower_bound) /
+                                    std::max(1e-12, out.result.cost));
+        if (out.result.milp_status == milp::MilpStatus::kOptimal) {
+          out.provenance = PlanProvenance::kProvenOptimal;
+        } else {
+          out.provenance = PlanProvenance::kIncumbent;
+          out.why_degraded = std::string("search truncated (") +
+                             milp::to_string(out.result.milp_status) +
+                             "): best incumbent returned";
+        }
+        return out;
+      }
+      if (res.proven_infeasible) {
+        proven_infeasible = true;
+        out.result = std::move(res);
+      } else {
+        degradation = res.message.empty() ? "MILP returned no plan"
+                                          : res.message;
+      }
+    } catch (const std::exception& e) {
+      degradation = std::string("solver failure: ") + e.what();
+    }
+  }
+
+  // A completed search *proved* no schedule fits; heuristics cannot beat a
+  // proof, so skip straight to the certificate.
+  if (proven_infeasible) {
+    out.provenance = PlanProvenance::kInfeasible;
+    out.lower_bound = lp::kInf;
+    out.why_degraded = "search proved the budget infeasible";
+    return out;
+  }
+
+  // Rung 3: heuristic fallback, every candidate simulator-validated
+  // against the budget before it can be returned.
+  if (auto fb = heuristic_fallback(problem, budget_bytes)) {
+    out.provenance = PlanProvenance::kHeuristicFallback;
+    out.result = std::move(*fb);
+    out.lower_bound = ideal;
+    out.gap = std::max(0.0, (out.result.cost - out.lower_bound) /
+                                std::max(1e-12, out.result.cost));
+    out.why_degraded = degradation;
+    return out;
+  }
+
+  // No rung produced a validated plan. Without a completed search this is
+  // not a proof, so the message says so; the floor stays as context.
+  out.provenance = PlanProvenance::kInfeasible;
+  out.result = infeasible_result(
+      "no plan found: search failed and no heuristic schedule fits");
+  out.lower_bound = ideal;
+  out.why_degraded = degradation;
+  return out;
+}
+
+std::vector<PlanOutcome> PlanService::sweep_robust(
+    const RematProblem& problem, const std::vector<double>& budgets,
+    const IlpSolveOptions& options) {
+  std::vector<PlanOutcome> out(budgets.size());
+  if (budgets.empty()) return out;
+  // Descending budget order keeps the cache chaining effective (each
+  // plan_robust call lands on the shared entry through plan()); the
+  // remaining deadline is re-apportioned before every point.
+  std::vector<size_t> order(budgets.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return budgets[a] > budgets[b];
+  });
+  size_t left = order.size();
+  for (size_t idx : order) {
+    out[idx] =
+        plan_robust(problem, budgets[idx], apportion_deadline(options, left));
+    --left;
+  }
   return out;
 }
 

@@ -88,6 +88,40 @@ struct PlanQuery {
   IlpSolveOptions options;
 };
 
+// Where a robust query's plan came from, in strictly degrading order. The
+// ladder can degrade but never fail: every rung returns a plan the
+// simulator validated against the budget, except kInfeasible, which is a
+// *proof* (structural memory floor, or a completed dense search) that no
+// plan exists.
+enum class PlanProvenance {
+  kProvenOptimal,      // MILP completed: optimal within the query's gap
+  kIncumbent,          // search truncated: best incumbent, true gap reported
+  kHeuristicFallback,  // cheapest validated baseline (checkpoint-all /
+                       // Chen sqrt(n) family / budget-aware retention)
+  kInfeasible,         // proven: no schedule fits the budget
+};
+
+const char* to_string(PlanProvenance provenance);
+
+// Result of a never-fail query: the plan plus the observability the
+// serving path needs -- how good the plan is proven to be and why it
+// degraded, if it did.
+struct PlanOutcome {
+  PlanProvenance provenance = PlanProvenance::kInfeasible;
+  ScheduleResult result;  // simulator-validated unless kInfeasible
+  // Sound lower bound on the optimal cost (problem cost units): the MILP
+  // bound when one survived, else the compute floor (every operation once).
+  double lower_bound = 0.0;
+  // (result.cost - lower_bound) / result.cost, clamped at >= 0.
+  double gap = 0.0;
+  // Human-readable reason the query degraded below kProvenOptimal; empty
+  // for proven-optimal answers.
+  std::string why_degraded;
+  // The structural memory floor: certificate when kInfeasible, context
+  // otherwise.
+  double memory_floor_bytes = 0.0;
+};
+
 class PlanService {
  public:
   explicit PlanService(PlanServiceOptions options = {});
@@ -113,6 +147,21 @@ class PlanService {
   // each group runs as a descending chained sweep. Results come back in
   // submission order.
   std::vector<ScheduleResult> plan_many(const std::vector<PlanQuery>& queries);
+
+  // Never-fail variants: the fallback ladder of PlanProvenance. A query
+  // whose MILP completes returns the proven optimum; a truncated search
+  // (deadline, work limits, cancellation) returns its best incumbent with
+  // the true gap; a search that produced nothing (or died on a fault)
+  // falls back to the cheapest simulator-validated baseline schedule; only
+  // a *proof* that no plan exists yields kInfeasible. Set
+  // options.deadline / options.cancel to bound the query; sweep_robust
+  // re-apportions the remaining deadline across its points so one slow
+  // instance cannot starve the rest.
+  PlanOutcome plan_robust(const RematProblem& problem, double budget_bytes,
+                          const IlpSolveOptions& options = {});
+  std::vector<PlanOutcome> sweep_robust(const RematProblem& problem,
+                                        const std::vector<double>& budgets,
+                                        const IlpSolveOptions& options = {});
 
   ServiceStats stats() const;
   size_t cache_size() const { return cache_.size(); }

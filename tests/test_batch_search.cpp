@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <stdexcept>
 
 #include "baselines/baselines.h"
 #include "core/plan.h"
@@ -38,6 +39,50 @@ TEST(MaxBatch, InfeasibleAtMinReturnsZero) {
   FeasibilityProbe probe = [](const RematProblem&) { return false; };
   auto res = max_batch_size(factory, probe);
   EXPECT_EQ(res.max_batch, 0);
+  EXPECT_TRUE(res.infeasible_at_min_batch);
+}
+
+TEST(MaxBatch, FloorAboveBudgetIsTypedWithCertificate) {
+  // A graph whose minimal footprint exceeds the budget at every batch
+  // size: the search returns the typed outcome with the min_batch
+  // instance's memory floor as the certificate, instead of garbage.
+  auto factory = unit_chain_factory(3);
+  const double budget = 1.5;  // below even the batch-1 working set
+  FeasibilityProbe probe = [budget](const RematProblem& p) {
+    return p.memory_floor() <= budget;
+  };
+  auto res = max_batch_size(factory, probe);
+  EXPECT_EQ(res.max_batch, 0);
+  EXPECT_TRUE(res.infeasible_at_min_batch);
+  EXPECT_GT(res.min_batch_memory_floor_bytes, budget);
+  EXPECT_DOUBLE_EQ(res.min_batch_memory_floor_bytes,
+                   factory(1).memory_floor());
+}
+
+TEST(MaxBatch, ThrowingProbeCountsAsInfeasibleNotCrash) {
+  // Probes that die (numerical failure, injected fault) must degrade to
+  // "infeasible at that batch", keeping the search monotone and alive.
+  auto factory = unit_chain_factory(3);
+  FeasibilityProbe probe = [](const RematProblem& p) -> bool {
+    if (p.memory[0] > 8.0) throw std::runtime_error("probe died");
+    return true;
+  };
+  MaxBatchOptions opts;
+  opts.max_batch = 1024;
+  auto res = max_batch_size(factory, probe, opts);
+  EXPECT_EQ(res.max_batch, 8);
+  EXPECT_FALSE(res.infeasible_at_min_batch);
+}
+
+TEST(MaxBatch, ThrowingFactoryAtMinBatchIsTyped) {
+  auto factory = [](int64_t) -> RematProblem {
+    throw std::runtime_error("factory died");
+  };
+  FeasibilityProbe probe = [](const RematProblem&) { return true; };
+  auto res = max_batch_size(factory, probe);
+  EXPECT_EQ(res.max_batch, 0);
+  EXPECT_TRUE(res.infeasible_at_min_batch);
+  EXPECT_DOUBLE_EQ(res.min_batch_memory_floor_bytes, 0.0);
 }
 
 TEST(MaxBatch, FeasibleEverywhereReturnsMax) {

@@ -114,6 +114,86 @@ TEST(Simulator, MemoryTraceAlignsWithStatements) {
   EXPECT_DOUBLE_EQ(peak, sim.peak_memory);
 }
 
+TEST(Simulator, StageOutOfRangeRejectedWithDiagnostic) {
+  auto p = RematProblem::unit_chain(2);
+  ExecutionPlan plan;
+  plan.num_registers = 2;
+  plan.statements.push_back({StatementKind::kCompute, 0, 0, 5});  // n == 2
+  auto sim = simulate_plan(p, plan);
+  EXPECT_FALSE(sim.valid);
+  EXPECT_NE(sim.error.find("stage"), std::string::npos);
+
+  plan.statements[0].stage = -1;
+  sim = simulate_plan(p, plan);
+  EXPECT_FALSE(sim.valid);
+  EXPECT_NE(sim.error.find("stage"), std::string::npos);
+}
+
+TEST(Simulator, NegativeRegisterCountRejectedWithDiagnostic) {
+  auto p = RematProblem::unit_chain(2);
+  ExecutionPlan plan;
+  plan.num_registers = -1;
+  auto sim = simulate_plan(p, plan);
+  EXPECT_FALSE(sim.valid);
+  EXPECT_NE(sim.error.find("register"), std::string::npos);
+}
+
+// Fuzz corpus: seeded mutations of a valid plan. Every mutant must either
+// simulate cleanly or be rejected with a diagnostic -- never crash, hang,
+// or report valid with broken state.
+TEST(Simulator, MutatedValidPlansNeverCrash) {
+  auto p = RematProblem::unit_training_chain(4);
+  const auto sol = baselines::checkpoint_all_schedule(p);
+  const ExecutionPlan valid = generate_execution_plan(p, sol);
+  ASSERT_TRUE(simulate_plan(p, valid).valid);
+
+  // splitmix64: deterministic corpus, no <random> distribution variance.
+  uint64_t state = 0x9e3779b97f4a7c15ULL;
+  auto next = [&state]() {
+    uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  };
+
+  int rejected = 0;
+  for (int trial = 0; trial < 400; ++trial) {
+    ExecutionPlan mutant = valid;
+    const size_t pos = next() % mutant.statements.size();
+    Statement& st = mutant.statements[pos];
+    switch (next() % 6) {
+      case 0: st.node = static_cast<NodeId>(next() % (p.size() + 4)) - 2;
+        break;
+      case 1: st.reg = static_cast<int>(next() % (mutant.num_registers + 4)) - 2;
+        break;
+      case 2: st.stage = static_cast<int>(next() % (p.size() + 4)) - 2; break;
+      case 3:
+        st.kind = st.kind == StatementKind::kCompute
+                      ? StatementKind::kDeallocate
+                      : StatementKind::kCompute;
+        break;
+      case 4:
+        mutant.statements.erase(mutant.statements.begin() +
+                                static_cast<long>(pos));
+        break;
+      case 5: {
+        const Statement dup = mutant.statements[pos];
+        mutant.statements.insert(
+            mutant.statements.begin() + static_cast<long>(pos), dup);
+        break;
+      }
+    }
+    const auto sim = simulate_plan(p, mutant);
+    if (!sim.valid) {
+      ++rejected;
+      EXPECT_FALSE(sim.error.empty()) << "rejection without diagnostic";
+    }
+  }
+  // Most mutations break the plan; the corpus must actually exercise the
+  // rejection paths, not accidentally keep every mutant valid.
+  EXPECT_GT(rejected, 100);
+}
+
 TEST(Simulator, TimelineShapeRetainVsRemat) {
   // Figure 1's shape: checkpoint-all climbs to a high peak; an aggressive
   // rematerialization schedule (few checkpoints) stays much lower.

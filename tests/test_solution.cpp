@@ -116,6 +116,54 @@ TEST(Solution, SpuriousCheckpointDroppedAtStageBoundary) {
   EXPECT_EQ(fs.stage_drop[2], std::vector<NodeId>{0});
 }
 
+TEST(Solution, RaggedRowsRejectedWithDiagnostic) {
+  // Malformed R/S matrices must produce a diagnostic, never an
+  // out-of-bounds read inside the constraint checks.
+  const int n = 3;
+  auto p = RematProblem::unit_chain(n);
+  auto sol = keep_all(n);
+  ASSERT_EQ(sol.check_feasible(p), "");
+
+  auto short_r = sol;
+  short_r.R[1].pop_back();
+  EXPECT_NE(short_r.check_feasible(p).find("malformed"), std::string::npos);
+
+  auto long_s = sol;
+  long_s.S[2].push_back(0);
+  EXPECT_NE(long_s.check_feasible(p).find("malformed"), std::string::npos);
+
+  auto empty_row = sol;
+  empty_row.R[0].clear();
+  EXPECT_NE(empty_row.check_feasible(p).find("malformed"), std::string::npos);
+}
+
+TEST(Solution, DependencyComputedAfterUseRejected) {
+  // Stage 1 computes node 1 whose dependency (node 0) is neither resident
+  // nor recomputed in that stage: the (1b) check must name the pair.
+  const int n = 3;
+  auto p = RematProblem::unit_chain(n);
+  RematSolution sol;
+  sol.R = make_bool_matrix(n, n);
+  sol.S = make_bool_matrix(n, n);
+  for (int t = 0; t < n; ++t) sol.R[t][t] = 1;
+  const std::string err = sol.check_feasible(p);
+  EXPECT_NE(err.find("(1b)"), std::string::npos);
+}
+
+TEST(Solution, RetainedButNeverComputedRejected) {
+  // Node 0 is dead throughout stage 2 (not checkpointed in, not
+  // recomputed), yet stage 3 claims to retain it -- the (1c) check must
+  // reject the phantom checkpoint. Stage 2 itself stays legal: node 2
+  // only needs node 1, which is checkpointed.
+  const int n = 4;
+  auto p = RematProblem::unit_chain(n);
+  auto sol = keep_all(n);
+  sol.S[2][0] = 0;  // dead during stage 2 ...
+  ASSERT_EQ(sol.S[3][0], 1);  // ... yet keep_all retains it into stage 3
+  const std::string err = sol.check_feasible(p);
+  EXPECT_NE(err.find("(1c)"), std::string::npos);
+}
+
 TEST(Solution, RenderScheduleShape) {
   auto sol = keep_all(3);
   const std::string art = render_schedule(sol);
