@@ -1,0 +1,324 @@
+// Heavy-traffic benchmark for the plan service's admission layer: a
+// synthetic query log (a handful of models x a budget grid, drawn with a
+// seeded generator so the mix is reproducible) replayed through
+// plan_robust, three ways:
+//
+//   cold     fresh service + empty store: every distinct (problem, budget)
+//            pays its one solve, repeats ride the in-memory chain/store;
+//   restart  fresh service on the store the cold phase populated: the
+//            whole log must be served from disk -- proven optima, zero
+//            solver work, disk-bound p50/p99;
+//   herd     N threads fire the identical query at once: single-flight
+//            must collapse the thundering herd onto exactly one solve.
+//
+// Per phase: p50/p99 query latency, total solver nodes, and the
+// served-without-solve rate ((queries - solves) / queries -- the
+// deterministic hit-rate metric: whether a non-solving query was served
+// by the store or by coalescing is timing-dependent, their sum is not).
+//
+//   service_bench [--json[=PATH]] [--queries=N] [--gap=G]
+//
+// --json writes BENCH_service.json (committed as the regression baseline;
+// scripts/check.sh replays the bench and gates p50/p99, node counts and
+// the served rate via scripts/compare_bench.py).
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "checkmate.h"
+#include "store/plan_store.h"
+
+namespace {
+
+using namespace checkmate;
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+// splitmix64: the log must be identical run to run and machine to machine.
+uint64_t mix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+struct Query {
+  const RematProblem* problem;
+  double budget;
+};
+
+struct Instance {
+  std::string name;
+  RematProblem problem;
+};
+
+std::vector<Instance> make_instances() {
+  std::vector<Instance> out;
+  out.push_back({"chain8", RematProblem::unit_training_chain(8)});
+  out.push_back({"chain10", RematProblem::unit_training_chain(10)});
+  out.push_back({"linear_net",
+                 RematProblem::from_dnn(
+                     model::make_training_graph(model::zoo::linear_net(6, 4, 8, 8)),
+                     model::CostMetric::kProfiledTimeUs)});
+  return out;
+}
+
+// The synthetic log: `count` queries over instances x a 6-point budget
+// grid (all above the 0.42 span fraction where every point proves within
+// the gap in milliseconds -- see sweep_bench). 18 distinct requests under
+// heavy repetition: real serving traffic re-asks the same few plans.
+std::vector<Query> make_log(const std::vector<Instance>& instances,
+                            int count) {
+  constexpr double kFracs[] = {0.45, 0.55, 0.65, 0.75, 0.85, 0.95};
+  std::vector<Query> log;
+  log.reserve(count);
+  uint64_t rng = 0x0123456789abcdefULL;
+  for (int i = 0; i < count; ++i) {
+    const auto& inst = instances[mix64(rng) % instances.size()];
+    const double floor = inst.problem.memory_floor();
+    const double span = inst.problem.total_memory() - floor;
+    const double frac = kFracs[mix64(rng) % (sizeof(kFracs) / sizeof(double))];
+    log.push_back({&inst.problem, floor + frac * span});
+  }
+  return log;
+}
+
+struct PhaseResult {
+  std::string phase;
+  int queries = 0;
+  int threads = 1;
+  int64_t solves = 0;  // queries that reached the MILP (ServiceStats::queries)
+  int64_t nodes = 0;   // total branch-and-bound nodes across the phase
+  int64_t store_puts = 0;
+  int64_t store_hits = 0;
+  int64_t shared = 0;  // single-flight followers served a leader's outcome
+  double wall_seconds = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  bool all_served = true;  // every outcome a validated plan
+  double served_without_solve_rate = 0.0;
+};
+
+double percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const size_t idx = std::min(v.size() - 1,
+                              static_cast<size_t>(p * (v.size() - 1) + 0.5));
+  return v[idx];
+}
+
+void finalize(PhaseResult& r, std::vector<double>& latencies_ms,
+              const service::ServiceStats& stats) {
+  r.solves = stats.queries;
+  r.store_puts = stats.store_puts;
+  r.store_hits = stats.store_hits;
+  r.shared = stats.single_flight_shared;
+  r.p50_ms = percentile(latencies_ms, 0.50);
+  r.p99_ms = percentile(latencies_ms, 0.99);
+  r.served_without_solve_rate =
+      r.queries == 0
+          ? 0.0
+          : static_cast<double>(r.queries - r.solves) / r.queries;
+}
+
+PhaseResult run_replay(const char* name, const std::vector<Query>& log,
+                       const service::PlanServiceOptions& sopts,
+                       const IlpSolveOptions& opts) {
+  PhaseResult r;
+  r.phase = name;
+  r.queries = static_cast<int>(log.size());
+  service::PlanService svc(sopts);
+  std::vector<double> latencies;
+  latencies.reserve(log.size());
+  int64_t nodes = 0;
+  const auto start = Clock::now();
+  for (const Query& q : log) {
+    const auto qs = Clock::now();
+    const service::PlanOutcome out = svc.plan_robust(*q.problem, q.budget, opts);
+    latencies.push_back(ms_since(qs));
+    nodes += out.result.nodes;
+    r.all_served = r.all_served && out.result.feasible;
+  }
+  r.wall_seconds = ms_since(start) / 1e3;
+  r.nodes = nodes;
+  finalize(r, latencies, svc.stats());
+  return r;
+}
+
+PhaseResult run_herd(const std::vector<Instance>& instances, int threads,
+                     const service::PlanServiceOptions& sopts,
+                     const IlpSolveOptions& opts) {
+  PhaseResult r;
+  r.phase = "herd";
+  r.queries = threads;
+  r.threads = threads;
+  const RematProblem& p = instances[0].problem;
+  const double floor = p.memory_floor();
+  const double budget = floor + 0.55 * (p.total_memory() - floor);
+
+  service::PlanService svc(sopts);
+  std::vector<double> latencies(threads, 0.0);
+  std::vector<int64_t> nodes(threads, 0);
+  std::atomic<int> ready{0};
+  std::atomic<bool> ok{true};
+  std::vector<std::thread> herd;
+  herd.reserve(threads);
+  const auto start = Clock::now();
+  for (int t = 0; t < threads; ++t) {
+    herd.emplace_back([&, t] {
+      ready.fetch_add(1);
+      while (ready.load() < threads) std::this_thread::yield();
+      const auto qs = Clock::now();
+      const service::PlanOutcome out = svc.plan_robust(p, budget, opts);
+      latencies[t] = ms_since(qs);
+      nodes[t] = out.result.nodes;
+      if (!out.result.feasible ||
+          out.provenance != service::PlanProvenance::kProvenOptimal)
+        ok.store(false);
+    });
+  }
+  for (auto& th : herd) th.join();
+  r.wall_seconds = ms_since(start) / 1e3;
+  for (int64_t n : nodes) r.nodes += n;
+  r.all_served = ok.load();
+  finalize(r, latencies, svc.stats());
+  return r;
+}
+
+int run_suite(const std::string& json_path, int queries, double gap) {
+  IlpSolveOptions opts;
+  opts.time_limit_sec = 60.0;
+  opts.relative_gap = gap;
+
+  const auto instances = make_instances();
+  const auto log = make_log(instances, queries);
+
+  // Scratch store directory, removed on exit.
+  std::string store_dir;
+  {
+    std::string tmpl = (std::filesystem::temp_directory_path() /
+                        "checkmate_service_bench.XXXXXX")
+                           .string();
+    std::vector<char> buf(tmpl.begin(), tmpl.end());
+    buf.push_back('\0');
+    if (::mkdtemp(buf.data()) == nullptr) {
+      std::fprintf(stderr, "cannot create scratch store dir\n");
+      return 1;
+    }
+    store_dir = buf.data();
+  }
+
+  service::PlanServiceOptions sopts;
+  sopts.store_dir = store_dir;
+
+  std::vector<PhaseResult> phases;
+  phases.push_back(run_replay("cold", log, sopts, opts));
+  phases.push_back(run_replay("restart", log, sopts, opts));
+  // The herd must actually race for one solve, so it gets an empty store.
+  service::PlanServiceOptions herd_opts = sopts;
+  herd_opts.store_dir = store_dir + "/herd";
+  phases.push_back(run_herd(instances, 8, herd_opts, opts));
+
+  int exit_code = 0;
+  for (const PhaseResult& r : phases) {
+    if (!r.all_served) exit_code = 1;
+    std::fprintf(stderr,
+                 "%-8s queries %4d  solves %4lld  nodes %6lld  "
+                 "served-no-solve %5.1f%%  p50 %7.2fms  p99 %7.2fms  "
+                 "wall %6.2fs  %s\n",
+                 r.phase.c_str(), r.queries, static_cast<long long>(r.solves),
+                 static_cast<long long>(r.nodes),
+                 100.0 * r.served_without_solve_rate, r.p50_ms, r.p99_ms,
+                 r.wall_seconds, r.all_served ? "OK" : "UNSERVED QUERY");
+  }
+  // The restart phase is the store's reason to exist: it must not solve.
+  if (phases[1].solves != 0) {
+    std::fprintf(stderr,
+                 "FAIL: restart phase re-solved %lld queries (store did not "
+                 "serve)\n",
+                 static_cast<long long>(phases[1].solves));
+    exit_code = 1;
+  }
+  if (phases[2].solves != 1) {
+    std::fprintf(stderr,
+                 "FAIL: herd phase took %lld solves (single-flight broken)\n",
+                 static_cast<long long>(phases[2].solves));
+    exit_code = 1;
+  }
+
+  if (!json_path.empty()) {
+    FILE* f = std::fopen(json_path.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "cannot open %s for writing\n", json_path.c_str());
+      std::error_code ec;
+      std::filesystem::remove_all(store_dir, ec);
+      return 1;
+    }
+    std::fprintf(f, "{\n  \"benchmark\": \"service_bench\",\n");
+    std::fprintf(f, "  \"relative_gap\": %g,\n  \"queries\": %d,\n", gap,
+                 queries);
+    std::fprintf(f, "  \"phases\": [\n");
+    for (size_t i = 0; i < phases.size(); ++i) {
+      const PhaseResult& r = phases[i];
+      std::fprintf(
+          f,
+          "    {\"phase\": \"%s\", \"queries\": %d, \"threads\": %d, "
+          "\"solves\": %lld, \"nodes\": %lld,\n"
+          "     \"served_without_solve_rate\": %.4f, \"store_puts\": %lld, "
+          "\"store_hits\": %lld, \"single_flight_shared\": %lld,\n"
+          "     \"p50_ms\": %.3f, \"p99_ms\": %.3f, \"wall_seconds\": %.3f, "
+          "\"all_served\": %s}%s\n",
+          r.phase.c_str(), r.queries, r.threads,
+          static_cast<long long>(r.solves), static_cast<long long>(r.nodes),
+          r.served_without_solve_rate, static_cast<long long>(r.store_puts),
+          static_cast<long long>(r.store_hits),
+          static_cast<long long>(r.shared), r.p50_ms, r.p99_ms,
+          r.wall_seconds, r.all_served ? "true" : "false",
+          i + 1 < phases.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::fprintf(stderr, "wrote %s\n", json_path.c_str());
+  }
+
+  std::error_code ec;
+  std::filesystem::remove_all(store_dir, ec);
+  return exit_code;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  int queries = 120;
+  double gap = 1e-3;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json_path = "BENCH_service.json";
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else if (std::strncmp(argv[i], "--queries=", 10) == 0) {
+      queries = std::atoi(argv[i] + 10);
+      if (queries < 10) queries = 10;
+    } else if (std::strncmp(argv[i], "--gap=", 6) == 0) {
+      gap = std::atof(argv[i] + 6);
+    } else {
+      std::fprintf(stderr,
+                   "usage: service_bench [--json[=PATH]] [--queries=N] "
+                   "[--gap=G]\n");
+      return 1;
+    }
+  }
+  return run_suite(json_path, queries, gap);
+}

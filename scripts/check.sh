@@ -3,9 +3,11 @@
 # tier, then the benchmark regression gate.
 #
 #   CHECK_TIER=fast (default)  pre-merge: fast-labeled ctest tier + the
-#                              sweep-bench node-count gate
-#   CHECK_TIER=full            nightly: full ctest suite, sweep gate, and
-#                              the solver-bench gate (when google-benchmark
+#                              sweep-bench and service-bench gates
+#   CHECK_TIER=full            nightly: full ctest suite, TSan and
+#                              ASan+fault-injection (chaos/disk-fault)
+#                              stages, sweep and service gates, and the
+#                              solver-bench gate (when google-benchmark
 #                              is available)
 #   CHECKMATE_BENCH_GATE=off   skip the benchmark gates entirely
 #
@@ -46,25 +48,29 @@ if [ "$CHECK_TIER" = "full" ]; then
   cmake -B "$TSAN_DIR" -S . "${GENERATOR_FLAGS[@]}" \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo -DCHECKMATE_TSAN=ON
   cmake --build "$TSAN_DIR" -j \
-    --target test_milp_parallel test_plan_service test_simplex test_cuts
+    --target test_milp_parallel test_plan_service test_simplex test_cuts \
+             test_plan_store
   TSAN_OPTIONS="halt_on_error=1" ctest --test-dir "$TSAN_DIR" \
-    -R 'test_milp_parallel|test_plan_service|test_simplex|test_cuts' \
+    -R 'test_milp_parallel|test_plan_service|test_simplex|test_cuts|test_plan_store' \
     --output-on-failure
 fi
 
 # Nightly chaos stage: rebuild with AddressSanitizer+UBSan and the
 # deterministic fault-injection points compiled in, then run the chaos
-# tier -- zoo sweeps under each fault schedule and tight deadlines, with
-# every recovery path exercised. ASan turns a leaked register file or a
-# use-after-restore during recovery into a hard failure.
+# tier -- zoo sweeps under each fault schedule (solver faults AND the disk
+# fault points: torn store writes, read corruption, rename/fsync failures)
+# and tight deadlines, with every recovery path exercised. test_plan_store
+# carries the kill-mid-write/reload recovery cases, which only exist under
+# fault injection. ASan turns a leaked register file or a use-after-restore
+# during recovery into a hard failure.
 if [ "$CHECK_TIER" = "full" ]; then
   ASAN_DIR="${ASAN_BUILD_DIR:-build-asan}"
   cmake -B "$ASAN_DIR" -S . "${GENERATOR_FLAGS[@]}" \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo -DCHECKMATE_ASAN=ON \
     -DCHECKMATE_FAULT_INJECTION=ON
-  cmake --build "$ASAN_DIR" -j --target test_chaos test_robust
+  cmake --build "$ASAN_DIR" -j --target test_chaos test_robust test_plan_store
   ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
-    ctest --test-dir "$ASAN_DIR" -R 'test_chaos|test_robust' \
+    ctest --test-dir "$ASAN_DIR" -R 'test_chaos|test_robust|test_plan_store' \
     --output-on-failure
 fi
 
@@ -90,6 +96,13 @@ grep -q '</svg>' "$PLOT_TMP/stub.svg"
 "$BUILD_DIR/sweep_bench" --json="$BUILD_DIR/BENCH_sweep_fresh.json"
 python3 scripts/compare_bench.py BENCH_sweep.json \
   "$BUILD_DIR/BENCH_sweep_fresh.json"
+
+# Plan-store/admission gate: replay the synthetic traffic log and hold the
+# line on served-without-solve rate, solve counts (restart must stay at 0,
+# herd at exactly 1), node counts, and p50/p99 latency.
+"$BUILD_DIR/service_bench" --json="$BUILD_DIR/BENCH_service_fresh.json"
+python3 scripts/compare_bench.py BENCH_service.json \
+  "$BUILD_DIR/BENCH_service_fresh.json"
 
 if [ "$CHECK_TIER" = "full" ] && [ -x "$BUILD_DIR/micro_solver_bench" ]; then
   "$BUILD_DIR/micro_solver_bench" --json="$BUILD_DIR/BENCH_solver_fresh.json"

@@ -24,6 +24,19 @@ Handles both committed formats:
                      additionally fails if any fresh sweep point lost
                      proven optimality or the cold/cached objectives
                      diverged beyond the gap.
+  BENCH_service.json (service_bench --json): records keyed by
+                     (phase, replay), gated on total node counts plus the
+                     admission contracts: the served-without-solve rate of
+                     each phase must not drop more than --min-hit-drop
+                     below baseline, solve counts must not grow beyond a
+                     small absolute slack (a growth means the store or
+                     single-flight stopped absorbing traffic), the restart
+                     phase must stay at zero solves and the herd phase at
+                     exactly one, and p50/p99 latencies are gated at
+                     --max-wall-ratio x baseline plus --latency-slack-ms
+                     (additive slack: sub-millisecond baselines are pure
+                     scheduler noise, but a restart p99 that jumps to
+                     seconds means queries are re-solving).
 
 Rows present in only one of baseline/fresh are skipped with a warning, not
 failed: a PR that adds or retires a bench instance/config must not brick the
@@ -85,6 +98,11 @@ def sweep_records(doc):
     return out
 
 
+def service_records(doc):
+    return {(p["phase"], "replay"): (p["nodes"], p.get("wall_seconds"), None)
+            for p in doc["phases"]}
+
+
 def fmt_wall(base_secs, fresh_secs):
     if not base_secs or fresh_secs is None:
         return ""
@@ -109,6 +127,15 @@ def main():
     ap.add_argument("--wall-floor", type=float, default=0.05,
                     help="baseline seconds below which the wall gate is "
                          "skipped (sub-50ms rows are pure noise)")
+    ap.add_argument("--min-hit-drop", type=float, default=0.02,
+                    help="service bench: served-without-solve rate may drop "
+                         "at most this much below baseline")
+    ap.add_argument("--solve-slack", type=int, default=2,
+                    help="service bench: absolute growth in per-phase solve "
+                         "counts tolerated before failing")
+    ap.add_argument("--latency-slack-ms", type=float, default=50.0,
+                    help="service bench: additive p50/p99 slack on top of "
+                         "--max-wall-ratio x baseline")
     args = ap.parse_args()
 
     with open(args.baseline) as f:
@@ -126,6 +153,8 @@ def main():
         base, fresh = sweep_records(base_doc), sweep_records(fresh_doc)
     elif kind == "micro_solver_bench":
         base, fresh = solver_records(base_doc), solver_records(fresh_doc)
+    elif kind == "service_bench":
+        base, fresh = service_records(base_doc), service_records(fresh_doc)
     else:
         print(f"FAIL: unknown benchmark kind {kind!r}")
         return 1
@@ -249,6 +278,51 @@ def main():
                 failures.append(
                     f"{name}: cold/cached objectives diverged by "
                     f"{inst['max_cost_rel_diff']:.2e} (> gap {gap})")
+
+    if kind == "service_bench":
+        base_phases = {p["phase"]: p for p in base_doc["phases"]}
+        for p in fresh_doc["phases"]:
+            name = p["phase"]
+            rate = p.get("served_without_solve_rate", 0.0)
+            print(f"  {name:44s} solves {p['solves']:>4d}  "
+                  f"served-no-solve {100.0 * rate:5.1f}%  "
+                  f"p50 {p['p50_ms']:8.2f}ms  p99 {p['p99_ms']:8.2f}ms")
+            if not p.get("all_served", False):
+                failures.append(f"{name}: a query went unserved (the "
+                                f"never-fail ladder broke)")
+            bp = base_phases.get(name)
+            if bp is None:
+                warnings.append(f"phase {name!r}: only in fresh run; "
+                                f"contract gates skipped")
+                continue
+            base_rate = bp.get("served_without_solve_rate", 0.0)
+            if rate < base_rate - args.min_hit_drop:
+                failures.append(
+                    f"{name}: served-without-solve rate {base_rate:.3f} -> "
+                    f"{rate:.3f} (dropped > {args.min_hit_drop}): the store "
+                    f"or single-flight stopped absorbing repeat traffic")
+            if p["solves"] > bp["solves"] + args.solve_slack:
+                failures.append(
+                    f"{name}: solve count {bp['solves']} -> {p['solves']} "
+                    f"(> +{args.solve_slack})")
+            for pct in ("p50_ms", "p99_ms"):
+                limit = (args.max_wall_ratio * bp[pct]
+                         + args.latency_slack_ms)
+                if p[pct] > limit:
+                    failures.append(
+                        f"{name}: {pct} {bp[pct]:.2f} -> {p[pct]:.2f} "
+                        f"(> {args.max_wall_ratio}x + "
+                        f"{args.latency_slack_ms}ms)")
+        # The two phases with exact, machine-independent contracts.
+        for p in fresh_doc["phases"]:
+            if p["phase"] == "restart" and p["solves"] != 0:
+                failures.append(
+                    f"restart: {p['solves']} solves (store must serve the "
+                    f"whole replay from disk)")
+            if p["phase"] == "herd" and p["solves"] != 1:
+                failures.append(
+                    f"herd: {p['solves']} solves (single-flight must "
+                    f"collapse the herd onto exactly one)")
 
     for msg in warnings:
         print(f"  WARNING: {msg}")

@@ -24,6 +24,23 @@ struct Hasher {
   }
 };
 
+// Append-only little-endian writer for serialize_canonical. Field order
+// mirrors Hasher usage in fingerprint() exactly.
+struct Writer {
+  std::string out;
+  void put_u64(uint64_t v) {
+    for (int b = 0; b < 8; ++b) out.push_back(static_cast<char>((v >> (8 * b)) & 0xff));
+  }
+  void put_i32(int32_t v) {
+    const uint32_t u = static_cast<uint32_t>(v);
+    for (int b = 0; b < 4; ++b) out.push_back(static_cast<char>((u >> (8 * b)) & 0xff));
+  }
+  void put_f64(double v) {
+    put_u64(std::bit_cast<uint64_t>(v == 0.0 ? 0.0 : v));
+  }
+  void put_u8(uint8_t v) { out.push_back(static_cast<char>(v)); }
+};
+
 }  // namespace
 
 double RematProblem::total_cost_all_nodes() const {
@@ -82,6 +99,24 @@ uint64_t RematProblem::fingerprint() const {
   for (uint8_t b : is_backward) hash.mix(static_cast<uint64_t>(b));
   for (NodeId g : grad_of) hash.mix(static_cast<uint64_t>(g));
   return hash.h;
+}
+
+std::string RematProblem::serialize_canonical() const {
+  Writer w;
+  w.out.reserve(16 + 8 * static_cast<size_t>(graph.num_edges()) +
+                21 * static_cast<size_t>(size()) + 8);
+  w.put_u64(static_cast<uint64_t>(size()));
+  w.put_u64(static_cast<uint64_t>(graph.num_edges()));
+  for (const Edge& e : graph.edges()) {
+    w.put_i32(e.src);
+    w.put_i32(e.dst);
+  }
+  for (double c : cost) w.put_f64(c);
+  for (double m : memory) w.put_f64(m);
+  w.put_f64(fixed_overhead);
+  for (uint8_t b : is_backward) w.put_u8(b);
+  for (NodeId g : grad_of) w.put_i32(g);
+  return std::move(w.out);
 }
 
 void RematProblem::validate() const {

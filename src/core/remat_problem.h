@@ -51,6 +51,17 @@ struct RematProblem {
   // service's formulation cache (src/service/formulation_cache.h).
   uint64_t fingerprint() const;
 
+  // Canonical byte encoding of exactly the content fingerprint() hashes
+  // (same field order, same -0.0 normalization; names excluded). Two
+  // problems yield equal blobs iff they yield identical formulations, so
+  // blob equality is the hard collision guard behind the 64-bit
+  // fingerprint wherever a wrong match must be impossible -- the disk
+  // plan store compares full blobs before serving a record
+  // (src/store/plan_store.h). Any change to this layout or to
+  // fingerprint() must bump store::kPlanStoreFormatVersion and regenerate
+  // tests/data/fingerprints.golden.
+  std::string serialize_canonical() const;
+
   void validate() const;
 
   // Builds an instance from a training graph produced by

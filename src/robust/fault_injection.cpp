@@ -9,6 +9,10 @@ const char* to_string(FaultPoint point) {
     case FaultPoint::kCutRowAppend: return "cut_row_append";
     case FaultPoint::kSparseAlloc: return "sparse_alloc";
     case FaultPoint::kWorkerStall: return "worker_stall";
+    case FaultPoint::kStoreWriteTorn: return "store_write_torn";
+    case FaultPoint::kStoreReadCorrupt: return "store_read_corrupt";
+    case FaultPoint::kStoreRenameFail: return "store_rename_fail";
+    case FaultPoint::kFsyncFail: return "fsync_fail";
     case FaultPoint::kNumFaultPoints: break;
   }
   return "unknown";

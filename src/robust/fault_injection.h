@@ -27,6 +27,17 @@ enum class FaultPoint {
   kCutRowAppend,        // SparseMatrix::append_rows allocation failure
   kSparseAlloc,         // SparseMatrix construction allocation failure
   kWorkerStall,         // a tree-search worker stalls for a few ms
+  // Disk fault points for the plan store (src/store/plan_store.cpp). Each
+  // models a distinct failure the crash-safe write/read protocol must
+  // absorb: a torn write leaves a truncated record behind a successful
+  // rename (kill-mid-write), a read returns bit-flipped bytes, rename or
+  // fsync fail outright (full disk, dying device). Writes degrade to a
+  // skipped persist, reads to a quarantined record + cache miss -- never
+  // to a failed or wrong answer.
+  kStoreWriteTorn,      // record payload truncated mid-write, rename "succeeds"
+  kStoreReadCorrupt,    // a payload byte flips between disk and checksum
+  kStoreRenameFail,     // atomic rename into place fails
+  kFsyncFail,           // fsync of the temp file fails
   kNumFaultPoints,
 };
 

@@ -1,12 +1,16 @@
 #include "service/plan_service.h"
 
 #include <algorithm>
+#include <bit>
+#include <chrono>
+#include <condition_variable>
 #include <numeric>
 #include <stdexcept>
 #include <thread>
 #include <unordered_map>
 
 #include "baselines/baselines.h"
+#include "store/plan_store.h"
 
 namespace checkmate::service {
 
@@ -73,7 +77,88 @@ std::optional<ScheduleResult> heuristic_fallback(const RematProblem& problem,
   return best;
 }
 
+// Rungs 3-4 of the ladder as a standalone outcome: the cheapest validated
+// heuristic schedule, or -- only when no heuristic fits -- a non-proof
+// kInfeasible. Used both by the ladder tail and by admission paths that
+// must answer without a solve (overload shedding, a coalesced follower
+// whose deadline expired while waiting).
+PlanOutcome heuristic_or_infeasible(const RematProblem& problem,
+                                    double budget_bytes,
+                                    std::string degradation) {
+  PlanOutcome out;
+  out.memory_floor_bytes = problem.memory_floor();
+  const double ideal = problem.total_cost_all_nodes();
+  if (auto fb = heuristic_fallback(problem, budget_bytes)) {
+    out.provenance = PlanProvenance::kHeuristicFallback;
+    out.result = std::move(*fb);
+    out.lower_bound = ideal;
+    out.gap = std::max(0.0, (out.result.cost - out.lower_bound) /
+                                std::max(1e-12, out.result.cost));
+    out.why_degraded = std::move(degradation);
+    return out;
+  }
+  out.provenance = PlanProvenance::kInfeasible;
+  out.result = infeasible_result(
+      "no plan found: search failed and no heuristic schedule fits");
+  out.lower_bound = ideal;
+  out.why_degraded = std::move(degradation);
+  return out;
+}
+
+// The formulation-shape half of a store key, mirrored from the query
+// options exactly as FormulationKey builds it.
+store::StoreShape shape_of(const IlpSolveOptions& options) {
+  store::StoreShape shape;
+  shape.partitioned = options.partitioned;
+  shape.eliminate_diag_free = options.eliminate_diag_free;
+  shape.formulation = options.formulation;
+  shape.has_cost_cap = options.cost_cap.has_value();
+  shape.cost_cap = options.cost_cap.value_or(0.0);
+  return shape;
+}
+
+// 64-bit routing key for single-flight: problem fingerprint x shape x
+// budget x gap, splitmix-style. Collisions are possible and harmless --
+// joiners re-verify the canonical blob and the scalar fields before
+// sharing a flight.
+uint64_t request_key(uint64_t fingerprint, const store::StoreShape& shape,
+                     double budget_bytes, double relative_gap) {
+  auto mix = [](uint64_t h, uint64_t v) {
+    uint64_t z = h ^ (v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2));
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  };
+  uint64_t h = fingerprint;
+  h = mix(h, (uint64_t(shape.partitioned) << 2) |
+                 (uint64_t(shape.eliminate_diag_free) << 1) |
+                 uint64_t(shape.has_cost_cap));
+  h = mix(h, static_cast<uint64_t>(shape.formulation));
+  h = mix(h, std::bit_cast<uint64_t>(shape.cost_cap == 0.0 ? 0.0
+                                                           : shape.cost_cap));
+  h = mix(h, std::bit_cast<uint64_t>(budget_bytes == 0.0 ? 0.0
+                                                         : budget_bytes));
+  h = mix(h, std::bit_cast<uint64_t>(relative_gap == 0.0 ? 0.0
+                                                         : relative_gap));
+  return h;
+}
+
 }  // namespace
+
+// One in-flight plan_robust solve (see plan_service.h). `done` flips to
+// true exactly once, under `mu`, after `outcome` is fully written; the
+// identity fields are immutable after construction.
+struct PlanService::Flight {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  PlanOutcome outcome;
+  // Request identity beyond the 64-bit routing key:
+  std::string blob;  // canonical problem content
+  store::StoreShape shape;
+  double budget_bytes = 0.0;
+  double relative_gap = 0.0;
+};
 
 const char* to_string(PlanProvenance provenance) {
   switch (provenance) {
@@ -86,7 +171,18 @@ const char* to_string(PlanProvenance provenance) {
 }
 
 PlanService::PlanService(PlanServiceOptions options)
-    : opts_(options), cache_(options.max_cache_entries) {}
+    : opts_(options), cache_(options.max_cache_entries) {
+  if (!opts_.store_dir.empty()) {
+    // Store construction recovers whatever a previous process left behind
+    // (quarantining corrupt records); an unusable directory disables
+    // persistence rather than failing the service.
+    try {
+      store_ = std::make_unique<store::PlanStore>(opts_.store_dir);
+    } catch (const std::exception&) {
+      store_.reset();
+    }
+  }
+}
 
 int PlanService::thread_budget() const {
   if (opts_.num_threads > 0) return opts_.num_threads;
@@ -140,7 +236,8 @@ void PlanService::ensure_presolve(CacheEntry& entry,
 ScheduleResult PlanService::solve_locked(CacheEntry& entry,
                                          double budget_bytes,
                                          const IlpSolveOptions& options_in,
-                                         int tree_threads) {
+                                         int tree_threads,
+                                         double known_lower_bound) {
   // The query's share of the service thread budget feeds the in-solve
   // parallel tree search unless the caller pinned num_threads explicitly.
   // Either way the answer is identical (epoch-lockstep determinism); only
@@ -224,6 +321,10 @@ ScheduleResult PlanService::solve_locked(CacheEntry& entry,
       entry.chain_solution.has_value() &&
       budget_bytes <= entry.chain_budget_bytes)
     reuse.known_lower_bound_cost = entry.chain_best_bound;
+  // An externally proven bound (a store-carried staircase dual bound) is
+  // just as sound; take the tighter of the two.
+  reuse.known_lower_bound_cost =
+      std::max(reuse.known_lower_bound_cost, known_lower_bound);
 
   lp::LinearProgram clamped;
   if (options.presolve && opts_.reuse_presolve && entry.has_presolve) {
@@ -275,6 +376,13 @@ ScheduleResult PlanService::solve_locked(CacheEntry& entry,
 ScheduleResult PlanService::plan(const RematProblem& problem,
                                  double budget_bytes,
                                  const IlpSolveOptions& options) {
+  return plan_internal(problem, budget_bytes, options, -lp::kInf);
+}
+
+ScheduleResult PlanService::plan_internal(const RematProblem& problem,
+                                          double budget_bytes,
+                                          const IlpSolveOptions& options,
+                                          double known_lower_bound) {
   if (budget_bytes <= 0.0 || budget_bytes < problem.memory_floor()) {
     std::lock_guard lock(stats_mu_);
     ++stats_.queries;
@@ -283,7 +391,8 @@ ScheduleResult PlanService::plan(const RematProblem& problem,
   auto entry = acquire(problem, budget_bytes, options);
   std::lock_guard lock(entry->mu);
   // A lone query owns the whole budget.
-  return solve_locked(*entry, budget_bytes, options, thread_budget());
+  return solve_locked(*entry, budget_bytes, options, thread_budget(),
+                      known_lower_bound);
 }
 
 std::vector<ScheduleResult> PlanService::sweep(
@@ -320,8 +429,9 @@ std::vector<ScheduleResult> PlanService::sweep(
   // re-apportioned before every point (remaining / points left).
   size_t left = order.size();
   for (size_t idx : order) {
-    out[idx] = solve_locked(*entry, budgets[idx],
-                            apportion_deadline(options, left), thread_budget());
+    out[idx] =
+        solve_locked(*entry, budgets[idx], apportion_deadline(options, left),
+                     thread_budget(), -lp::kInf);
     --left;
   }
   return out;
@@ -382,7 +492,7 @@ std::vector<ScheduleResult> PlanService::plan_many(
       for (size_t idx : order) {
         out[idx] = solve_locked(*entry, queries[idx].budget_bytes,
                                 apportion_deadline(queries[idx].options, left),
-                                tree_threads);
+                                tree_threads, -lp::kInf);
         --left;
       }
     } catch (const std::exception& e) {
@@ -429,16 +539,197 @@ std::vector<ScheduleResult> PlanService::plan_many(
 PlanOutcome PlanService::plan_robust(const RematProblem& problem,
                                      double budget_bytes,
                                      const IlpSolveOptions& options) {
-  PlanOutcome out;
-  out.memory_floor_bytes = problem.memory_floor();
-  // Rung 0: the floor check is a proof -- nothing below can help.
-  if (budget_bytes <= 0.0 || budget_bytes < out.memory_floor_bytes) {
+  // Rung 0: the floor check is a proof -- nothing below can help, so it
+  // runs ahead of every admission mechanism (a certificate needs no
+  // dedup, no store and no solve slot).
+  if (budget_bytes <= 0.0 || budget_bytes < problem.memory_floor()) {
+    PlanOutcome out;
+    out.memory_floor_bytes = problem.memory_floor();
     out.provenance = PlanProvenance::kInfeasible;
     out.result = floor_infeasible(problem);
     out.lower_bound = lp::kInf;
     out.why_degraded = "budget below structural memory floor";
     return out;
   }
+
+  if (!opts_.single_flight)
+    return serve_or_solve(problem, budget_bytes, options);
+
+  // Single-flight admission: identical concurrent queries coalesce onto
+  // one solve. Identity is the full request content -- canonical problem
+  // blob, formulation shape, budget, gap -- not just the 64-bit routing
+  // key. Queries differing only in solver knobs (deadline, threads) still
+  // share: followers keep their own deadline while waiting, and the
+  // shared outcome is at least as good as what their knobs would buy.
+  const store::StoreShape shape = shape_of(options);
+  std::string blob = problem.serialize_canonical();
+  const uint64_t key = request_key(problem.fingerprint(), shape, budget_bytes,
+                                   options.relative_gap);
+  std::shared_ptr<Flight> flight;
+  bool leader = false;
+  {
+    std::lock_guard lock(admission_mu_);
+    auto it = inflight_.find(key);
+    if (it != inflight_.end()) {
+      Flight& f = *it->second;
+      if (f.blob == blob && f.shape == shape &&
+          f.budget_bytes == budget_bytes &&
+          f.relative_gap == options.relative_gap)
+        flight = it->second;
+      // else: routing-key collision with different content -- solve solo.
+    } else {
+      flight = std::make_shared<Flight>();
+      flight->blob = std::move(blob);
+      flight->shape = shape;
+      flight->budget_bytes = budget_bytes;
+      flight->relative_gap = options.relative_gap;
+      inflight_.emplace(key, flight);
+      leader = true;
+    }
+  }
+
+  if (flight && !leader) {
+    // Follower: wait for the leader's outcome, but honour this query's
+    // own deadline/cancellation -- a 10ms poll bounds the exit latency
+    // without a per-deadline timer plumbing.
+    std::unique_lock fl(flight->mu);
+    while (!flight->done && !options.deadline.expired() &&
+           !options.cancel.cancelled())
+      flight->cv.wait_for(fl, std::chrono::milliseconds(10));
+    if (flight->done) {
+      PlanOutcome shared = flight->outcome;
+      fl.unlock();
+      std::lock_guard lock(stats_mu_);
+      ++stats_.single_flight_shared;
+      return shared;
+    }
+    fl.unlock();
+    // Deadline/cancel while coalesced: the never-fail contract still
+    // holds -- serve the heuristic rung rather than keep waiting.
+    return heuristic_or_infeasible(
+        problem, budget_bytes,
+        options.cancel.cancelled()
+            ? "query cancelled while coalesced behind an identical in-flight "
+              "solve"
+            : "deadline expired while coalesced behind an identical in-flight "
+              "solve");
+  }
+
+  PlanOutcome out = serve_or_solve(problem, budget_bytes, options);
+
+  if (leader) {
+    // Publish before erasing the flight: a follower that joined during
+    // the solve wakes to `done`; one that arrives after the erase misses
+    // the flight but hits the store (the put happened inside
+    // serve_or_solve, before this point), so it still does not re-solve.
+    {
+      std::lock_guard fl(flight->mu);
+      flight->outcome = out;
+      flight->done = true;
+    }
+    flight->cv.notify_all();
+    std::lock_guard lock(admission_mu_);
+    auto it = inflight_.find(key);
+    if (it != inflight_.end() && it->second == flight) inflight_.erase(it);
+  }
+  return out;
+}
+
+PlanOutcome PlanService::serve_or_solve(const RematProblem& problem,
+                                        double budget_bytes,
+                                        const IlpSolveOptions& options) {
+  const store::StoreShape shape = shape_of(options);
+
+  // Store lookup: a hit is byte-verified against this problem's canonical
+  // content and simulator re-validated inside the store before it gets
+  // here; what comes back is a proven optimum with zero solver work.
+  double staircase_bound = -lp::kInf;
+  if (store_) {
+    if (auto hit = store_->lookup(problem, shape, budget_bytes,
+                                  options.relative_gap, &staircase_bound)) {
+      PlanOutcome out;
+      out.memory_floor_bytes = problem.memory_floor();
+      out.provenance = PlanProvenance::kProvenOptimal;
+      out.result = std::move(*hit);
+      const double ideal = problem.total_cost_all_nodes();
+      out.lower_bound = std::max(ideal, out.result.best_bound);
+      out.gap = std::max(0.0, (out.result.cost - out.lower_bound) /
+                                  std::max(1e-12, out.result.cost));
+      std::lock_guard lock(stats_mu_);
+      ++stats_.store_hits;
+      return out;
+    }
+    std::lock_guard lock(stats_mu_);
+    ++stats_.store_misses;
+  }
+
+  // Bounded in-flight admission: take a solve slot or shed to the
+  // heuristic rung. Shedding is best-effort -- it must not manufacture an
+  // unproven infeasibility, so a query no heuristic can serve takes a
+  // slot over the cap rather than failing.
+  bool counted_slot = false;
+  if (opts_.max_inflight_solves > 0) {
+    bool have_slot = false;
+    {
+      std::lock_guard lock(admission_mu_);
+      if (active_solves_ < opts_.max_inflight_solves) {
+        ++active_solves_;
+        have_slot = counted_slot = true;
+      }
+    }
+    if (!have_slot) {
+      PlanOutcome shed = heuristic_or_infeasible(
+          problem, budget_bytes,
+          "admission overload: in-flight solve limit reached, heuristic "
+          "fallback served");
+      if (shed.provenance == PlanProvenance::kHeuristicFallback) {
+        std::lock_guard lock(stats_mu_);
+        ++stats_.shed_overload;
+        return shed;
+      }
+      std::lock_guard lock(admission_mu_);
+      ++active_solves_;
+      counted_slot = true;
+    }
+  }
+
+  PlanOutcome out;
+  try {
+    out = plan_robust_ladder(problem, budget_bytes, options, staircase_bound);
+  } catch (...) {
+    if (counted_slot) {
+      std::lock_guard lock(admission_mu_);
+      --active_solves_;
+    }
+    throw;  // the ladder itself never throws; belt and braces
+  }
+  if (counted_slot) {
+    std::lock_guard lock(admission_mu_);
+    --active_solves_;
+  }
+
+  // Persist proven optima before the caller publishes them (plan_robust
+  // erases the single-flight entry only after this returns, so late
+  // arrivals transition from flight-join to store-hit with no window in
+  // which they would re-solve). Failed writes are absorbed: the in-memory
+  // answer stands.
+  if (store_ && out.provenance == PlanProvenance::kProvenOptimal &&
+      out.result.feasible &&
+      out.result.milp_status == milp::MilpStatus::kOptimal) {
+    const bool ok = store_->put(problem, shape, budget_bytes,
+                                options.relative_gap, out.result);
+    std::lock_guard lock(stats_mu_);
+    ++(ok ? stats_.store_puts : stats_.store_put_failures);
+  }
+  return out;
+}
+
+PlanOutcome PlanService::plan_robust_ladder(const RematProblem& problem,
+                                            double budget_bytes,
+                                            const IlpSolveOptions& options,
+                                            double known_lower_bound) {
+  PlanOutcome out;
+  out.memory_floor_bytes = problem.memory_floor();
 
   const double ideal = problem.total_cost_all_nodes();
   std::string degradation;
@@ -454,7 +745,8 @@ PlanOutcome PlanService::plan_robust(const RematProblem& problem,
                       : "deadline expired before the solve started";
   } else {
     try {
-      ScheduleResult res = plan(problem, budget_bytes, options);
+      ScheduleResult res =
+          plan_internal(problem, budget_bytes, options, known_lower_bound);
       if (res.feasible) {
         out.result = std::move(res);
         out.lower_bound = std::max(ideal, out.result.best_bound);
@@ -491,26 +783,10 @@ PlanOutcome PlanService::plan_robust(const RematProblem& problem,
     return out;
   }
 
-  // Rung 3: heuristic fallback, every candidate simulator-validated
-  // against the budget before it can be returned.
-  if (auto fb = heuristic_fallback(problem, budget_bytes)) {
-    out.provenance = PlanProvenance::kHeuristicFallback;
-    out.result = std::move(*fb);
-    out.lower_bound = ideal;
-    out.gap = std::max(0.0, (out.result.cost - out.lower_bound) /
-                                std::max(1e-12, out.result.cost));
-    out.why_degraded = degradation;
-    return out;
-  }
-
-  // No rung produced a validated plan. Without a completed search this is
-  // not a proof, so the message says so; the floor stays as context.
-  out.provenance = PlanProvenance::kInfeasible;
-  out.result = infeasible_result(
-      "no plan found: search failed and no heuristic schedule fits");
-  out.lower_bound = ideal;
-  out.why_degraded = degradation;
-  return out;
+  // Rungs 3-4: heuristic fallback (every candidate simulator-validated
+  // against the budget), else a non-proof kInfeasible with the floor as
+  // context.
+  return heuristic_or_infeasible(problem, budget_bytes, std::move(degradation));
 }
 
 std::vector<PlanOutcome> PlanService::sweep_robust(

@@ -30,6 +30,26 @@
 //     models, or different formulation shapes) concurrently. Queries
 //     sharing a cache entry are serialized and chained instead.
 //
+// Admission control (plan_robust / sweep_robust only; plain plan() stays
+// a direct cache query):
+//
+//   - disk-backed plan store: with store_dir set, proven optima are
+//     persisted crash-safely (src/store/plan_store.h) and served across
+//     process restarts with zero solver work -- a store hit is
+//     byte-verified against the query's canonical problem content and
+//     simulator re-validated before it can be returned, so a corrupt
+//     record degrades to a miss, never to a wrong plan. Store-carried
+//     dual bounds also shortcut re-solves at nearby budgets;
+//   - single-flight deduplication: a thundering herd of identical
+//     concurrent queries (same problem content, shape, budget, gap)
+//     coalesces onto one solve; followers block on the leader's outcome
+//     (respecting their own deadlines) instead of duplicating the MILP;
+//   - bounded in-flight admission: max_inflight_solves > 0 caps the
+//     number of concurrent MILP ladders; overflow queries shed to the
+//     heuristic-fallback rung with why_degraded naming the overload
+//     instead of queueing without bound. Shedding never invents an
+//     infeasibility -- if no heuristic fits, the query takes a slot.
+//
 // Determinism: every query keeps its own MilpOptions -- including the
 // deterministic max_lp_iterations work limit -- and its own simplex
 // engine, so answers are independent of worker count and arrival order
@@ -38,12 +58,19 @@
 #pragma once
 
 #include <memory>
+#include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/remat_problem.h"
 #include "core/scheduler.h"
 #include "service/formulation_cache.h"
 #include "service/solve_pool.h"
+
+namespace checkmate::store {
+class PlanStore;
+struct StoreShape;
+}  // namespace checkmate::store
 
 namespace checkmate::service {
 
@@ -68,6 +95,15 @@ struct PlanServiceOptions {
   bool reuse_presolve = true;
   // Chain warm starts across budgets of the same problem.
   bool chain_warm_starts = true;
+  // Directory of the disk-backed plan store; empty disables persistence.
+  // Proven optima from plan_robust are written crash-safely and served --
+  // content-verified and simulator-validated -- across restarts.
+  std::string store_dir;
+  // Coalesce concurrent identical plan_robust queries onto one solve.
+  bool single_flight = true;
+  // Cap on concurrent plan_robust MILP ladders; overflow sheds to the
+  // heuristic fallback (why_degraded names the overload). 0 = unbounded.
+  size_t max_inflight_solves = 0;
 };
 
 struct ServiceStats {
@@ -80,6 +116,15 @@ struct ServiceStats {
   int64_t warm_starts_injected = 0;  // adjacent optima handed to B&B
   int64_t warm_start_shortcuts = 0;  // solves skipped: chained optimum at the compute floor
   int64_t evictions = 0;
+  // Admission-layer counters (plan_robust only). A store hit or a shared
+  // single-flight outcome does NOT count as a query: `queries` keeps its
+  // meaning of "solves the cache actually answered".
+  int64_t store_hits = 0;            // plans served from the disk store
+  int64_t store_misses = 0;          // store consulted, no serveable record
+  int64_t store_puts = 0;            // proven optima durably persisted
+  int64_t store_put_failures = 0;    // absorbed store write failures
+  int64_t single_flight_shared = 0;  // followers served a leader's outcome
+  int64_t shed_overload = 0;         // queries shed to the heuristic rung
 };
 
 struct PlanQuery {
@@ -166,8 +211,16 @@ class PlanService {
   ServiceStats stats() const;
   size_t cache_size() const { return cache_.size(); }
   void clear_cache() { cache_.clear(); }
+  // The disk-backed plan store, or nullptr when store_dir is empty.
+  store::PlanStore* plan_store() const { return store_.get(); }
 
  private:
+  // One in-flight plan_robust solve; followers with an identical query
+  // block on `cv` and share `outcome`. The key that routes to a Flight is
+  // a 64-bit hash; blob/budget/gap/shape are re-checked on join so a
+  // collision solves solo instead of sharing a stranger's plan.
+  struct Flight;
+
   std::shared_ptr<CacheEntry> acquire(const RematProblem& problem,
                                       double reference_budget_bytes,
                                       const IlpSolveOptions& options);
@@ -178,9 +231,26 @@ class PlanService {
   // Answers one query against a locked entry. `tree_threads` is this
   // query's share of the service thread budget; it only applies when the
   // query left IlpSolveOptions::num_threads at 0 (auto).
+  // `known_lower_bound` (-inf when absent) is an externally proven lower
+  // bound on this query's optimum -- e.g. a store-carried dual bound --
+  // merged into the solve's termination certificate.
   ScheduleResult solve_locked(CacheEntry& entry, double budget_bytes,
-                              const IlpSolveOptions& options,
-                              int tree_threads);
+                              const IlpSolveOptions& options, int tree_threads,
+                              double known_lower_bound);
+  // plan() with an external lower bound threaded through to solve_locked.
+  ScheduleResult plan_internal(const RematProblem& problem,
+                               double budget_bytes,
+                               const IlpSolveOptions& options,
+                               double known_lower_bound);
+  // The fallback ladder behind plan_robust, after the floor check and the
+  // admission layer (store lookup, single-flight, overload shedding).
+  PlanOutcome plan_robust_ladder(const RematProblem& problem,
+                                 double budget_bytes,
+                                 const IlpSolveOptions& options,
+                                 double known_lower_bound);
+  // Store lookup -> admission slot (or shed) -> ladder -> store put.
+  PlanOutcome serve_or_solve(const RematProblem& problem, double budget_bytes,
+                             const IlpSolveOptions& options);
   // The resolved service-wide thread budget (>= 1).
   int thread_budget() const;
 
@@ -188,6 +258,11 @@ class PlanService {
   FormulationCache cache_;
   std::mutex pool_mu_;               // guards pool_ creation
   std::unique_ptr<SolvePool> pool_;  // created lazily by plan_many
+
+  std::unique_ptr<store::PlanStore> store_;  // null unless store_dir set
+  std::mutex admission_mu_;  // guards inflight_ and active_solves_
+  std::unordered_map<uint64_t, std::shared_ptr<Flight>> inflight_;
+  size_t active_solves_ = 0;  // tracked only when max_inflight_solves > 0
 
   mutable std::mutex stats_mu_;
   ServiceStats stats_;

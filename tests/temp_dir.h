@@ -1,0 +1,44 @@
+// RAII per-test scratch directory under the system temp root.
+//
+// Store tests must not leak state between cases or runs: each test makes
+// its own TempDir, and the destructor removes the whole tree
+// unconditionally -- a failing (or throwing) test cleans up exactly like
+// a passing one, so a red run never poisons the next one's directory.
+#pragma once
+
+#include <cstdlib>
+#include <filesystem>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace checkmate::testing {
+
+class TempDir {
+ public:
+  explicit TempDir(const std::string& tag = "checkmate_test") {
+    const std::string tmpl =
+        (std::filesystem::temp_directory_path() / (tag + ".XXXXXX")).string();
+    std::vector<char> buf(tmpl.begin(), tmpl.end());
+    buf.push_back('\0');
+    if (::mkdtemp(buf.data()) == nullptr)
+      throw std::runtime_error("TempDir: mkdtemp failed for " + tmpl);
+    path_ = buf.data();
+  }
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path_, ec);  // best-effort, pass or fail
+  }
+  TempDir(const TempDir&) = delete;
+  TempDir& operator=(const TempDir&) = delete;
+
+  const std::string& path() const { return path_; }
+  std::string file(const std::string& name) const {
+    return (std::filesystem::path(path_) / name).string();
+  }
+
+ private:
+  std::string path_;
+};
+
+}  // namespace checkmate::testing

@@ -20,6 +20,8 @@
 #include "robust/deadline.h"
 #include "robust/fault_injection.h"
 #include "service/plan_service.h"
+#include "store/plan_store.h"
+#include "temp_dir.h"
 
 namespace checkmate {
 namespace {
@@ -55,8 +57,9 @@ void assert_outcome_contract(const RematProblem& p, double budget,
     EXPECT_FALSE(out.result.feasible);
     // Only ever claimed with a proof; the floor cases carry the
     // certificate.
-    if (out.result.proven_infeasible)
+    if (out.result.proven_infeasible) {
       EXPECT_GT(out.result.memory_floor_bytes, 0.0);
+    }
     return;
   }
   ASSERT_TRUE(out.result.feasible);
@@ -64,11 +67,15 @@ void assert_outcome_contract(const RematProblem& p, double budget,
   EXPECT_LE(out.result.peak_memory, budget + 1e-6);
   EXPECT_GE(out.result.cost, p.total_cost_all_nodes() - 1e-9);
   EXPECT_GE(out.gap, 0.0);
-  if (out.provenance != PlanProvenance::kProvenOptimal)
+  if (out.provenance != PlanProvenance::kProvenOptimal) {
     EXPECT_FALSE(out.why_degraded.empty());
+  }
 }
 
-void run_sweep_and_assert(const std::string& ctx, int num_threads) {
+// Only the fault-injection build's schedule sweeps call this; the plain
+// build compiles it anyway so the chaos suite stays one translation unit.
+[[maybe_unused]] void run_sweep_and_assert(const std::string& ctx,
+                                           int num_threads) {
   for (const RematProblem& p : chaos_instances()) {
     service::PlanService svc;
     IlpSolveOptions opts;
@@ -198,6 +205,79 @@ TEST_F(ChaosFaults, SingleThreadedChaosIsDeterministic) {
   EXPECT_EQ(a.result.nodes, b.result.nodes);
   EXPECT_EQ(a.result.lp_iterations, b.result.lp_iterations);
   EXPECT_EQ(a.why_degraded, b.why_degraded);
+}
+
+// Disk-fault schedules over the plan store's I/O paths: torn writes,
+// read corruption, rename and fsync failures, at partial and total
+// densities. Two boots per schedule -- populate under faults, then
+// restart on whatever the faults left on disk -- and EVERY query in both
+// boots must end in a served outcome (the contract above): a failed
+// write degrades to a skipped persist, a damaged record to a quarantine
+// plus re-solve, never to a crash or a wrong plan.
+TEST_F(ChaosFaults, DiskFaultSchedulesEndInServedOutcomes) {
+  using robust::FaultPoint;
+  const std::vector<FaultSchedule> schedules = {
+      {FaultPoint::kStoreWriteTorn, 61, 2, 0},
+      {FaultPoint::kStoreWriteTorn, 62, 1, 0},    // every write torn
+      {FaultPoint::kStoreReadCorrupt, 63, 2, 0},
+      {FaultPoint::kStoreReadCorrupt, 64, 1, 0},  // every read corrupt
+      {FaultPoint::kStoreRenameFail, 65, 2, 0},
+      {FaultPoint::kFsyncFail, 66, 1, 0},         // dying device
+  };
+  auto& inj = robust::FaultInjector::instance();
+  auto p = RematProblem::unit_training_chain(8);
+  const auto budgets = chaos_budgets(p);
+  for (const FaultSchedule& s : schedules) {
+    checkmate::testing::TempDir dir("checkmate_chaos_store");
+    for (int boot = 0; boot < 2; ++boot) {
+      inj.arm(s.point, s.seed + static_cast<uint64_t>(boot), s.period,
+              s.limit);
+      service::PlanServiceOptions sopts;
+      sopts.store_dir = dir.path();
+      service::PlanService svc(sopts);
+      const auto outcomes = svc.sweep_robust(p, budgets);
+      inj.disarm_all();
+      ASSERT_EQ(outcomes.size(), budgets.size());
+      for (size_t i = 0; i < outcomes.size(); ++i) {
+        assert_outcome_contract(p, budgets[i], outcomes[i],
+                                schedule_name(s) + " boot" +
+                                    std::to_string(boot) + " budget#" +
+                                    std::to_string(i));
+        if (budgets[i] >= p.memory_floor())
+          EXPECT_NE(outcomes[i].provenance, PlanProvenance::kInfeasible);
+      }
+    }
+  }
+}
+
+// The full composition: disk faults AND solver faults AND a deadline, on
+// a store that is corrupted between boots. The never-fail contract must
+// hold through all three layers at once.
+TEST_F(ChaosFaults, DiskAndSolverFaultsComposeUnderDeadline) {
+  using robust::FaultPoint;
+  auto& inj = robust::FaultInjector::instance();
+  auto p = RematProblem::unit_training_chain(8);
+  const auto budgets = chaos_budgets(p);
+  checkmate::testing::TempDir dir("checkmate_chaos_store");
+  for (int boot = 0; boot < 2; ++boot) {
+    inj.arm(FaultPoint::kLuFactorize, 71, 5, 0);
+    inj.arm(FaultPoint::kStoreWriteTorn, 72, 2, 0);
+    inj.arm(FaultPoint::kStoreReadCorrupt, 73, 2, 0);
+    service::PlanServiceOptions sopts;
+    sopts.store_dir = dir.path();
+    service::PlanService svc(sopts);
+    IlpSolveOptions opts;
+    opts.deadline = robust::Deadline::after(10.0);
+    const auto outcomes = svc.sweep_robust(p, budgets, opts);
+    inj.disarm_all();
+    for (size_t i = 0; i < outcomes.size(); ++i) {
+      assert_outcome_contract(p, budgets[i], outcomes[i],
+                              "compose boot" + std::to_string(boot) +
+                                  " budget#" + std::to_string(i));
+      if (budgets[i] >= p.memory_floor())
+        EXPECT_NE(outcomes[i].provenance, PlanProvenance::kInfeasible);
+    }
+  }
 }
 
 // A 100%-allocation-failure storm kills every LP the solver tries to

@@ -1,0 +1,190 @@
+// Golden fingerprint stability: the plan store keys disk records by
+// RematProblem::fingerprint() and verifies them by serialize_canonical(),
+// so either changing silently would orphan (or worse, misroute) every
+// record written by earlier builds. This suite pins both against a
+// committed golden file; a legitimate format change is a conscious act:
+//
+//   1. bump store::kPlanStoreFormatVersion (old records quarantine
+//      wholesale on load instead of being misparsed), then
+//   2. regenerate the golden:
+//        CHECKMATE_REGEN_FINGERPRINT_GOLDEN=1 ./test_fingerprint_golden
+//
+// The instances cover every field the hash mixes: sizes, edges, costs,
+// memories, fixed overhead, backward flags and grad_of links.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/remat_problem.h"
+#include "model/graph_builder.h"
+#include "model/zoo.h"
+#include "store/plan_store.h"
+
+namespace checkmate {
+namespace {
+
+#ifndef CHECKMATE_SOURCE_DIR
+#error "CHECKMATE_SOURCE_DIR must be defined by the build"
+#endif
+
+std::string golden_path() {
+  return std::string(CHECKMATE_SOURCE_DIR) + "/tests/data/fingerprints.golden";
+}
+
+// FNV-1a over the canonical blob: pins the byte layout, not just the
+// 64-bit hash derived from it.
+uint64_t blob_checksum(const std::string& bytes) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+std::string hex16(uint64_t v) {
+  std::ostringstream os;
+  os << std::hex;
+  os.width(16);
+  os.fill('0');
+  os << v;
+  return os.str();
+}
+
+// The pinned instance set. Names must be unique and stable; the problems
+// must be bit-deterministic across platforms (they are: integer-derived
+// doubles only).
+std::vector<RematProblem> golden_instances() {
+  std::vector<RematProblem> out;
+  out.push_back(RematProblem::unit_chain(1));
+  out.push_back(RematProblem::unit_chain(5));
+  out.push_back(RematProblem::unit_chain(16));
+  out.push_back(RematProblem::unit_training_chain(1));
+  out.push_back(RematProblem::unit_training_chain(4));
+  out.push_back(RematProblem::unit_training_chain(8));
+  out.push_back(RematProblem::unit_training_chain(12));
+  out.push_back(RematProblem::from_dnn(
+      model::make_training_graph(model::zoo::linear_net(6, 4, 8, 8)),
+      model::CostMetric::kProfiledTimeUs));
+  out.push_back(RematProblem::from_dnn(
+      model::make_training_graph(model::zoo::linear_net(3, 16, 4, 2)),
+      model::CostMetric::kProfiledTimeUs));
+  return out;
+}
+
+struct GoldenLine {
+  uint64_t fingerprint = 0;
+  uint64_t blob_sum = 0;
+  uint64_t blob_size = 0;
+};
+
+std::map<std::string, GoldenLine> current_lines() {
+  std::map<std::string, GoldenLine> out;
+  for (const RematProblem& p : golden_instances()) {
+    const std::string blob = p.serialize_canonical();
+    GoldenLine line;
+    line.fingerprint = p.fingerprint();
+    line.blob_sum = blob_checksum(blob);
+    line.blob_size = blob.size();
+    out[p.name] = line;
+  }
+  return out;
+}
+
+TEST(FingerprintGolden, MatchesCommittedGolden) {
+  const auto current = current_lines();
+
+  if (const char* regen = std::getenv("CHECKMATE_REGEN_FINGERPRINT_GOLDEN");
+      regen != nullptr && std::string(regen) == "1") {
+    std::ofstream out(golden_path(), std::ios::trunc);
+    ASSERT_TRUE(out.good()) << "cannot write " << golden_path();
+    out << "# <name> <fingerprint> <canonical-blob-fnv1a> <blob-bytes>\n"
+        << "# regenerate: CHECKMATE_REGEN_FINGERPRINT_GOLDEN=1 "
+           "./test_fingerprint_golden\n"
+        << "# (format changes must bump store::kPlanStoreFormatVersion "
+           "first -- see src/store/plan_store.h)\n"
+        << "format_version " << store::kPlanStoreFormatVersion << "\n";
+    for (const auto& [name, line] : current)
+      out << name << " " << hex16(line.fingerprint) << " "
+          << hex16(line.blob_sum) << " " << line.blob_size << "\n";
+    GTEST_SKIP() << "golden regenerated at " << golden_path();
+  }
+
+  std::ifstream in(golden_path());
+  ASSERT_TRUE(in.good()) << "missing " << golden_path()
+                         << " -- regenerate with "
+                            "CHECKMATE_REGEN_FINGERPRINT_GOLDEN=1";
+  std::map<std::string, GoldenLine> golden;
+  uint32_t golden_version = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    std::string name;
+    fields >> name;
+    if (name == "format_version") {
+      fields >> golden_version;
+      continue;
+    }
+    std::string fp_hex, sum_hex;
+    GoldenLine g;
+    fields >> fp_hex >> sum_hex >> g.blob_size;
+    ASSERT_FALSE(fields.fail()) << "malformed golden line: " << line;
+    g.fingerprint = std::stoull(fp_hex, nullptr, 16);
+    g.blob_sum = std::stoull(sum_hex, nullptr, 16);
+    golden[name] = g;
+  }
+
+  // The golden was generated against the current store format: a version
+  // bump without regeneration is as much a drift as a hash change.
+  EXPECT_EQ(golden_version, store::kPlanStoreFormatVersion)
+      << "store format version changed; regenerate the golden";
+  ASSERT_EQ(golden.size(), current.size())
+      << "golden instance set drifted; regenerate the golden";
+  for (const auto& [name, want] : golden) {
+    auto it = current.find(name);
+    ASSERT_NE(it, current.end()) << "golden instance missing: " << name;
+    EXPECT_EQ(hex16(it->second.fingerprint), hex16(want.fingerprint))
+        << name << ": fingerprint() changed. This orphans every on-disk "
+        << "plan record -- bump store::kPlanStoreFormatVersion and "
+        << "regenerate (see file header).";
+    EXPECT_EQ(hex16(it->second.blob_sum), hex16(want.blob_sum))
+        << name << ": serialize_canonical() layout changed. Bump "
+        << "store::kPlanStoreFormatVersion and regenerate.";
+    EXPECT_EQ(it->second.blob_size, want.blob_size) << name;
+  }
+}
+
+// Structural guarantees behind the golden: rebuilt problems reproduce
+// their fingerprint bit-for-bit, every pinned instance is distinct, and
+// node names (excluded from the hash by design) do not perturb it.
+TEST(FingerprintGolden, DeterministicDistinctAndNameBlind) {
+  const auto a = current_lines();
+  const auto b = current_lines();
+  ASSERT_EQ(a.size(), b.size());
+  for (const auto& [name, line] : a) {
+    EXPECT_EQ(line.fingerprint, b.at(name).fingerprint) << name;
+    EXPECT_EQ(line.blob_sum, b.at(name).blob_sum) << name;
+  }
+  std::map<uint64_t, std::string> seen;
+  for (const auto& [name, line] : a) {
+    auto [it, fresh] = seen.emplace(line.fingerprint, name);
+    EXPECT_TRUE(fresh) << name << " collides with " << it->second;
+  }
+  auto p = RematProblem::unit_training_chain(6);
+  const uint64_t before = p.fingerprint();
+  const std::string blob_before = p.serialize_canonical();
+  for (auto& n : p.node_names) n += "_renamed";
+  p.name = "renamed";
+  EXPECT_EQ(p.fingerprint(), before);
+  EXPECT_EQ(p.serialize_canonical(), blob_before);
+}
+
+}  // namespace
+}  // namespace checkmate

@@ -137,7 +137,9 @@ TEST(MilpCancel, PreCancelledSearchStopsWithSoundBound) {
   EXPECT_LT(seconds_since(t0), 10.0);
   EXPECT_NE(cut.status, milp::MilpStatus::kOptimal);
   EXPECT_LE(cut.best_bound, exact.objective + 1e-6);
-  if (cut.has_solution()) EXPECT_GE(cut.objective, exact.objective - 1e-6);
+  if (cut.has_solution()) {
+    EXPECT_GE(cut.objective, exact.objective - 1e-6);
+  }
 }
 
 TEST(PlanRobust, GenerousBudgetIsProvenOptimal) {
@@ -206,8 +208,9 @@ TEST(PlanRobust, NodeLimitedSearchReturnsIncumbentOrOptimum) {
   EXPECT_TRUE(out.provenance == service::PlanProvenance::kProvenOptimal ||
               out.provenance == service::PlanProvenance::kIncumbent ||
               out.provenance == service::PlanProvenance::kHeuristicFallback);
-  if (out.provenance != service::PlanProvenance::kProvenOptimal)
+  if (out.provenance != service::PlanProvenance::kProvenOptimal) {
     EXPECT_FALSE(out.why_degraded.empty());
+  }
   EXPECT_LE(out.result.peak_memory, budget + 1e-6);
   EXPECT_GE(out.gap, 0.0);
 }
