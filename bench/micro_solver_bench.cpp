@@ -222,6 +222,12 @@ struct SolverConfig {
   // formulation, and whether the config runs on the deep-instance set.
   IlpFormulationKind formulation = IlpFormulationKind::kDense;
   bool big = false;
+  // LP-engine knobs (PR 10): Forrest-Tomlin basis updates, Curtis-Reid
+  // scaling, Gomory mixed-integer root cuts. Trailing so the positional
+  // rows above stay valid; the PR-10 ablation rows spell out every field.
+  bool ft_update = true;
+  bool scaling = true;
+  bool gomory = true;
 };
 
 // "seed" is the pre-overhaul configuration (most-fractional depth-first
@@ -245,6 +251,15 @@ constexpr SolverConfig kConfigs[] = {
      false, true},
     {"no_reliability", true, true, milp::NodeSelection::kHybrid, 1, true,
      true, true, false},
+    // LP-engine ablations (PR 10): each flips one engine feature off the
+    // shipped configuration -- product-form eta accumulation instead of
+    // Forrest-Tomlin updates, unscaled loads, no Gomory root cuts.
+    {"no_ft_update", true, true, milp::NodeSelection::kHybrid, 1, true,
+     true, true, true, IlpFormulationKind::kDense, false, false, true, true},
+    {"no_scaling", true, true, milp::NodeSelection::kHybrid, 1, true, true,
+     true, true, IlpFormulationKind::kDense, false, true, false, true},
+    {"no_gomory", true, true, milp::NodeSelection::kHybrid, 1, true, true,
+     true, true, IlpFormulationKind::kDense, false, true, true, false},
     {"seed", false, false, milp::NodeSelection::kDepthFirst, 1, false,
      false, false, false},
     // Retention-interval backend (PR 6). "interval" reruns the small
@@ -353,6 +368,9 @@ int run_json_suite(const std::string& path) {
         opts.cut_separation = cfg.cuts;
         opts.reliability_branching = cfg.reliability;
         opts.formulation = cfg.formulation;
+        opts.lp_ft_update = cfg.ft_update;
+        opts.lp_scaling = cfg.scaling;
+        opts.gomory_cuts = cfg.gomory;
         auto res = sched.solve_optimal_ilp(inst.budget, opts);
         if (!first) std::fprintf(f, ",\n");
         first = false;
@@ -368,15 +386,28 @@ int run_json_suite(const std::string& path) {
                      "\"threads\": %d, "
                      "\"status\": \"%s\", \"nodes\": %lld, "
                      "\"lp_iterations\": %lld, \"cuts\": %lld, "
-                     "\"strong_branches\": %lld, \"seconds\": %.3f, "
+                     "\"strong_branches\": %lld, "
+                     "\"gomory_cuts\": %lld, \"cuts_removed\": %lld, "
+                     "\"lp_refactorizations\": %lld, "
+                     "\"lp_ft_updates\": %lld, "
+                     "\"lp_ft_growth_refactors\": %lld, "
+                     "\"lp_eta_pivots\": %lld, "
+                     "\"lp_pricing_resets\": %lld, \"seconds\": %.3f, "
                      "\"cost\": %.6g, \"best_bound\": %s}",
                      inst.name.c_str(), cfg.name, cfg.num_threads,
                      milp::to_string(res.milp_status),
                      static_cast<long long>(res.nodes),
                      static_cast<long long>(res.lp_iterations),
                      static_cast<long long>(res.cuts_added),
-                     static_cast<long long>(res.strong_branches), res.seconds,
-                     res.cost, bound_buf);
+                     static_cast<long long>(res.strong_branches),
+                     static_cast<long long>(res.gomory_cuts),
+                     static_cast<long long>(res.cuts_removed),
+                     static_cast<long long>(res.lp_refactorizations),
+                     static_cast<long long>(res.lp_ft_updates),
+                     static_cast<long long>(res.lp_ft_growth_refactors),
+                     static_cast<long long>(res.lp_eta_pivots),
+                     static_cast<long long>(res.lp_pricing_resets),
+                     res.seconds, res.cost, bound_buf);
         std::fflush(f);
         std::fprintf(stderr, "%-24s %-14s %-9s nodes=%-7lld %.2fs\n",
                      inst.name.c_str(), cfg.name,

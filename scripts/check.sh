@@ -62,15 +62,19 @@ fi
 # and tight deadlines, with every recovery path exercised. test_plan_store
 # carries the kill-mid-write/reload recovery cases, which only exist under
 # fault injection. ASan turns a leaked register file or a use-after-restore
-# during recovery into a hard failure.
+# during recovery into a hard failure. test_simplex and test_lu ride along
+# so the Forrest-Tomlin update path, the scaling frames and the snapshot
+# row-remap machinery get sanitizer coverage every nightly.
 if [ "$CHECK_TIER" = "full" ]; then
   ASAN_DIR="${ASAN_BUILD_DIR:-build-asan}"
   cmake -B "$ASAN_DIR" -S . "${GENERATOR_FLAGS[@]}" \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo -DCHECKMATE_ASAN=ON \
     -DCHECKMATE_FAULT_INJECTION=ON
-  cmake --build "$ASAN_DIR" -j --target test_chaos test_robust test_plan_store
+  cmake --build "$ASAN_DIR" -j --target test_chaos test_robust \
+    test_plan_store test_simplex test_lu
   ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
-    ctest --test-dir "$ASAN_DIR" -R 'test_chaos|test_robust|test_plan_store' \
+    ctest --test-dir "$ASAN_DIR" \
+    -R 'test_chaos|test_robust|test_plan_store|test_simplex|test_lu' \
     --output-on-failure
 fi
 

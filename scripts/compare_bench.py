@@ -72,7 +72,8 @@ DETERMINISM_CONFIGS = ("overhaul", "threads2", "threads4")
 # Ablation configs the solver bench must keep reporting: each one flips a
 # shipped subsystem off, and the committed baseline is the record of what
 # that subsystem buys. A fresh run missing one of these rows fails the gate.
-ABLATION_CONFIGS = ("no_lp_hotpath", "no_rcfix", "no_cuts", "no_reliability")
+ABLATION_CONFIGS = ("no_lp_hotpath", "no_rcfix", "no_cuts", "no_reliability",
+                    "no_ft_update", "no_scaling", "no_gomory")
 
 
 def solver_records(doc):

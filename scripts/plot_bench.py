@@ -9,6 +9,7 @@ over time. Closes the ROADMAP "plot the trajectory across PRs" item.
 Usage:
   plot_bench.py [--out BENCH_trajectory.svg] [--repo .]
                 [--solver BENCH_solver.json] [--sweep BENCH_sweep.json]
+                [--service BENCH_service.json]
 
 Stdlib only (hand-rolled SVG): the CI container has no plotting stack.
 """
@@ -70,6 +71,22 @@ def sweep_series(hist):
                     (idx, inst.get(f"{mode}_nodes"),
                      inst.get(f"{mode}_wall_seconds")))
     return series
+
+
+def service_series(hist):
+    """Two series dicts from service-bench docs: {phase/pXX: [(idx, ms)]}
+    latency quantiles and {phase: [(idx, rate)]} served-without-solve."""
+    lat, rate = {}, {}
+    for idx, (_, _, doc) in enumerate(hist):
+        for ph in doc.get("phases", []):
+            name = ph.get("phase", "?")
+            lat.setdefault(f"{name}/p50", []).append(
+                (idx, ph.get("p50_ms")))
+            lat.setdefault(f"{name}/p99", []).append(
+                (idx, ph.get("p99_ms")))
+            rate.setdefault(name, []).append(
+                (idx, ph.get("served_without_solve_rate")))
+    return lat, rate
 
 
 class Svg:
@@ -171,13 +188,15 @@ def main():
     ap.add_argument("--out", default="BENCH_trajectory.svg")
     ap.add_argument("--solver", default="BENCH_solver.json")
     ap.add_argument("--sweep", default="BENCH_sweep.json")
+    ap.add_argument("--service", default="BENCH_service.json")
     ap.add_argument("--config", default="overhaul",
                     help="solver config to track across PRs")
     args = ap.parse_args()
 
     solver_hist = history(args.repo, args.solver)
     sweep_hist = history(args.repo, args.sweep)
-    if not solver_hist and not sweep_hist:
+    service_hist = history(args.repo, args.service)
+    if not solver_hist and not sweep_hist and not service_hist:
         # Fresh clone / pre-first-bench checkout: still emit a valid SVG so
         # downstream consumers (README embed, CI artifact upload) never see
         # a missing or truncated file, and exit 0 -- an empty history is a
@@ -210,6 +229,13 @@ def main():
                        commits, True))
         panels.append(("sweep wall time (cold vs cached)", s, 2, "sec",
                        commits, True))
+    if service_hist:
+        commits = [(sha, sub) for sha, sub, _ in service_hist]
+        lat, rate = service_series(service_hist)
+        panels.append(("service latency (p50 / p99 per phase)", lat, 1,
+                       "ms", commits, True))
+        panels.append(("service served-without-solve rate", rate, 1,
+                       "rate", commits, False))
 
     panel_w, panel_h, margin_l, margin_r = 430, 170, 70, 230
     pad_v = 60
@@ -227,7 +253,8 @@ def main():
     with open(args.out, "w") as f:
         f.write(svg.render())
     print(f"wrote {args.out} ({len(panels)} panels, "
-          f"{len(solver_hist)} solver + {len(sweep_hist)} sweep snapshots)")
+          f"{len(solver_hist)} solver + {len(sweep_hist)} sweep + "
+          f"{len(service_hist)} service snapshots)")
     return 0
 
 

@@ -58,6 +58,9 @@ ScheduleResult solve_ilp_on_formulation(const IlpFormulation& form,
   mopts.root_reduced_cost_fixing = options.root_reduced_cost_fixing;
   mopts.simplex.steepest_edge_pricing = options.steepest_edge_pricing;
   mopts.simplex.bound_flip_ratio_test = options.bound_flip_ratio_test;
+  mopts.simplex.forrest_tomlin = options.lp_ft_update;
+  mopts.simplex.scaling = options.lp_scaling;
+  mopts.gomory_cuts = options.gomory_cuts;
   // Branch & cut: hand the solver the formulation's knapsack view of the
   // memory rows. The structure outlives the solve (stack scope below) and
   // survives presolve and set_budget rebinds (capacities are read from the
@@ -157,6 +160,13 @@ ScheduleResult solve_ilp_on_formulation(const IlpFormulation& form,
   res.lp_iterations = mres.lp_iterations;
   res.cuts_added = mres.cuts_added;
   res.strong_branches = mres.strong_branches;
+  res.gomory_cuts = mres.gomory_cuts;
+  res.cuts_removed = mres.cuts_removed;
+  res.lp_refactorizations = mres.lp_refactorizations;
+  res.lp_ft_updates = mres.lp_ft_updates;
+  res.lp_ft_growth_refactors = mres.lp_ft_growth_refactors;
+  res.lp_eta_pivots = mres.lp_eta_pivots;
+  res.lp_pricing_resets = mres.lp_pricing_resets;
   res.seconds = mres.seconds;
   res.best_bound = form.unscale_cost(mres.best_bound);
   res.root_relaxation = form.unscale_cost(mres.root_relaxation);
@@ -190,6 +200,13 @@ ScheduleResult solve_ilp_on_formulation(const IlpFormulation& form,
   eval.lp_iterations = mres.lp_iterations;
   eval.cuts_added = mres.cuts_added;
   eval.strong_branches = mres.strong_branches;
+  eval.gomory_cuts = mres.gomory_cuts;
+  eval.cuts_removed = mres.cuts_removed;
+  eval.lp_refactorizations = mres.lp_refactorizations;
+  eval.lp_ft_updates = mres.lp_ft_updates;
+  eval.lp_ft_growth_refactors = mres.lp_ft_growth_refactors;
+  eval.lp_eta_pivots = mres.lp_eta_pivots;
+  eval.lp_pricing_resets = mres.lp_pricing_resets;
   eval.seconds = mres.seconds;
   eval.best_bound = res.best_bound;
   eval.root_relaxation = res.root_relaxation;

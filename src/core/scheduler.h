@@ -37,6 +37,12 @@ struct IlpSolveOptions {
   bool steepest_edge_pricing = true;
   bool bound_flip_ratio_test = true;
   bool root_reduced_cost_fixing = true;
+  // Second-decade LP-engine knobs (PR 10): Forrest-Tomlin basis updates
+  // (off = product-form eta accumulation), Curtis-Reid equilibration at
+  // engine load, and Gomory mixed-integer cuts from the root tableau.
+  bool lp_ft_update = true;
+  bool lp_scaling = true;
+  bool gomory_cuts = true;
   // Branch & cut: Checkmate-structural cover/clique cut separation over
   // the memory rows (the formulation hands the solver a knapsack view via
   // IlpFormulation::cut_structure) and reliability branching (strong-
@@ -97,6 +103,17 @@ struct ScheduleResult {
   int64_t lp_iterations = 0;     // cumulative simplex iterations
   int64_t cuts_added = 0;        // cut rows appended by branch & cut
   int64_t strong_branches = 0;   // reliability-branching probe solves
+  // LP-engine observability (milp::MilpResult pass-through): Gomory cut
+  // rows of cuts_added, cut rows later deleted by in-LP aging, and the
+  // engine-level refactorization/update/pricing counters summed over
+  // every LP solve of the search.
+  int64_t gomory_cuts = 0;
+  int64_t cuts_removed = 0;
+  int64_t lp_refactorizations = 0;
+  int64_t lp_ft_updates = 0;
+  int64_t lp_ft_growth_refactors = 0;
+  int64_t lp_eta_pivots = 0;
+  int64_t lp_pricing_resets = 0;
   double seconds = 0.0;
 
   // Typed infeasibility: true only when NO schedule can fit the budget,

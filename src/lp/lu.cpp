@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdlib>
+#include <queue>
 
 #include "robust/fault_injection.h"
 
@@ -9,7 +10,24 @@ namespace checkmate::lp {
 
 namespace {
 constexpr double kPivotTol = 1e-11;
+// Forrest-Tomlin stability guards: an update is rejected (forcing a full
+// refactorize) when an eliminator multiplier blows up or the replacement
+// diagonal is a near-total cancellation.
+constexpr double kFtMuMax = 1e8;
+constexpr double kFtDiagTol = 1e-10;
+
+// Removes the entry keyed by `slot` from a (slot, value) list, preserving
+// the order of the remaining entries (list order feeds floating-point
+// summation order, which must stay a pure function of the update sequence).
+void erase_slot(std::vector<std::pair<int, double>>& list, int slot) {
+  for (size_t i = 0; i < list.size(); ++i) {
+    if (list[i].first == slot) {
+      list.erase(list.begin() + static_cast<std::ptrdiff_t>(i));
+      return;
+    }
+  }
 }
+}  // namespace
 
 bool LuFactorization::factorize(int m, std::span<const BasisColumn> cols) {
   // Chaos tier: an injected LU breakdown reports the basis singular, which
@@ -24,6 +42,14 @@ bool LuFactorization::factorize(int m, std::span<const BasisColumn> cols) {
   u_val_.clear();
   u_diag_.assign(m, 0.0);
   pivot_row_.assign(m, -1);
+  // A fresh factorization supersedes any accumulated Forrest-Tomlin state.
+  mutable_u_ = false;
+  urows_.clear();
+  ucols_.clear();
+  r_etas_.clear();
+  eta_nnz_ = 0;
+  u_nnz_ = 0;
+  spike_valid_ = false;
 
   // row_step[r] = elimination step whose pivot is row r, or -1.
   std::vector<int> row_step(m, -1);
@@ -168,7 +194,7 @@ bool LuFactorization::factorize(int m, std::span<const BasisColumn> cols) {
   return true;
 }
 
-void LuFactorization::ftran(std::span<double> x) const {
+void LuFactorization::lower_solve(std::span<double> x) const {
   // Forward eliminate: for each step k in order, subtract multiples of the
   // pivot value from the rows of L column k.
   for (int k = 0; k < m_; ++k) {
@@ -177,17 +203,43 @@ void LuFactorization::ftran(std::span<double> x) const {
     for (int p = l_ptr_[k]; p < l_ptr_[k + 1]; ++p)
       x[l_idx_[p]] -= l_val_[p] * piv;
   }
-  // Back substitute on U. Result lands in basis-position space; gather the
-  // pivot-row values first, then solve.
-  // x_pos[j] = (z[pivot_row_[j]] - sum_{k>j} U[j,k] x_pos[k]) / u_diag_[j]
-  // U stored by column: column k holds entries (step j < k, value U[j,k]).
-  for (int k = m_ - 1; k >= 0; --k) {
-    double v = x[pivot_row_[k]] / u_diag_[k];
-    // Temporarily stash the solved value in the same dense vector, keyed by
-    // pivot row: scatter contributions of x_pos[k] to earlier steps.
-    x[pivot_row_[k]] = v;
-    for (int p = u_ptr_[k]; p < u_ptr_[k + 1]; ++p)
-      x[pivot_row_[u_idx_[p]]] -= u_val_[p] * v;
+}
+
+void LuFactorization::apply_etas(std::span<double> x) const {
+  // x := R_k ... R_1 x with R_i = I - e_s mu', applied in row space via
+  // pivot_row_. Only the spiked row changes per eta.
+  for (const RowEta& e : r_etas_) {
+    double acc = x[pivot_row_[e.slot]];
+    for (const auto& [t, mu] : e.mu) acc -= mu * x[pivot_row_[t]];
+    x[pivot_row_[e.slot]] = acc;
+  }
+}
+
+void LuFactorization::upper_solve(std::span<double> x) const {
+  if (!mutable_u_) {
+    // Back substitute on U. Result lands in basis-position space; gather the
+    // pivot-row values first, then solve.
+    // x_pos[j] = (z[pivot_row_[j]] - sum_{k>j} U[j,k] x_pos[k]) / u_diag_[j]
+    // U stored by column: column k holds entries (step j < k, value U[j,k]).
+    for (int k = m_ - 1; k >= 0; --k) {
+      double v = x[pivot_row_[k]] / u_diag_[k];
+      // Temporarily stash the solved value in the same dense vector, keyed
+      // by pivot row: scatter contributions of x_pos[k] to earlier steps.
+      x[pivot_row_[k]] = v;
+      for (int p = u_ptr_[k]; p < u_ptr_[k + 1]; ++p)
+        x[pivot_row_[u_idx_[p]]] -= u_val_[p] * v;
+    }
+  } else {
+    // Same back substitution over the mutable form, walking slots in the
+    // current logical elimination order.
+    for (int k = m_ - 1; k >= 0; --k) {
+      const int s = order_[k];
+      const double v = x[pivot_row_[s]] / diag_[s];
+      x[pivot_row_[s]] = v;
+      if (v != 0.0) {
+        for (const auto& [t, u] : ucols_[s]) x[pivot_row_[t]] -= u * v;
+      }
+    }
   }
   // Permute from row keyed to position keyed.
   // x currently holds x_pos[k] at index pivot_row_[k].
@@ -196,16 +248,50 @@ void LuFactorization::ftran(std::span<double> x) const {
   for (int k = 0; k < m_; ++k) x[k] = tmp[pivot_row_[k]];
 }
 
+void LuFactorization::ftran(std::span<double> x) const {
+  lower_solve(x);
+  apply_etas(x);
+  upper_solve(x);
+}
+
+void LuFactorization::ftran_spike(std::span<double> x) {
+  lower_solve(x);
+  apply_etas(x);
+  spike_.assign(x.begin(), x.end());
+  spike_valid_ = true;
+}
+
+void LuFactorization::ftran_finish(std::span<double> x) const {
+  upper_solve(x);
+}
+
 void LuFactorization::btran(std::span<double> y) const {
   // Input y is in basis-position space: y_pos[k]. Solve U' w = y (forward in
-  // k since U is upper triangular in step space).
+  // elimination order since U is upper triangular in that order).
   thread_local std::vector<double> w;
   w.assign(y.begin(), y.end());
-  for (int k = 0; k < m_; ++k) {
-    double acc = w[k];
-    for (int p = u_ptr_[k]; p < u_ptr_[k + 1]; ++p)
-      acc -= u_val_[p] * w[u_idx_[p]];
-    w[k] = acc / u_diag_[k];
+  if (!mutable_u_) {
+    for (int k = 0; k < m_; ++k) {
+      double acc = w[k];
+      for (int p = u_ptr_[k]; p < u_ptr_[k + 1]; ++p)
+        acc -= u_val_[p] * w[u_idx_[p]];
+      w[k] = acc / u_diag_[k];
+    }
+  } else {
+    for (int k = 0; k < m_; ++k) {
+      const int s = order_[k];
+      double acc = w[s];
+      for (const auto& [t, u] : ucols_[s]) acc -= u * w[t];
+      w[s] = acc / diag_[s];
+    }
+  }
+  // Transposed row etas, reverse order: R' = I - mu e_s', so each eta
+  // scatters the spiked slot's value into its support. Slot space here.
+  for (auto it = r_etas_.rbegin(); it != r_etas_.rend(); ++it) {
+    const double ws = w[it->slot];
+    if (ws != 0.0) {
+      for (const auto& [t, mu] : it->mu) w[t] -= mu * ws;
+    }
   }
   // Solve L' P y = w, output in row space: process steps in reverse.
   for (int i = 0; i < m_; ++i) y[i] = 0.0;
@@ -215,6 +301,115 @@ void LuFactorization::btran(std::span<double> y) const {
       acc -= l_val_[p] * y[l_idx_[p]];
     y[pivot_row_[k]] = acc;
   }
+}
+
+void LuFactorization::ensure_mutable() {
+  if (mutable_u_) return;
+  urows_.assign(m_, {});
+  ucols_.assign(m_, {});
+  diag_ = u_diag_;
+  order_.resize(m_);
+  pos_of_.resize(m_);
+  row_slot_.assign(m_, 0);
+  for (int k = 0; k < m_; ++k) {
+    order_[k] = k;
+    pos_of_[k] = k;
+    row_slot_[pivot_row_[k]] = k;
+  }
+  for (int k = 0; k < m_; ++k) {
+    for (int p = u_ptr_[k]; p < u_ptr_[k + 1]; ++p) {
+      ucols_[k].push_back({u_idx_[p], u_val_[p]});
+      urows_[u_idx_[p]].push_back({k, u_val_[p]});
+    }
+  }
+  u_nnz_ = static_cast<int64_t>(u_idx_.size());
+  mutable_u_ = true;
+}
+
+bool LuFactorization::update(int pos) {
+  if (!spike_valid_ || pos < 0 || pos >= m_) return false;
+  ensure_mutable();
+  spike_valid_ = false;
+  const int sp = pos;
+  const int p0 = pos_of_[sp];
+
+  // ---- Eliminate old row sp against the rows at later logical positions.
+  // Min-heap on logical position keeps elimination order well defined; fill
+  // only ever lands at strictly later positions, so a single sweep works.
+  if (static_cast<int>(elim_work_.size()) < m_) elim_work_.assign(m_, 0.0);
+  std::priority_queue<std::pair<int, int>, std::vector<std::pair<int, int>>,
+                      std::greater<>>
+      heap;
+  for (const auto& [t, u] : urows_[sp]) {
+    elim_work_[t] = u;
+    heap.push({pos_of_[t], t});
+  }
+  std::vector<std::pair<int, double>> mu;
+  double spike_dot = 0.0;  // sum_t mu_t * spike[t]
+  bool unstable = false;
+  while (!heap.empty()) {
+    const int t = heap.top().second;
+    heap.pop();
+    const double val = elim_work_[t];
+    elim_work_[t] = 0.0;
+    if (val == 0.0) continue;  // cancelled out, or duplicate heap entry
+    const double mu_t = val / diag_[t];
+    if (!(std::abs(mu_t) <= kFtMuMax)) {  // also catches NaN
+      unstable = true;
+      break;
+    }
+    mu.push_back({t, mu_t});
+    spike_dot += mu_t * spike_[pivot_row_[t]];
+    for (const auto& [t2, u] : urows_[t]) {
+      if (elim_work_[t2] == 0.0) heap.push({pos_of_[t2], t2});
+      elim_work_[t2] -= mu_t * u;
+    }
+  }
+  if (unstable) {
+    while (!heap.empty()) {
+      elim_work_[heap.top().second] = 0.0;
+      heap.pop();
+    }
+    return false;
+  }
+
+  const double v_sp = spike_[pivot_row_[sp]];
+  const double new_diag = v_sp - spike_dot;
+  // Stability check before any mutation: a near-cancelled diagonal means
+  // the updated factorization would be garbage -- refuse and let the caller
+  // refactorize from scratch.
+  const double ref = std::abs(v_sp) + std::abs(spike_dot);
+  if (!(std::abs(new_diag) >= kPivotTol &&
+        std::abs(new_diag) >= kFtDiagTol * ref)) {
+    return false;
+  }
+
+  // ---- Commit: drop old row sp and old column sp, install the spike as
+  // the new column sp, record the eta, and move sp to the end of the order.
+  for (const auto& [t, u] : urows_[sp]) erase_slot(ucols_[t], sp);
+  u_nnz_ -= static_cast<int64_t>(urows_[sp].size());
+  urows_[sp].clear();
+  for (const auto& [s, u] : ucols_[sp]) erase_slot(urows_[s], sp);
+  u_nnz_ -= static_cast<int64_t>(ucols_[sp].size());
+  ucols_[sp].clear();
+
+  for (int r = 0; r < m_; ++r) {
+    const double v = spike_[r];
+    if (v == 0.0) continue;
+    const int t = row_slot_[r];
+    if (t == sp) continue;  // diagonal handled below
+    ucols_[sp].push_back({t, v});
+    urows_[t].push_back({sp, v});
+    ++u_nnz_;
+  }
+  diag_[sp] = new_diag;
+  eta_nnz_ += static_cast<int64_t>(mu.size());
+  r_etas_.push_back({sp, std::move(mu)});
+
+  order_.erase(order_.begin() + p0);
+  order_.push_back(sp);
+  for (int k = p0; k < m_; ++k) pos_of_[order_[k]] = k;
+  return true;
 }
 
 }  // namespace checkmate::lp

@@ -5,10 +5,18 @@
 //
 //   ftran: solve B x = b   (b given in row space, x in basis-position space)
 //   btran: solve B' y = c  (c given in basis-position space, y in row space)
+//
+// Between refactorizations the factors can absorb basis changes via
+// Forrest-Tomlin updates: update(pos) replaces the column at basis position
+// `pos` with the column whose partial solve ftran_spike() stashed last. Each
+// update costs one row elimination (recorded as a row eta applied inside
+// F^-1 = R_k ... R_1 L^-1) plus a column swap in U, so the expensive full
+// refactorization can be deferred for hundreds of pivots instead of ~64.
 #pragma once
 
 #include <cstdint>
 #include <span>
+#include <utility>
 #include <vector>
 
 namespace checkmate::lp {
@@ -23,6 +31,7 @@ class LuFactorization {
  public:
   // Factors the m x m basis whose k-th column is cols[k]. Returns false if
   // the basis is numerically singular (no acceptable pivot in some column).
+  // Discards any accumulated Forrest-Tomlin updates.
   bool factorize(int m, std::span<const BasisColumn> cols);
 
   // In-place solves. Vectors must have length m. See file comment for the
@@ -30,13 +39,37 @@ class LuFactorization {
   void ftran(std::span<double> x) const;
   void btran(std::span<double> y) const;
 
+  // Partial FTRAN for Forrest-Tomlin: applies only F^-1 (the L factor plus
+  // the accumulated row etas), leaving x in row space. The result is stashed
+  // as the candidate spike for a subsequent update(); complete the solve
+  // with ftran_finish, which yields exactly ftran()'s result.
+  void ftran_spike(std::span<double> x);
+  void ftran_finish(std::span<double> x) const;
+
+  // Forrest-Tomlin basis replacement: the column at basis position `pos` is
+  // replaced by the column ftran_spike() last stashed. Returns false --
+  // leaving the factors untouched, caller must refactorize -- when the
+  // update would be numerically unstable (tiny replacement diagonal or huge
+  // eliminator multipliers) or no spike is pending.
+  bool update(int pos);
+
+  // Number of Forrest-Tomlin updates absorbed since the last factorize().
+  int updates() const { return static_cast<int>(r_etas_.size()); }
+
   int dim() const { return m_; }
-  // Fill-in diagnostic: total stored nonzeros in L and U.
+  // Fill-in diagnostic: total stored nonzeros in L, U, and the FT row etas.
   int64_t nnz() const {
-    return static_cast<int64_t>(l_idx_.size() + u_idx_.size() + m_);
+    const int64_t u =
+        mutable_u_ ? u_nnz_ : static_cast<int64_t>(u_idx_.size());
+    return static_cast<int64_t>(l_idx_.size()) + u + m_ + eta_nnz_;
   }
 
  private:
+  void lower_solve(std::span<double> x) const;  // x := L^-1 x (row space)
+  void apply_etas(std::span<double> x) const;   // x := R_k...R_1 x
+  void upper_solve(std::span<double> x) const;  // back-subst + permute
+  void ensure_mutable();
+
   int m_ = 0;
 
   // L stored by elimination step (column) k: strictly-below-diagonal
@@ -44,13 +77,43 @@ class LuFactorization {
   std::vector<int> l_ptr_, l_idx_;
   std::vector<double> l_val_;
 
-  // U stored by column j: above-diagonal entries indexed by *elimination
-  // step*, diagonal kept separately.
+  // Static U straight out of factorize(), stored by column j:
+  // above-diagonal entries indexed by *elimination step*, diagonal kept
+  // separately. Used verbatim until the first update() converts to the
+  // mutable form below.
   std::vector<int> u_ptr_, u_idx_;
   std::vector<double> u_val_;
   std::vector<double> u_diag_;
 
   std::vector<int> pivot_row_;  // elimination step k -> original row id
+
+  // ---- Mutable U for Forrest-Tomlin updates. A "slot" is an elimination
+  // step of the original factorization == a basis position; slots are never
+  // renumbered by updates, only their logical elimination ORDER changes
+  // (each spiked slot moves to the end). urows_/ucols_ mirror the
+  // off-diagonal entries of U by slot, diag_ holds the diagonal.
+  bool mutable_u_ = false;
+  std::vector<std::vector<std::pair<int, double>>> urows_;  // row s: (t, U[s][t])
+  std::vector<std::vector<std::pair<int, double>>> ucols_;  // col t: (s, U[s][t])
+  std::vector<double> diag_;
+  std::vector<int> order_;     // slots in elimination order
+  std::vector<int> pos_of_;    // inverse of order_
+  std::vector<int> row_slot_;  // original row id -> slot (inverse pivot_row_)
+  int64_t u_nnz_ = 0;
+
+  // Row eta from one update: R = I - e_s mu' with mu supported on the slots
+  // that eliminated old row s, applied in row space through pivot_row_.
+  struct RowEta {
+    int slot;
+    std::vector<std::pair<int, double>> mu;  // (slot t, multiplier)
+  };
+  std::vector<RowEta> r_etas_;
+  int64_t eta_nnz_ = 0;
+
+  // Spike stash from ftran_spike (dense, row space) and update scratch.
+  std::vector<double> spike_;
+  bool spike_valid_ = false;
+  std::vector<double> elim_work_;
 };
 
 }  // namespace checkmate::lp

@@ -23,15 +23,103 @@ const char* to_string(LpStatus status) {
   return "unknown";
 }
 
+// Curtis-Reid geometric-mean scaling: least-squares fit of log2 row/column
+// factors (minimize sum (log2|a_ij| + rho_i + gamma_j)^2) by Gauss-Seidel
+// sweeps of the normal equations, factors rounded to powers of two so every
+// scale/unscale is exact. Rows at or past LinearProgram::scaling_rows
+// (dynamically appended cut rows) keep unit row scale, which makes the
+// factors identical for every engine constructed over the working LP at any
+// point in the cut lifecycle.
+void DualSimplex::compute_scaling(const LinearProgram& lp) {
+  scale_.assign(num_total(), 1.0);
+  const uint64_t kFnvOffset = 1469598103934665603ull;
+  const uint64_t kFnvPrime = 1099511628211ull;
+  // Hash only non-unit factors, keyed by column: engines constructed over
+  // the same LP before and after cut-row appends (whose factors are all 1)
+  // must agree on the identity, as must scaling-off engines vs. scaling-on
+  // engines whose factors all round to 1.
+  scaling_hash_ = kFnvOffset;
+  auto hash_exp = [&](int col, int e) {
+    if (e == 0) return;
+    scaling_hash_ ^= static_cast<uint64_t>(col);
+    scaling_hash_ *= kFnvPrime;
+    scaling_hash_ ^= static_cast<uint64_t>(static_cast<int64_t>(e));
+    scaling_hash_ *= kFnvPrime;
+  };
+  if (!opt_.scaling) return;
+  const int prefix =
+      lp.scaling_rows < 0 ? m_ : std::min(lp.scaling_rows, m_);
+  // Per-row / per-column sums of log-magnitudes over participating entries.
+  std::vector<double> rho(m_, 0.0), gamma(n_, 0.0);
+  std::vector<int> row_cnt(m_, 0), col_cnt(n_, 0);
+  std::vector<double> logs;
+  logs.reserve(lp.entries.size());
+  std::vector<const Triplet*> live;
+  live.reserve(lp.entries.size());
+  for (const Triplet& t : lp.entries) {
+    if (t.row >= prefix || t.value == 0.0) continue;
+    live.push_back(&t);
+    logs.push_back(std::log2(std::abs(t.value)));
+    ++row_cnt[t.row];
+    ++col_cnt[t.col];
+  }
+  for (int sweep = 0; sweep < 20; ++sweep) {
+    std::vector<double> acc(m_, 0.0);
+    for (size_t k = 0; k < live.size(); ++k)
+      acc[live[k]->row] += logs[k] + gamma[live[k]->col];
+    for (int i = 0; i < m_; ++i)
+      if (row_cnt[i] > 0) rho[i] = -acc[i] / row_cnt[i];
+    std::vector<double> cacc(n_, 0.0);
+    for (size_t k = 0; k < live.size(); ++k)
+      cacc[live[k]->col] += logs[k] + rho[live[k]->row];
+    for (int j = 0; j < n_; ++j)
+      if (col_cnt[j] > 0) gamma[j] = -cacc[j] / col_cnt[j];
+  }
+  auto rounded = [](double v) {
+    const double c = std::max(-20.0, std::min(20.0, v));
+    return static_cast<int>(std::lround(c));
+  };
+  for (int j = 0; j < n_; ++j) {
+    const int e = col_cnt[j] > 0 ? rounded(gamma[j]) : 0;
+    scale_[j] = std::exp2(static_cast<double>(e));
+    hash_exp(j, e);
+  }
+  for (int i = 0; i < m_; ++i) {
+    // Slack column scale is 1/r_i: the scaled slack column stays exactly
+    // -1, so the engine's hardcoded slack handling is untouched.
+    const int e = row_cnt[i] > 0 ? rounded(rho[i]) : 0;
+    scale_[n_ + i] = std::exp2(static_cast<double>(-e));
+    hash_exp(n_ + i, -e);
+  }
+}
+
 DualSimplex::DualSimplex(const LinearProgram& lp, SimplexOptions options)
-    : lp_(&lp), opt_(options), a_(lp.matrix()), n_(lp.num_vars()),
-      m_(lp.num_rows()), entries_synced_(lp.entries.size()) {
+    : lp_(&lp), opt_(options), n_(lp.num_vars()), m_(lp.num_rows()),
+      entries_synced_(lp.entries.size()) {
+  compute_scaling(lp);
+  // Structural matrix in the scaled frame: entry (i, j) picks up r_i * q_j
+  // (powers of two, exact). r_i = 1 / scale_[n_+i] by the slack convention.
+  {
+    std::vector<Triplet> scaled(lp.entries.begin(), lp.entries.end());
+    for (Triplet& t : scaled)
+      t.value *= scale_[t.col] / scale_[n_ + t.row];
+    a_ = SparseMatrix(m_, n_, scaled);
+  }
+  if (static_cast<int>(lp.row_ids.size()) == m_) {
+    row_ids_ = lp.row_ids;
+  } else {
+    row_ids_.resize(m_);
+    for (int i = 0; i < m_; ++i) row_ids_[i] = i;
+  }
   cost_.assign(num_total(), 0.0);
   lo_.assign(num_total(), 0.0);
   hi_.assign(num_total(), 0.0);
   // Deterministic cost perturbation: breaks the massive dual degeneracy of
-  // 0/1 scheduling LPs. Scaled by the largest cost magnitude so the bias
-  // stays far below any optimality gap of interest.
+  // 0/1 scheduling LPs. Scaled per column by the column's own cost
+  // magnitude (zero-cost columns fall back to the global max so they
+  // still get jitter) -- a purely global scale would distort badly-ranged
+  // objectives, see SimplexOptions::perturbation. Jitter is
+  // applied in the original frame, then scaled with the cost.
   double max_cost = 1.0;
   for (int j = 0; j < n_; ++j)
     max_cost = std::max(max_cost, std::abs(lp.obj[j]));
@@ -39,16 +127,17 @@ DualSimplex::DualSimplex(const LinearProgram& lp, SimplexOptions options)
   unsigned h = 0x2545f491u;
   for (int j = 0; j < n_; ++j) {
     h = h * 1664525u + 1013904223u;
+    const double mag = lp.obj[j] == 0.0 ? max_cost : std::abs(lp.obj[j]);
     const double jitter =
-        options.perturbation * max_cost *
+        options.perturbation * mag *
         (1.0 + static_cast<double>(h % 1024) / 1024.0);
-    cost_[j] = lp.obj[j] + jitter;
-    lo_[j] = lp.lb[j];
-    hi_[j] = lp.ub[j];
+    cost_[j] = (lp.obj[j] + jitter) * scale_[j];
+    lo_[j] = lp.lb[j] / scale_[j];
+    hi_[j] = lp.ub[j] / scale_[j];
   }
   for (int i = 0; i < m_; ++i) {
-    lo_[n_ + i] = lp.row_lb[i];
-    hi_[n_ + i] = lp.row_ub[i];
+    lo_[n_ + i] = lp.row_lb[i] / scale_[n_ + i];
+    hi_[n_ + i] = lp.row_ub[i] / scale_[n_ + i];
   }
   status_.assign(num_total(), kNonbasicLower);
   x_.assign(num_total(), 0.0);
@@ -64,29 +153,30 @@ DualSimplex::DualSimplex(const LinearProgram& lp, SimplexOptions options)
 void DualSimplex::set_var_bounds(int var, double lower, double upper) {
   if (var < 0 || var >= n_) throw std::out_of_range("set_var_bounds");
   if (lower > upper) throw std::invalid_argument("set_var_bounds: lb > ub");
-  lo_[var] = lower;
-  hi_[var] = upper;
+  lo_[var] = lower / scale_[var];
+  hi_[var] = upper / scale_[var];
   if (status_[var] != kBasic) {
     // Snap a nonbasic variable back inside its (possibly shrunken) box.
-    if (status_[var] == kNonbasicLower || x_[var] < lower) {
-      if (lower != -kInf) {
+    // (All in the scaled frame: x_ and lo_/hi_ live scaled.)
+    if (status_[var] == kNonbasicLower || x_[var] < lo_[var]) {
+      if (lo_[var] != -kInf) {
         status_[var] = kNonbasicLower;
-        x_[var] = lower;
+        x_[var] = lo_[var];
       }
     }
-    if (status_[var] == kNonbasicUpper || x_[var] > upper) {
-      if (upper != kInf) {
+    if (status_[var] == kNonbasicUpper || x_[var] > hi_[var]) {
+      if (hi_[var] != kInf) {
         status_[var] = kNonbasicUpper;
-        x_[var] = upper;
+        x_[var] = hi_[var];
       }
     }
     // Keep the dual-feasible side when both bounds finite and d has a sign.
-    if (d_[var] > opt_.optimality_tol && lower != -kInf) {
+    if (d_[var] > opt_.optimality_tol && lo_[var] != -kInf) {
       status_[var] = kNonbasicLower;
-      x_[var] = lower;
-    } else if (d_[var] < -opt_.optimality_tol && upper != kInf) {
+      x_[var] = lo_[var];
+    } else if (d_[var] < -opt_.optimality_tol && hi_[var] != kInf) {
       status_[var] = kNonbasicUpper;
-      x_[var] = upper;
+      x_[var] = hi_[var];
     }
   }
   xb_dirty_ = true;
@@ -100,11 +190,21 @@ void DualSimplex::sync_rows() {
   if (m_new == m_) return;
   if (m_new < m_)
     throw std::logic_error("sync_rows: rows were removed from the LP");
-  // Fold the appended entries into the matrix. Appended rows may only
-  // reference rows >= m_ (cuts never retouch existing rows).
-  a_.append_rows(m_new - m_,
-                 std::span(lp_->entries).subspan(entries_synced_));
+  // Fold the appended entries into the matrix, in the scaled frame.
+  // Appended rows may only reference rows >= m_ (cuts never retouch
+  // existing rows) and keep unit row scale, so only the column factor
+  // applies.
+  {
+    std::vector<Triplet> tail(lp_->entries.begin() + entries_synced_,
+                              lp_->entries.end());
+    for (Triplet& t : tail) t.value *= scale_[t.col];
+    a_.append_rows(m_new - m_, tail);
+  }
   entries_synced_ = lp_->entries.size();
+  const bool lp_has_ids = static_cast<int>(lp_->row_ids.size()) == m_new;
+  for (int i = m_; i < m_new; ++i)
+    row_ids_.push_back(lp_has_ids ? lp_->row_ids[i] : i);
+  scale_.resize(n_ + m_new, 1.0);
 
   // Grow the column-indexed state: structural columns keep their indices,
   // existing slacks keep theirs (slack of row i is column n_ + i), and the
@@ -147,14 +247,21 @@ BasisSnapshot DualSimplex::snapshot() const {
   BasisSnapshot s;
   s.valid = basis_valid_;
   s.num_rows = m_;
+  s.row_ids = row_ids_;
+  s.scaling_hash = scaling_hash_;
   // Bound overrides are captured even before the first solve (invalid
   // basis): a clone taken after set_var_bounds but before solve() must
-  // still see the same feasible region as the original.
+  // still see the same feasible region as the original. Overrides and free
+  // values are stored in the TRUE frame (scale factors are powers of two,
+  // so the round trip through the scaled frame is exact); that keeps
+  // snapshots portable across engines with different scale vectors.
   for (int j = 0; j < num_total(); ++j) {
-    const double base_lo = j < n_ ? lp_->lb[j] : lp_->row_lb[j - n_];
-    const double base_hi = j < n_ ? lp_->ub[j] : lp_->row_ub[j - n_];
+    const double base_lo =
+        (j < n_ ? lp_->lb[j] : lp_->row_lb[j - n_]) / scale_[j];
+    const double base_hi =
+        (j < n_ ? lp_->ub[j] : lp_->row_ub[j - n_]) / scale_[j];
     if (lo_[j] != base_lo || hi_[j] != base_hi)
-      s.bounds.push_back({j, lo_[j], hi_[j]});
+      s.bounds.push_back({j, lo_[j] * scale_[j], hi_[j] * scale_[j]});
   }
   if (!s.valid) return s;
   s.status.assign(status_.begin(), status_.end());
@@ -163,7 +270,7 @@ BasisSnapshot DualSimplex::snapshot() const {
   s.used_artificial_bound = used_artificial_bound_;
   for (int j = 0; j < num_total(); ++j)
     if (status_[j] == kFree && x_[j] != 0.0)
-      s.free_values.emplace_back(j, x_[j]);
+      s.free_values.emplace_back(j, x_[j] * scale_[j]);
   return s;
 }
 
@@ -172,31 +279,46 @@ void DualSimplex::restore(const BasisSnapshot& snap) {
   // it; the snapshot may have been captured before those rows existed (a
   // parent basis restored into a child LP that has more cuts).
   sync_rows();
-  if (snap.valid && snap.num_rows > m_)
-    throw std::logic_error("restore: snapshot has more rows than the LP");
-  // Reset bounds to the base LP, then overlay the snapshot's overrides.
-  // (The engine constructor may never have run make_initial_basis, and a
-  // prior make_initial_basis may have installed artificial bounds; both are
-  // wiped here so the restored state carries no history.)
+  // Basis membership, statuses, bound overrides, and free values are all
+  // frame-independent (the numeric ones are stored in the true frame), so
+  // a snapshot restores correctly into an engine with a different scale
+  // vector. Only the steepest-edge weights live in the scaled frame: on a
+  // scaling-identity mismatch they reset to the unit frame -- correct,
+  // deterministic, just a different pricing trajectory. Engines that must
+  // stay bit-identical (branch & bound workers) share a scale vector by
+  // construction via LinearProgram::scaling_rows.
+  const bool same_frame = snap.scaling_hash == scaling_hash_;
+  // Reset bounds to the base LP (scaled), then overlay the snapshot's
+  // overrides (true frame -- see snapshot()). The engine constructor
+  // may never have run make_initial_basis, and a prior make_initial_basis
+  // may have installed artificial bounds; both are wiped here so the
+  // restored state carries no history.
   for (int j = 0; j < n_; ++j) {
-    lo_[j] = lp_->lb[j];
-    hi_[j] = lp_->ub[j];
+    lo_[j] = lp_->lb[j] / scale_[j];
+    hi_[j] = lp_->ub[j] / scale_[j];
   }
   for (int i = 0; i < m_; ++i) {
-    lo_[n_ + i] = lp_->row_lb[i];
-    hi_[n_ + i] = lp_->row_ub[i];
+    lo_[n_ + i] = lp_->row_lb[i] / scale_[n_ + i];
+    hi_[n_ + i] = lp_->row_ub[i] / scale_[n_ + i];
   }
   etas_.clear();
   pivots_since_refactor_ = 0;
   stall_count_ = 0;
+  price_dirty_ = true;
   std::fill(d_.begin(), d_.end(), 0.0);
   for (const auto& b : snap.bounds) {
-    lo_[b.col] = b.lo;
-    hi_[b.col] = b.hi;
+    // Overrides on rows that no longer exist (captured before a cut-row
+    // GC) have nothing to apply to; branch decisions only ever target
+    // structural columns, which are stable.
+    if (b.col < n_) {
+      lo_[b.col] = b.lo / scale_[b.col];
+      hi_[b.col] = b.hi / scale_[b.col];
+    }
   }
-  if (!snap.valid) {
-    // No basis to adopt: reset to the fresh-engine state (the next solve
-    // builds the slack basis), keeping only the bound overrides above.
+  // Fresh-engine reset: used for invalid snapshots AND as the fallback when
+  // a row-remapped basis fails validation. Keeps the bound overrides
+  // already applied above -- always correct, just a cold start.
+  auto reset_to_slack_start = [&] {
     basis_valid_ = false;
     needs_refactor_ = false;
     d_dirty_ = false;
@@ -207,24 +329,147 @@ void DualSimplex::restore(const BasisSnapshot& snap) {
     std::fill(x_.begin(), x_.end(), 0.0);
     std::fill(basic_var_.begin(), basic_var_.end(), -1);
     dse_w_.assign(m_, 1.0);
+  };
+  if (!snap.valid) {
+    reset_to_slack_start();
     return;
   }
-  // Adopt the snapshot's basis for its own rows; rows appended after the
-  // capture get their slack basic -- exactly the state a freshly appended
-  // cut row enters in, so the restored trajectory stays a pure function of
-  // (snapshot, current LP).
-  std::copy(snap.status.begin(), snap.status.end(), status_.begin());
-  std::copy(snap.basic_var.begin(), snap.basic_var.end(), basic_var_.begin());
-  for (int i = snap.num_rows; i < m_; ++i) {
+
+  // Row mapping. Fast path: the snapshot's row ids are a prefix of the
+  // current ids (pure appends since capture) -- adopt the basis directly
+  // and make the newer rows' slacks basic, exactly the state a freshly
+  // appended cut row enters in. Ids are strictly increasing on both sides,
+  // so the prefix test is a straight element compare.
+  const bool ids_known =
+      static_cast<int>(snap.row_ids.size()) == snap.num_rows;
+  bool prefix = ids_known && snap.num_rows <= m_;
+  if (prefix) {
+    for (int i = 0; i < snap.num_rows; ++i) {
+      if (snap.row_ids[i] != row_ids_[i]) {
+        prefix = false;
+        break;
+      }
+    }
+  }
+  if (prefix) {
+    std::copy(snap.status.begin(), snap.status.end(), status_.begin());
+    std::copy(snap.basic_var.begin(), snap.basic_var.end(),
+              basic_var_.begin());
+    for (int i = snap.num_rows; i < m_; ++i) {
+      status_[n_ + i] = kBasic;
+      basic_var_[i] = n_ + i;
+    }
+    if (same_frame &&
+        static_cast<int>(snap.dse_weights.size()) == snap.num_rows) {
+      std::copy(snap.dse_weights.begin(), snap.dse_weights.end(),
+                dse_w_.begin());
+      std::fill(dse_w_.begin() + snap.num_rows, dse_w_.end(), 1.0);
+    } else {
+      dse_w_.assign(m_, 1.0);
+    }
+    used_artificial_bound_ = snap.used_artificial_bound;
+    for (int j = 0; j < num_total(); ++j) {
+      if (status_[j] == kBasic) continue;
+      if (status_[j] == kFree)
+        x_[j] = 0.0;
+      else
+        x_[j] = status_[j] == kNonbasicUpper ? hi_[j] : lo_[j];
+    }
+    for (const auto& [j, v] : snap.free_values) x_[j] = v / scale_[j];
+    basis_valid_ = true;
+    needs_refactor_ = true;  // LU rebuilt lazily by the next solve()
+    d_dirty_ = true;
+    xb_dirty_ = true;
+    return;
+  }
+  if (!ids_known) {
+    // A legacy snapshot without ids that is not a prefix by count: nothing
+    // to match on. Cold start.
+    reset_to_slack_start();
+    return;
+  }
+
+  // General remap: rows were garbage-collected (and possibly appended)
+  // since the capture. Match rows by id with one merge pass (both id lists
+  // are strictly increasing), carry the surviving rows' basis state, and
+  // deterministically re-place whatever the removed rows held.
+  std::vector<int> new_of_old(snap.num_rows, -1);
+  {
+    size_t i = 0;
+    for (int r = 0; r < m_; ++r) {
+      while (i < snap.row_ids.size() && snap.row_ids[i] < row_ids_[r]) ++i;
+      if (i == snap.row_ids.size()) break;
+      if (snap.row_ids[i] == row_ids_[r]) new_of_old[i++] = r;
+    }
+  }
+  auto remap_col = [&](int col) -> int {
+    if (col < n_) return col;
+    const int r_new = new_of_old[col - n_];
+    return r_new >= 0 ? n_ + r_new : -1;
+  };
+  // Structural statuses carry over; every row starts slack-basic and
+  // surviving rows then adopt their captured state.
+  for (int j = 0; j < n_; ++j) status_[j] = snap.status[j];
+  for (int i = 0; i < m_; ++i) {
     status_[n_ + i] = kBasic;
     basic_var_[i] = n_ + i;
+    dse_w_[i] = 1.0;
   }
-  if (static_cast<int>(snap.dse_weights.size()) == snap.num_rows) {
-    std::copy(snap.dse_weights.begin(), snap.dse_weights.end(),
-              dse_w_.begin());
-    std::fill(dse_w_.begin() + snap.num_rows, dse_w_.end(), 1.0);
-  } else {
-    dse_w_.assign(m_, 1.0);
+  const bool dse_ok =
+      same_frame &&
+      static_cast<int>(snap.dse_weights.size()) == snap.num_rows;
+  for (int r_old = 0; r_old < snap.num_rows; ++r_old) {
+    const int r_new = new_of_old[r_old];
+    if (r_new < 0) continue;
+    status_[n_ + r_new] = snap.status[n_ + r_old];
+    basic_var_[r_new] = remap_col(snap.basic_var[r_old]);  // may be -1
+    if (dse_ok) dse_w_[r_new] = snap.dse_weights[r_old];
+  }
+  // Structurals that were basic in removed rows lost their position: place
+  // them nonbasic on a deterministic side.
+  for (int r_old = 0; r_old < snap.num_rows; ++r_old) {
+    if (new_of_old[r_old] >= 0) continue;
+    const int bv = snap.basic_var[r_old];
+    if (bv < 0 || bv >= n_) continue;
+    if (lo_[bv] != -kInf)
+      status_[bv] = kNonbasicLower;
+    else if (hi_[bv] != kInf)
+      status_[bv] = kNonbasicUpper;
+    else
+      status_[bv] = kFree;
+  }
+  // Positions whose captured basic column vanished with a removed row:
+  // take the position's own slack if it is not already basic elsewhere.
+  bool broken = false;
+  for (int i = 0; i < m_; ++i) {
+    if (basic_var_[i] >= 0) continue;
+    const int sj = n_ + i;
+    if (status_[sj] != kBasic) {
+      status_[sj] = kBasic;
+      basic_var_[i] = sj;
+      dse_w_[i] = 1.0;
+    } else {
+      broken = true;
+    }
+  }
+  // Full validation: the remapped basis must be a bijection between basis
+  // positions and kBasic columns. Any inconsistency -> cold start (correct,
+  // just slower); the result stays a pure function of (snapshot, LP).
+  if (!broken) {
+    std::vector<char> seen(num_total(), 0);
+    for (int i = 0; i < m_ && !broken; ++i) {
+      const int bv = basic_var_[i];
+      if (bv < 0 || bv >= num_total() || status_[bv] != kBasic || seen[bv])
+        broken = true;
+      else
+        seen[bv] = 1;
+    }
+    for (int j = 0; j < num_total() && !broken; ++j)
+      if (status_[j] == kBasic && !seen[j]) broken = true;
+  }
+  if (broken) {
+    reset_to_slack_start();
+    return;
   }
   used_artificial_bound_ = snap.used_artificial_bound;
   for (int j = 0; j < num_total(); ++j) {
@@ -234,9 +479,12 @@ void DualSimplex::restore(const BasisSnapshot& snap) {
     else
       x_[j] = status_[j] == kNonbasicUpper ? hi_[j] : lo_[j];
   }
-  for (const auto& [j, v] : snap.free_values) x_[j] = v;
+  for (const auto& [j, v] : snap.free_values) {
+    const int col = remap_col(j);
+    if (col >= 0 && status_[col] == kFree) x_[col] = v / scale_[col];
+  }
   basis_valid_ = true;
-  needs_refactor_ = true;  // LU rebuilt lazily by the next solve()
+  needs_refactor_ = true;
   d_dirty_ = true;
   xb_dirty_ = true;
 }
@@ -299,7 +547,10 @@ bool DualSimplex::refactorize() {
   }
   etas_.clear();
   pivots_since_refactor_ = 0;
-  return lu_.factorize(m_, cols);
+  ++stats_.refactorizations;
+  const bool ok = lu_.factorize(m_, cols);
+  nnz_base_ = lu_.nnz();
+  return ok;
 }
 
 void DualSimplex::recompute_reduced_costs() {
@@ -326,6 +577,8 @@ void DualSimplex::recompute_basic_values() {
   ftran(rhs);
   xb_ = std::move(rhs);
   xb_dirty_ = false;
+  // Wholesale basic-value motion invalidates the pricing candidate list.
+  price_dirty_ = true;
 }
 
 double DualSimplex::bound_for_status(int col, int status) const {
@@ -418,16 +671,135 @@ double DualSimplex::truncated_dual_bound() const {
   // bounds the *perturbed* optimum from below; subtracting each column's
   // worst-case jitter contribution over its box makes it sound for the
   // true costs. A jittered column with no finite hot-side bound leaves
-  // nothing to correct against.
+  // nothing to correct against. (Jitter and hot bound are derived in the
+  // original frame: cost_ and lo_/hi_ live scaled, and the per-column
+  // factors cancel exactly -- powers of two.)
   double corr = 0.0;
   for (int j = 0; j < n_; ++j) {
-    const double jit = cost_[j] - lp_->obj[j];
+    const double jit = cost_[j] / scale_[j] - lp_->obj[j];
     if (jit == 0.0) continue;
-    const double hot = jit > 0.0 ? hi_[j] : lo_[j];
+    const double hot = (jit > 0.0 ? hi_[j] : lo_[j]) * scale_[j];
     if (hot == kInf || hot == -kInf) return -kInf;
     corr += jit * hot;
   }
   return z - corr;
+}
+
+bool DualSimplex::tableau_row(int pos, std::vector<int>& cols,
+                              std::vector<double>& coefs) {
+  cols.clear();
+  coefs.clear();
+  if (!basis_valid_ || needs_refactor_ || pos < 0 || pos >= m_) return false;
+  // Row pos of B^-1 W, read exactly like a pricing pass: rho = B^-T e_pos,
+  // then alpha = W' rho over rho's nonzeros. The homogeneous system W x = 0
+  // gives the identity x_B[pos] + sum_j coef_j * x_j = 0 over nonbasic j.
+  // Engine columns are scaled; multiplying by q_B / q_j returns each
+  // coefficient to the caller's frame (exact -- powers of two).
+  std::vector<double>& rho = rho_scratch_;
+  rho.assign(m_, 0.0);
+  rho[pos] = 1.0;
+  btran(rho);
+  compute_pivot_row(rho);
+  const double qb = scale_[basic_var_[pos]];
+  for (int j : alpha_idx_) {
+    if (status_[j] == kBasic) continue;
+    const double a = alpha_v_[j];
+    if (std::abs(a) <= 1e-11) continue;
+    cols.push_back(j);
+    coefs.push_back(a * qb / scale_[j]);
+  }
+  return true;
+}
+
+void DualSimplex::rebuild_price_list() {
+  const double feas_tol = opt_.feasibility_tol;
+  // Full deterministic scan: every violated row scored like the full
+  // pricing rule (viol^2 / dse weight), worst kept. The list is a superset
+  // filter only -- selection always re-scores fresh from the current
+  // xb_/dse_w_, so staleness can cost an extra rebuild but never a wrong
+  // pivot.
+  std::vector<std::pair<double, int>> scored;
+  for (int i = 0; i < m_; ++i) {
+    const int col = basic_var_[i];
+    const double v = xb_[i];
+    const double viol = std::max(lo_[col] - v, v - hi_[col]);
+    if (viol <= feas_tol) continue;
+    scored.push_back({-(viol * viol / dse_w_[i]), i});
+  }
+  std::sort(scored.begin(), scored.end());
+  const size_t cap = static_cast<size_t>(std::max(32, m_ / 8));
+  if (scored.size() > cap) scored.resize(cap);
+  price_cand_.clear();
+  for (const auto& [neg_score, i] : scored) price_cand_.push_back(i);
+  price_countdown_ = 64;
+  price_dirty_ = false;
+  ++stats_.pricing_resets;
+}
+
+int DualSimplex::select_leave_row(bool bland) {
+  const double feas_tol = opt_.feasibility_tol;
+  if (bland) {
+    // Bland fallback: least-index leaving column, full scan.
+    int best_col = std::numeric_limits<int>::max();
+    int leave = -1;
+    for (int i = 0; i < m_; ++i) {
+      const int col = basic_var_[i];
+      const double v = xb_[i];
+      const double viol = std::max(lo_[col] - v, v - hi_[col]);
+      if (viol > feas_tol && col < best_col) {
+        best_col = col;
+        leave = i;
+      }
+    }
+    return leave;
+  }
+  const bool partial =
+      opt_.partial_pricing && m_ >= opt_.partial_pricing_min_rows;
+  if (!partial) {
+    double best_score = 0.0;
+    int leave = -1;
+    for (int i = 0; i < m_; ++i) {
+      const int col = basic_var_[i];
+      const double v = xb_[i];
+      const double viol = std::max(lo_[col] - v, v - hi_[col]);
+      if (viol <= feas_tol) continue;
+      const double score = viol * viol / dse_w_[i];
+      if (score > best_score) {
+        best_score = score;
+        leave = i;
+      }
+    }
+    return leave;
+  }
+  // Partial pricing over the candidate list; an empty pick right after a
+  // rebuild IS the authoritative full scan saying primal feasible.
+  bool rebuilt = false;
+  if (price_dirty_ || price_countdown_ <= 0) {
+    rebuild_price_list();
+    rebuilt = true;
+  }
+  for (;;) {
+    double best_score = 0.0;
+    int leave = -1;
+    for (int i : price_cand_) {
+      const int col = basic_var_[i];
+      const double v = xb_[i];
+      const double viol = std::max(lo_[col] - v, v - hi_[col]);
+      if (viol <= feas_tol) continue;
+      const double score = viol * viol / dse_w_[i];
+      if (score > best_score) {
+        best_score = score;
+        leave = i;
+      }
+    }
+    if (leave >= 0) {
+      --price_countdown_;
+      return leave;
+    }
+    if (rebuilt) return -1;
+    rebuild_price_list();
+    rebuilt = true;
+  }
 }
 
 int DualSimplex::iterate() {
@@ -454,33 +826,10 @@ int DualSimplex::iterate() {
   // ---- Leaving variable: most-violated basic, scaled by the dual
   // steepest-edge weight (viol^2 / w_i with w_i ~ ||B^-T e_i||^2 measures
   // the violation in the metric of the dual ascent direction, steering
-  // toward rows whose pivot actually moves the dual objective).
-  int leave_pos = -1;
-  if (bland) {
-    int best_col = std::numeric_limits<int>::max();
-    for (int i = 0; i < m_; ++i) {
-      const int col = basic_var_[i];
-      const double v = xb_[i];
-      const double viol = std::max(lo_[col] - v, v - hi_[col]);
-      if (viol > feas_tol && col < best_col) {
-        best_col = col;
-        leave_pos = i;
-      }
-    }
-  } else {
-    double best_score = 0.0;
-    for (int i = 0; i < m_; ++i) {
-      const int col = basic_var_[i];
-      const double v = xb_[i];
-      const double viol = std::max(lo_[col] - v, v - hi_[col]);
-      if (viol <= feas_tol) continue;
-      const double score = viol * viol / dse_w_[i];
-      if (score > best_score) {
-        best_score = score;
-        leave_pos = i;
-      }
-    }
-  }
+  // toward rows whose pivot actually moves the dual objective). On large
+  // bases the scan runs over a periodically rebuilt candidate list instead
+  // of all m rows (see select_leave_row).
+  const int leave_pos = select_leave_row(bland);
   if (leave_pos < 0) return 1;  // primal feasible => optimal
 
   const int leave_col = basic_var_[leave_pos];
@@ -591,11 +940,19 @@ int DualSimplex::iterate() {
     flips.resize(keep);
   }
 
-  // ---- FTRAN entering column.
+  // ---- FTRAN entering column. Under Forrest-Tomlin the partial solve
+  // (L + row etas, before the U back-substitution) is stashed inside the
+  // factorization as the spike for a subsequent update(); the two-phase
+  // form is exactly ftran(). The eta-file path keeps the plain call.
   std::vector<double>& w = w_scratch_;
   w.assign(m_, 0.0);
   axpy_work_column(enter_col, 1.0, w);
-  ftran(w);
+  if (opt_.forrest_tomlin) {
+    lu_.ftran_spike(w);
+    lu_.ftran_finish(w);
+  } else {
+    ftran(w);
+  }
   const double wr = w[leave_pos];
   if (std::abs(wr) < opt_.pivot_tol) {
     // The FTRAN'd pivot element disagrees with the BTRAN'd one badly;
@@ -694,18 +1051,45 @@ int DualSimplex::iterate() {
   basic_var_[leave_pos] = enter_col;
   xb_[leave_pos] = enter_val;
 
-  // ---- Record eta.
-  Eta eta;
-  eta.pivot_pos = leave_pos;
-  eta.pivot_val = wr;
-  for (int i = 0; i < m_; ++i) {
-    if (i != leave_pos && w[i] != 0.0) {
-      eta.idx.push_back(i);
-      eta.val.push_back(w[i]);
+  // ---- Commit the basis change into the factorization: Forrest-Tomlin
+  // update in place when stable, else fall back to a full refactorize.
+  // The eta-file path (forrest_tomlin off) records a product-form eta and
+  // refactorizes on the fixed pivot-count interval.
+  bool force_refactor = false;
+  if (opt_.forrest_tomlin) {
+    if (lu_.update(leave_pos)) {
+      ++stats_.ft_updates;
+      // Refresh triggers: update-count cap, or fill growth past the
+      // configured multiple of the fresh factorization's nnz (the +16m
+      // floor keeps tiny bases from thrashing on the ratio alone).
+      if (lu_.updates() >= opt_.ft_update_limit ||
+          lu_.nnz() > static_cast<int64_t>(opt_.ft_growth_limit * nnz_base_) +
+                          16 * static_cast<int64_t>(m_)) {
+        if (lu_.updates() < opt_.ft_update_limit) ++stats_.ft_growth_refactors;
+        force_refactor = true;
+      }
+    } else {
+      // Update rejected for stability (spike growth / tiny new diagonal):
+      // the factorization still describes the OLD basis, so rebuild now.
+      ++stats_.ft_growth_refactors;
+      force_refactor = true;
     }
+  } else {
+    Eta eta;
+    eta.pivot_pos = leave_pos;
+    eta.pivot_val = wr;
+    for (int i = 0; i < m_; ++i) {
+      if (i != leave_pos && w[i] != 0.0) {
+        eta.idx.push_back(i);
+        eta.val.push_back(w[i]);
+      }
+    }
+    etas_.push_back(std::move(eta));
+    ++stats_.eta_pivots;
+    if (++pivots_since_refactor_ >= opt_.refactor_interval)
+      force_refactor = true;
   }
-  etas_.push_back(std::move(eta));
-  if (++pivots_since_refactor_ >= opt_.refactor_interval) {
+  if (force_refactor) {
     if (!refactorize()) return 3;
     recompute_reduced_costs();
     recompute_basic_values();
@@ -862,23 +1246,29 @@ LpResult DualSimplex::solve() {
     return result;
   }
 
-  // Assemble the structural solution.
+  // Assemble the structural solution (still in the scaled frame).
   result.x.assign(n_, 0.0);
   for (int j = 0; j < n_; ++j)
     if (status_[j] != kBasic) result.x[j] = x_[j];
   for (int i = 0; i < m_; ++i)
     if (basic_var_[i] < n_) result.x[basic_var_[i]] = xb_[i];
 
+  // The artificial-bound check runs on the scaled values (the bound was
+  // installed in the scaled frame by make_initial_basis).
   if (used_artificial_bound_) {
     for (int j = 0; j < n_; ++j) {
       if (std::abs(std::abs(result.x[j]) - opt_.artificial_bound) < 1e-3) {
         result.status = LpStatus::kUnbounded;
         result.objective = -kInf;
         result.iterations = iters;
+        result.x.clear();
         return result;
       }
     }
   }
+  // Unscale to the caller's frame: x_true = x_scaled * q_j (exact -- the
+  // factors are powers of two).
+  for (int j = 0; j < n_; ++j) result.x[j] *= scale_[j];
   result.status = LpStatus::kOptimal;
   result.objective = lp_->objective_value(result.x);
   result.dual_bound = result.objective;

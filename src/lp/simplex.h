@@ -67,8 +67,39 @@ struct SimplexOptions {
   // iteration cadence, so truncation points are machine-independent.
   double objective_limit = kInf;
   int refactor_interval = 64;
+  // Forrest-Tomlin basis updates: each pivot folds into the LU factors as
+  // one row eta plus a column replacement instead of appending a
+  // product-form eta, so the expensive full refactorization is deferred
+  // until ft_update_limit updates accumulate, fill grows past
+  // ft_growth_limit x the post-refactorize nnz, or an update is rejected
+  // as unstable (near-cancelled replacement diagonal / huge eliminator).
+  // Off = the PR-4 product-form eta path on the refactor_interval cadence,
+  // kept for ablation.
+  bool forrest_tomlin = true;
+  int ft_update_limit = 192;
+  double ft_growth_limit = 3.0;
+  // Curtis-Reid geometric-mean scaling at engine load time: equilibrates
+  // the badly-ranged memory rows (byte coefficients vs. 0/1 logic rows) by
+  // least-squares log2 row/column factors rounded to powers of two, so
+  // scaling and unscaling are exact and the solution/duals extract
+  // bit-clean. Snapshots carry the scaling identity; engines over the same
+  // LP derive identical factors, preserving the restore contract.
+  bool scaling = true;
+  // Partial (candidate-list) dual pricing: the leaving-row scan keeps a
+  // deterministic short list of the worst primal violations (by dse-scaled
+  // score) and only rescans the full row set when the list drains or its
+  // refresh cadence lapses. List membership is a pure function of the
+  // solve trajectory, so node counts stay bit-identical across thread
+  // counts. Engaged only past partial_pricing_min_rows rows.
+  bool partial_pricing = true;
+  int partial_pricing_min_rows = 256;
   // Deterministic tiny cost perturbation to break dual degeneracy (the
-  // rematerialization LPs have thousands of zero-cost columns). The true
+  // rematerialization LPs have thousands of zero-cost columns). Scaled
+  // per column by |c_j| (zero-cost columns use the global max |c|) so
+  // that badly-ranged objectives are not distorted: a jitter
+  // proportional to the GLOBAL max cost can dwarf a small column's true
+  // cost and park the solve on a perturbed-optimal vertex that is
+  // macroscopically suboptimal for the real objective. The true
   // objective is always recomputed from unperturbed costs.
   double perturbation = 1e-8;
   // Finite stand-in bound for dual-infeasible columns lacking a usable
@@ -81,6 +112,18 @@ struct SimplexOptions {
   // kIterationLimit with a sound truncated dual bound. Both default inert.
   robust::Deadline deadline;
   robust::CancelToken cancel;
+};
+
+// Cumulative LP-engine observability counters (per DualSimplex instance;
+// branch & bound diffs them around each node batch to attribute work).
+struct LpEngineStats {
+  int64_t refactorizations = 0;  // full LU rebuilds
+  int64_t ft_updates = 0;        // Forrest-Tomlin updates absorbed
+  // Refactorizations forced by FT fill growth or an unstable update (a
+  // subset of refactorizations; the rest are cadence/anti-stall/restore).
+  int64_t ft_growth_refactors = 0;
+  int64_t eta_pivots = 0;      // product-form eta pivots (FT off)
+  int64_t pricing_resets = 0;  // partial-pricing candidate-list rebuilds
 };
 
 // Engine-independent capture of the warm-start-relevant simplex state:
@@ -98,14 +141,22 @@ struct BasisSnapshot {
     int col;  // structural j in [0, n) or slack n + row
     double lo, hi;
   };
-  // Row count of the LP when the snapshot was captured. Cut rows only ever
-  // APPEND to a working LP (branch & cut never deletes rows mid-search), so
-  // a parent snapshot may carry fewer rows than the LP a child restores
-  // into: restore() adopts the snapshot's basis for the first num_rows rows
-  // and makes the newer rows' slacks basic (exactly how a freshly appended
-  // cut row enters the basis), keeping the restored state a pure function
-  // of (snapshot, current LP).
+  // Row count of the LP when the snapshot was captured, plus the identity
+  // (LinearProgram::row_ids) of each of those rows. Cut rows append to a
+  // working LP between epochs and aged-out cut rows are garbage-collected
+  // from it, so the row set a snapshot was captured over and the row set it
+  // restores into may differ in both directions. restore() matches rows by
+  // id: when the snapshot's ids are a prefix of the LP's (the common pure-
+  // append case) the basis is adopted directly and newer rows' slacks made
+  // basic; otherwise surviving rows keep their captured basis state,
+  // removed rows' basic columns are re-placed deterministically (structural
+  // -> its sign-correct bound, vanished slack -> the position's own slack),
+  // and a full consistency validation guards the result -- any mismatch
+  // falls back to the fresh slack basis with the bound overrides kept.
+  // Either way the restored state is a pure function of (snapshot, current
+  // LP), which is the parallel-search determinism contract.
   int num_rows = 0;
+  std::vector<int64_t> row_ids;  // size num_rows when valid
   std::vector<int8_t> status;                       // size n + num_rows
   std::vector<int> basic_var;                       // size num_rows
   std::vector<BoundOverride> bounds;                // cols differing from the LP
@@ -119,6 +170,14 @@ struct BasisSnapshot {
   // way the post-restore trajectory is a pure function of the snapshot,
   // preserving the bit-identity contract.
   std::vector<double> dse_weights;
+  // Hash of the engine's Curtis-Reid scale exponents. Everything numeric
+  // in the snapshot is stored in the TRUE frame (exactly, since the scale
+  // factors are powers of two) except the steepest-edge weights, which are
+  // norms in the scaled frame: on a scaling-identity mismatch restore()
+  // resets them to the unit frame instead of carrying garbage. Engines
+  // over the same LinearProgram (same scaling_rows prefix) always agree,
+  // so the bit-exact clone/restore contract is unaffected.
+  uint64_t scaling_hash = 0;
   bool used_artificial_bound = false;
   // False (the default-constructed snapshot): restore() resets the engine
   // to its freshly-constructed state (next solve builds the slack basis).
@@ -142,8 +201,11 @@ class DualSimplex {
   // invoked by restore() and solve(), so callers normally never need it
   // explicitly. Rows must only ever be appended, never removed.
   void sync_rows();
-  double var_lower(int var) const { return lo_[var]; }
-  double var_upper(int var) const { return hi_[var]; }
+  // Current (possibly branch-overridden) bounds in the ORIGINAL frame;
+  // internally bounds live scaled, and the scale factors are powers of two
+  // so the round trip through set_var_bounds is exact.
+  double var_lower(int var) const { return lo_[var] * scale_[var]; }
+  double var_upper(int var) const { return hi_[var] * scale_[var]; }
 
   // Solves (or re-solves after bound changes) to optimality.
   LpResult solve();
@@ -183,13 +245,40 @@ class DualSimplex {
 
   int64_t iterations_total() const { return total_iterations_; }
 
+  // Cumulative engine counters over every solve on this instance.
+  const LpEngineStats& stats() const { return stats_; }
+
   // Reduced costs of the structural columns at the current basis (valid
   // after an optimal solve(); computed against the perturbed costs, so
-  // consumers must budget a small safety margin). Branch & bound reads
-  // these at the root for reduced-cost variable fixing.
+  // consumers must budget a small safety margin), unscaled to the original
+  // frame. Branch & bound reads these at the root for reduced-cost fixing.
   std::vector<double> structural_reduced_costs() const {
-    return std::vector<double>(d_.begin(), d_.begin() + n_);
+    std::vector<double> out(d_.begin(), d_.begin() + n_);
+    for (int j = 0; j < n_; ++j) out[j] /= scale_[j];
+    return out;
   }
+
+  // ---- Tableau inspection (valid after an optimal solve; Gomory cut
+  // separation reads basis rows in the original, unscaled frame).
+  enum Status : int8_t { kNonbasicLower, kNonbasicUpper, kBasic, kFree };
+  int num_rows() const { return m_; }
+  int basic_col(int pos) const { return basic_var_[pos]; }
+  int col_status(int col) const { return status_[col]; }
+  // Value of the basic column at basis position `pos`, unscaled.
+  double basic_value(int pos) const {
+    return xb_[pos] * scale_[basic_var_[pos]];
+  }
+  // Value of a nonbasic column, unscaled (bound or free value).
+  double nonbasic_value(int col) const { return x_[col] * scale_[col]; }
+  // Simplex tableau row of basis position `pos`: every nonbasic column
+  // (structural or slack; |coef| > 1e-11) in the identity
+  //   x_B[pos] + sum_k coefs[k] * x[cols[k]] = 0
+  // in the original (unscaled) frame -- the working form is homogeneous, so
+  // rows have no constant term; the current basic value is basic_value(pos)
+  // with nonbasics at nonbasic_value(). Costs one BTRAN + one hypersparse
+  // pivot-row pass; returns false when the basis is not factorized.
+  bool tableau_row(int pos, std::vector<int>& cols,
+                   std::vector<double>& coefs);
 
  private:
   int num_total() const { return n_ + m_; }
@@ -210,6 +299,16 @@ class DualSimplex {
   void recompute_basic_values();
   void make_initial_basis();
   double bound_for_status(int col, int status) const;
+  // Curtis-Reid scale factors for the constructor (fills scale_ and
+  // scaling_hash_; all-ones when opt_.scaling is off or the ranges are
+  // already balanced enough that every rounded factor is 1).
+  void compute_scaling(const LinearProgram& lp);
+  // Partial pricing: rebuilds the leaving-row candidate list with a full
+  // deterministic scan (worst violations by dse-scaled score).
+  void rebuild_price_list();
+  // Leaving-row selection (full scan, or over the candidate list when
+  // partial pricing is engaged). Returns -1 when primal feasible.
+  int select_leave_row(bool bland);
 
   // Hypersparse pivot-row computation: alpha = W' rho accumulated over the
   // nonzeros of rho only (CSR rows of A + the slack diagonal), written into
@@ -228,16 +327,27 @@ class DualSimplex {
 
   const LinearProgram* lp_;
   SimplexOptions opt_;
-  SparseMatrix a_;  // structural columns
+  SparseMatrix a_;  // structural columns (Curtis-Reid scaled)
   int n_ = 0, m_ = 0;
   // Count of lp_->entries already folded into a_; sync_rows() consumes the
   // tail (appended cut rows reference only rows >= m_).
   size_t entries_synced_ = 0;
 
-  std::vector<double> cost_;     // size n+m (slack cost 0)
-  std::vector<double> lo_, hi_;  // size n+m, current (possibly overridden)
+  // Curtis-Reid column scale factors, size n+m: structural j holds q_j
+  // (internal x~_j = x_j / q_j), slack n+i holds 1/r_i so the slack column
+  // of the scaled working matrix stays exactly -1. All powers of two, so
+  // every scale/unscale is exact in floating point. All-ones when scaling
+  // is off, which keeps the engine bit-identical to the unscaled build.
+  std::vector<double> scale_;
+  uint64_t scaling_hash_ = 0;
+  // Identity of each LP row this engine has adopted (mirrors
+  // LinearProgram::row_ids; synthesized 0..m-1 for LPs that don't carry
+  // ids). Captured into snapshots for restore-time row remapping.
+  std::vector<int64_t> row_ids_;
 
-  enum Status : int8_t { kNonbasicLower, kNonbasicUpper, kBasic, kFree };
+  std::vector<double> cost_;     // size n+m (slack cost 0), scaled
+  std::vector<double> lo_, hi_;  // size n+m, current (overridden), scaled
+
   std::vector<int8_t> status_;   // size n+m
   std::vector<int> basic_var_;   // size m: column index in basis position i
   std::vector<double> x_;        // nonbasic values (valid where nonbasic)
@@ -259,6 +369,14 @@ class DualSimplex {
   bool d_dirty_ = false;
   bool used_artificial_bound_ = false;
   int pivots_since_refactor_ = 0;
+  int64_t nnz_base_ = 0;  // factor nnz right after the last refactorize
+  LpEngineStats stats_;
+  // Partial-pricing candidate list (basis positions, worst-first) and its
+  // refresh bookkeeping; dirtied by anything that moves many basics at
+  // once (restore, refactorize-with-recompute, row sync).
+  std::vector<int> price_cand_;
+  int price_countdown_ = 0;
+  bool price_dirty_ = true;
   // Cumulative across every solve() on this instance; branch & bound runs
   // millions of warm-started re-solves, so this must not wrap at int range.
   int64_t total_iterations_ = 0;

@@ -95,6 +95,27 @@ struct PcObservation {
   double unit;
 };
 
+// Engine counter attribution: the per-slot (or per-root-round) growth of a
+// DualSimplex's cumulative LpEngineStats.
+lp::LpEngineStats stats_since(const lp::LpEngineStats& now,
+                              const lp::LpEngineStats& base) {
+  lp::LpEngineStats d;
+  d.refactorizations = now.refactorizations - base.refactorizations;
+  d.ft_updates = now.ft_updates - base.ft_updates;
+  d.ft_growth_refactors = now.ft_growth_refactors - base.ft_growth_refactors;
+  d.eta_pivots = now.eta_pivots - base.eta_pivots;
+  d.pricing_resets = now.pricing_resets - base.pricing_resets;
+  return d;
+}
+
+void add_stats(MilpResult& r, const lp::LpEngineStats& d) {
+  r.lp_refactorizations += d.refactorizations;
+  r.lp_ft_updates += d.ft_updates;
+  r.lp_ft_growth_refactors += d.ft_growth_refactors;
+  r.lp_eta_pivots += d.eta_pivots;
+  r.lp_pricing_resets += d.pricing_resets;
+}
+
 struct IncumbentCandidate {
   double objective;
   std::vector<double> x;
@@ -113,6 +134,9 @@ struct SlotResult {
   // separation). Globally valid by construction; the coordinator offers
   // them to the pool in slot order at the barrier.
   std::vector<Cut> cuts;
+  // LP-engine counter growth over this slot's solves (node LPs + probes);
+  // deterministic because the slot's engine trajectory is snapshot-pure.
+  lp::LpEngineStats lp_stats;
   std::vector<double> heur_x;  // first fractional LP solution of the slot
   double heur_obj = lp::kInf;
   bool solved_root = false;
@@ -143,6 +167,20 @@ class EpochSearch {
         heur_interval_(std::max(1, options.heuristic_interval)) {
     epoch_width_ = std::max(1, opt_.epoch_width);
     num_workers_ = resolve_tree_threads(opt_);
+    // The working LP needs stable row identities (cut-row GC remaps basis
+    // snapshots by id) -- synthesize them when the caller's LP doesn't
+    // carry any (e.g. the presolve output builds rows directly). And the
+    // base rows define the Curtis-Reid scaling prefix: cut rows appended
+    // (and deleted) mid-search keep unit row scale, so EVERY engine
+    // constructed over this LP -- before or after any cut event -- derives
+    // the identical scale vector, which is what lets basis snapshots carry
+    // steepest-edge weights across engines bit-exactly.
+    if (static_cast<int>(lp_.row_ids.size()) != lp_.num_rows()) {
+      lp_.row_ids.resize(static_cast<size_t>(lp_.num_rows()));
+      for (int r = 0; r < lp_.num_rows(); ++r) lp_.row_ids[r] = r;
+      lp_.next_row_id = lp_.num_rows();
+    }
+    lp_.scaling_rows = lp_.num_rows();
     max_dive_nodes_ =
         opt_.node_selection == NodeSelection::kBestBound ? 1 : kMaxDiveNodes;
     for (int j = 0; j < lp.num_vars(); ++j)
@@ -154,9 +192,14 @@ class EpochSearch {
     // feasible point: cut rounds and strong-branch probes pay off through
     // bound pruning, which such a search never reaches, so both default
     // off there regardless of the knobs.
-    cuts_on_ = opt_.cut_separation && opt_.cut_structure != nullptr &&
-               !opt_.cut_structure->empty() && !int_vars_.empty() &&
-               !opt_.stop_at_first_incumbent;
+    knapsack_cuts_on_ = opt_.cut_separation &&
+                        opt_.cut_structure != nullptr &&
+                        !opt_.cut_structure->empty();
+    // Gomory separation reads the root tableau, so it needs no structural
+    // view -- generic MILPs get root cut rounds too.
+    cuts_on_ = opt_.cut_separation && !int_vars_.empty() &&
+               !opt_.stop_at_first_incumbent &&
+               (knapsack_cuts_on_ || opt_.gomory_cuts);
     // Reliability branching exists to make the pseudocost scores
     // trustworthy early; with pseudocost branching off the probes would
     // feed a store nobody reads.
@@ -381,10 +424,12 @@ class EpochSearch {
       // deterministically ordered.
       maybe_fix_by_reduced_cost();
       // Node-separated cuts offered this epoch: select the best and append
-      // them, then age the pool (activity-based: entries that keep losing
-      // the selection without being re-separated are evicted).
+      // them, then age both pool populations (pooled entries that keep
+      // losing the selection are evicted; in-LP rows that stay slack at
+      // the root point are deleted from the working LP).
       if (cuts_on_ && !had_root) {
         append_cuts(cut_pool_.select(cut_budget()));
+        gc_cut_rows();
         cut_pool_.age_tick();
       }
       if (stop_) break;
@@ -414,6 +459,7 @@ class EpochSearch {
       result_.nodes += r.nodes;
       result_.lp_iterations += r.lp_iterations;
       result_.strong_branches += r.strong_branches;
+      add_stats(result_, r.lp_stats);
       if (r.solved_root) {
         root_done_ = true;
         if (r.root_lp_ok) {
@@ -517,12 +563,43 @@ class EpochSearch {
   // Appends selected cuts as <= rows of the working LP. Every engine
   // adopts the rows via DualSimplex::sync_rows() on its next restore() or
   // solve(); parent snapshots captured before the append restore cleanly
-  // (the new rows enter with their slack basic).
+  // (the new rows enter with their slack basic). The new rows' stable ids
+  // are bound back into the pool so in-LP aging can later delete them.
   void append_cuts(const std::vector<Cut>& chosen) {
+    if (chosen.empty()) return;
+    std::vector<int64_t> ids;
+    ids.reserve(chosen.size());
     for (const Cut& c : chosen) {
       lp_.add_le(c.terms, c.rhs);
+      ids.push_back(lp_.row_ids.back());
       ++result_.cuts_added;
+      if (c.source == Cut::kGomory) ++result_.gomory_cuts;
     }
+    cut_pool_.bind_rows(chosen, ids);
+  }
+
+  // In-LP cut aging at the barrier: rows whose cut has been slack at the
+  // (cut-strengthened) root point for too many consecutive barriers are
+  // physically deleted from the working LP. Engines are rebuilt lazily --
+  // sync_rows only handles appends -- and every snapshot captured before
+  // the deletion (parent nodes, the root basis) remaps by row id on its
+  // next restore. Coordinator-only, so race-free and deterministic.
+  void gc_cut_rows() {
+    if (root_x_.empty()) return;
+    const std::vector<int64_t> dead = cut_pool_.age_in_lp([&](const Cut& c) {
+      double act = 0.0;
+      for (const auto& [var, coef] : c.terms) act += coef * root_x_[var];
+      return act < c.rhs - 1e-7;
+    });
+    if (dead.empty()) return;
+    std::vector<int> rows;
+    rows.reserve(dead.size());
+    for (int r = 0; r < lp_.num_rows(); ++r)
+      if (std::find(dead.begin(), dead.end(), lp_.row_ids[r]) != dead.end())
+        rows.push_back(r);
+    lp_.remove_rows(rows);
+    result_.cuts_removed += static_cast<int64_t>(rows.size());
+    for (Worker& w : workers_) w.engine.reset();
   }
 
   // Root separation: alternate (separate on the root LP point, append the
@@ -538,13 +615,45 @@ class EpochSearch {
       if (!w.engine)
         w.engine = std::make_unique<lp::DualSimplex>(lp_, opt_.simplex);
       lp::DualSimplex& eng = *w.engine;
+      const lp::LpEngineStats stats0 = eng.stats();
+      // The Gomory separator reads the engine's tableau, so the engine
+      // must sit at the root optimum: land it there from the root snapshot
+      // (the snapshot IS the optimal basis -- this costs ~0 pivots).
+      bool at_optimum = false;
+      if (opt_.gomory_cuts) {
+        eng.restore(*root_snap_);
+        eng.set_objective_limit(lp::kInf);
+        eng.set_time_limit(std::max(0.01, remaining_sec()));
+        const lp::LpResult rel = eng.solve();
+        result_.lp_iterations += rel.iterations;
+        at_optimum = rel.status == lp::LpStatus::kOptimal;
+      }
+      // Gomory separation must prove itself: a round whose bound gain is
+      // negligible before Gomory has ever moved the root bound disables
+      // FURTHER Gomory separation -- on some instances the tableau only
+      // yields violated-but-shallow cuts that bloat every node LP and
+      // crowd the knapsack separators out of the round budget. Once a
+      // round lands a real gain, separation runs until no violated cut
+      // remains: late rounds often finish integralizing the root vertex
+      // even while the bound plateaus, which is what collapses the tree.
+      bool gomory_live = opt_.gomory_cuts;
+      bool gomory_gained = false;
       for (int round = 0; round < opt_.max_root_cut_rounds; ++round) {
         const int budget = cut_budget();
         if (budget <= 0) break;
         if (remaining_sec() <= 0.0) break;
+        // The root bound already proves the incumbent within the
+        // termination gap: the search will end without branching, so any
+        // further separation round is pure waste (the root epoch's dives
+        // commit incumbents before the cut rounds run).
+        if (result_.root_relaxation >= prune_threshold()) break;
         std::vector<Cut> cuts;
-        separate_knapsack_cuts(*opt_.cut_structure, lp_, root_x_,
-                               separation_options(), &cuts);
+        if (knapsack_cuts_on_)
+          separate_knapsack_cuts(*opt_.cut_structure, lp_, root_x_,
+                                 separation_options(), &cuts);
+        if (gomory_live && at_optimum)
+          separate_gomory_cuts(lp_, eng, root_x_, separation_options(),
+                               &cuts);
         for (Cut& c : cuts) cut_pool_.offer(std::move(c));
         const std::vector<Cut> chosen = cut_pool_.select(budget);
         if (chosen.empty()) break;
@@ -554,12 +663,19 @@ class EpochSearch {
         eng.set_time_limit(std::max(0.01, remaining_sec()));
         const lp::LpResult rel = eng.solve();
         result_.lp_iterations += rel.iterations;
-        if (rel.status != lp::LpStatus::kOptimal) break;  // keep previous root
+        at_optimum = rel.status == lp::LpStatus::kOptimal;
+        if (!at_optimum) break;  // keep previous root
+        const double gain = rel.objective - result_.root_relaxation;
+        if (gain > std::max(1e-9, 1e-6 * std::abs(rel.objective)))
+          gomory_gained = true;
+        else if (!gomory_gained)
+          gomory_live = false;  // never helped here: tailing off
         result_.root_relaxation = rel.objective;
         root_x_ = rel.x;
         root_redcost_ = eng.structural_reduced_costs();
         root_snap_ = std::make_shared<const lp::BasisSnapshot>(eng.snapshot());
       }
+      add_stats(result_, stats_since(eng.stats(), stats0));
     } catch (const std::exception&) {
       // Recovery ladder: a cut round that dies (e.g. an injected cut-row
       // append failure) abandons further rounds and keeps the previous
@@ -788,6 +904,7 @@ class EpochSearch {
       w.engine = std::make_unique<lp::DualSimplex>(lp_, opt_.simplex);
     lp::DualSimplex& eng = *w.engine;
     SlotResult out;
+    const lp::LpEngineStats eng_stats0 = eng.stats();
     // Under branch & cut the root is solved alone (no dive): the root
     // separation rounds need the pristine root basis and point, and the
     // children they reopen inherit the cut-strengthened bound.
@@ -815,7 +932,10 @@ class EpochSearch {
     for (const BoundChange& f : global_fix_) {
       const double ilo = std::max(eng.var_lower(f.var), f.lo);
       const double ihi = std::min(eng.var_upper(f.var), f.hi);
-      if (ilo > ihi) return out;
+      if (ilo > ihi) {
+        out.lp_stats = stats_since(eng.stats(), eng_stats0);
+        return out;
+      }
       if (ilo != eng.var_lower(f.var) || ihi != eng.var_upper(f.var))
         eng.set_var_bounds(f.var, ilo, ihi);
     }
@@ -989,7 +1109,8 @@ class EpochSearch {
       // come from the original knapsack structure, never from local branch
       // bounds), so they ride the SlotResult to the coordinator, which
       // pools and appends them at the barrier in slot order.
-      if (cuts_on_ && opt_.cut_node_interval > 0 && !is_root &&
+      if (knapsack_cuts_on_ && !opt_.stop_at_first_incumbent &&
+          opt_.cut_node_interval > 0 && !is_root &&
           out.nodes % opt_.cut_node_interval == 0 &&
           static_cast<int>(out.cuts.size()) < opt_.max_cuts_per_round) {
         SeparationOptions sep = separation_options();
@@ -1063,6 +1184,7 @@ class EpochSearch {
       eng.set_var_bounds(c.var, c.lo, c.hi);
       cur = Cursor{child_path, rel.objective, bv, *dive_dir, f, nullptr};
     }
+    out.lp_stats = stats_since(eng.stats(), eng_stats0);
     return out;
   }
 
@@ -1189,6 +1311,7 @@ class EpochSearch {
   // Branch & cut state: pool driven by the coordinator at barriers only;
   // root_snap_ is the latest (cut-tightened) root basis.
   bool cuts_on_ = false;
+  bool knapsack_cuts_on_ = false;
   bool reliability_on_ = false;
   CutPool cut_pool_;
   std::shared_ptr<const lp::BasisSnapshot> root_snap_;

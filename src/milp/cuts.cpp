@@ -5,6 +5,8 @@
 #include <limits>
 #include <numeric>
 
+#include "lp/simplex.h"
+
 namespace checkmate::milp {
 
 namespace {
@@ -302,6 +304,155 @@ void separate_knapsack_cuts(const FormulationStructure& structure,
   }
 }
 
+// ------------------------------------------------------------ Gomory cuts
+//
+// GMI derivation in the bound-shifted frame. The engine's tableau row at
+// basis position p is the identity  x_B + sum_j coef_j x_j = 0  over the
+// nonbasic columns j (structurals AND slacks). Substituting each nonbasic
+// at its bound (lower: x = l + t, upper: x = u - t, t >= 0) turns it into
+//   x_B = b  -  sum_j abar_j t_j,      b = basic value, t >= 0,
+// with abar_j = +coef_j at a lower bound and -coef_j at an upper bound.
+// With x_B integer and f0 = frac(b) usefully interior, the Gomory mixed
+// integer cut in the >=-1 normalized form is
+//   sum_{int j} gamma_j t_j + sum_{cont j} gamma_j t_j >= 1,
+//   gamma_int  = f_j/f0            if f_j <= f0,   f_j = frac(abar_j)
+//              = (1-f_j)/(1-f0)    otherwise,
+//   gamma_cont = abar_j/f0         if abar_j >= 0,
+//              = -abar_j/(1-f0)    otherwise.
+// Mapping t back to x and substituting slack rows (s_r = (Ax)_r, bounds
+// [row_lb, row_ub]) through one level of lp.entries yields a structural
+// inequality, negated to the pool's <= convention.
+void separate_gomory_cuts(const lp::LinearProgram& lp,
+                          lp::DualSimplex& engine, std::span<const double> x,
+                          const SeparationOptions& options,
+                          std::vector<Cut>* out) {
+  const int n = lp.num_vars();
+  const int m = engine.num_rows();
+  // Rowwise expansion of the LP for slack substitution (built once).
+  std::vector<std::vector<std::pair<int, double>>> rows(
+      static_cast<size_t>(m));
+  for (const lp::Triplet& t : lp.entries)
+    if (t.row < m) rows[static_cast<size_t>(t.row)].emplace_back(t.col, t.value);
+
+  // True when shifting this nonbasic keeps an integral step variable.
+  const auto integral_shift = [&](int col, double bound) {
+    return col < n && lp.is_integer[col] &&
+           std::abs(bound - std::llround(bound)) < 1e-9;
+  };
+
+  std::vector<Cut> found;
+  std::vector<int> cols;
+  std::vector<double> coefs;
+  std::vector<double> acc(static_cast<size_t>(n), 0.0);
+  std::vector<int> touched;
+  for (int pos = 0; pos < m; ++pos) {
+    const int basic = engine.basic_col(pos);
+    if (basic < 0 || basic >= n || !lp.is_integer[basic]) continue;
+    const double b = engine.basic_value(pos);
+    const double f0 = b - std::floor(b);
+    if (f0 < 0.005 || f0 > 0.995) continue;  // cut would be numerically weak
+    if (!engine.tableau_row(pos, cols, coefs)) return;  // basis not factorized
+
+    // gamma per nonbasic, still keyed by engine column (slack = n + row).
+    bool usable = true;
+    double rhs_ge = 1.0;
+    touched.clear();
+    auto add_term = [&](int col, double g) {
+      if (g == 0.0) return;
+      if (acc[static_cast<size_t>(col)] == 0.0) touched.push_back(col);
+      acc[static_cast<size_t>(col)] += g;
+    };
+    for (size_t k = 0; k < cols.size() && usable; ++k) {
+      const int col = cols[k];
+      const int st = engine.col_status(col);
+      const bool at_lower = st == lp::DualSimplex::kNonbasicLower;
+      const bool at_upper = st == lp::DualSimplex::kNonbasicUpper;
+      if (!at_lower && !at_upper) {
+        // A free nonbasic has no bound frame to shift into.
+        if (std::abs(coefs[k]) > 1e-9) usable = false;
+        continue;
+      }
+      const double lo = col < n ? engine.var_lower(col) : lp.row_lb[col - n];
+      const double hi = col < n ? engine.var_upper(col) : lp.row_ub[col - n];
+      const double bound = at_lower ? lo : hi;
+      if (bound == lp::kInf || bound == -lp::kInf) {
+        usable = false;  // nonbasic pinned at an infinite bound: broken row
+        continue;
+      }
+      if (hi - lo < 1e-12) continue;  // fixed: constant, no step variable
+      const double abar = at_lower ? coefs[k] : -coefs[k];
+      double gamma;
+      if (integral_shift(col, bound)) {
+        const double fj = abar - std::floor(abar);
+        gamma = fj <= f0 ? fj / f0 : (1.0 - fj) / (1.0 - f0);
+      } else {
+        gamma = abar >= 0.0 ? abar / f0 : -abar / (1.0 - f0);
+      }
+      if (gamma < 1e-12) continue;
+      // t = x - l (lower) or u - x (upper):  gamma * t >= part of lhs.
+      const double delta = at_lower ? gamma : -gamma;
+      rhs_ge += delta * bound;
+      if (col < n) {
+        add_term(col, delta);
+      } else {
+        // Substitute the slack by its defining row s_r = (Ax)_r.
+        for (const auto& [c, v] : rows[static_cast<size_t>(col - n)])
+          add_term(c, delta * v);
+      }
+    }
+    if (usable) {
+      // Collect, then guard: density, dynamic ratio, and droppable dust.
+      std::sort(touched.begin(), touched.end());
+      double max_a = 0.0;
+      for (int c : touched)
+        max_a = std::max(max_a, std::abs(acc[static_cast<size_t>(c)]));
+      Cut cut;
+      cut.source = Cut::kGomory;
+      double min_a = std::numeric_limits<double>::infinity();
+      bool ok = max_a > 1e-12 && touched.size() <= 128;
+      for (int c : touched) {
+        if (!ok) break;
+        const double a = acc[static_cast<size_t>(c)];
+        if (std::abs(a) < 1e-11 * max_a) {
+          // Dust: drop the term, keeping the >= cut valid by charging its
+          // largest possible contribution to the rhs. Needs a finite bound
+          // on the charging side; dust on an unbounded column kills the cut.
+          const double blo = lp.lb[c], bhi = lp.ub[c];
+          const double worst = a >= 0.0 ? a * bhi : a * blo;
+          if (worst == lp::kInf || worst == -lp::kInf ||
+              std::isnan(worst)) {
+            ok = false;
+          } else {
+            rhs_ge -= worst;
+          }
+          continue;
+        }
+        min_a = std::min(min_a, std::abs(a));
+        cut.terms.emplace_back(c, -a);  // negate: emitted as <=
+      }
+      if (ok && !cut.terms.empty() && max_a / min_a <= 1e7) {
+        cut.rhs = -rhs_ge;
+        double act = 0.0, norm2 = 0.0;
+        for (const auto& [c, a] : cut.terms) {
+          act += a * x[c];
+          norm2 += a * a;
+        }
+        cut.violation = (act - cut.rhs) / std::sqrt(std::max(norm2, 1e-12));
+        if (cut.violation >= options.min_violation) {
+          cut.hash = cut_hash(cut);
+          found.push_back(std::move(cut));
+        }
+      }
+    }
+    for (int c : touched) acc[static_cast<size_t>(c)] = 0.0;
+  }
+
+  std::sort(found.begin(), found.end(), cut_order_before);
+  if (static_cast<int>(found.size()) > options.max_cuts)
+    found.resize(static_cast<size_t>(options.max_cuts));
+  for (Cut& c : found) out->push_back(std::move(c));
+}
+
 bool CutPool::offer(Cut cut) {
   if (cut.hash == 0) cut.hash = cut_hash(cut);
   for (Entry& e : entries_) {
@@ -346,6 +497,47 @@ std::vector<Cut> CutPool::select(int max_cuts) {
     out.push_back(e.cut);
   }
   return out;
+}
+
+void CutPool::bind_rows(std::span<const Cut> chosen,
+                        std::span<const int64_t> row_ids) {
+  for (size_t k = 0; k < chosen.size() && k < row_ids.size(); ++k) {
+    const Cut& c = chosen[k];
+    for (Entry& e : entries_) {
+      if (e.in_lp && e.row_id < 0 && e.cut.hash == c.hash &&
+          e.cut.rhs == c.rhs && e.cut.terms == c.terms) {
+        e.row_id = row_ids[k];
+        e.lp_age = 0;
+        break;
+      }
+    }
+  }
+}
+
+std::vector<int64_t> CutPool::age_in_lp(
+    const std::function<bool(const Cut&)>& loose) {
+  std::vector<int64_t> dead;
+  for (Entry& e : entries_) {
+    if (!e.in_lp || e.row_id < 0) continue;
+    if (loose(e.cut)) {
+      if (++e.lp_age > opt_.max_age) dead.push_back(e.row_id);
+    } else {
+      e.lp_age = 0;
+    }
+  }
+  if (!dead.empty()) {
+    // Dropping the entry also drops its dedup anchor: a later re-separation
+    // of the same cut re-enters the pool as a fresh entry (and may be
+    // re-appended) -- bounded by the caller's total-cuts budget.
+    entries_.erase(std::remove_if(entries_.begin(), entries_.end(),
+                                  [&dead](const Entry& e) {
+                                    return e.in_lp && e.row_id >= 0 &&
+                                           std::find(dead.begin(), dead.end(),
+                                                     e.row_id) != dead.end();
+                                  }),
+                   entries_.end());
+  }
+  return dead;
 }
 
 void CutPool::age_tick() {

@@ -41,10 +41,15 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <vector>
 
 #include "lp/lp_problem.h"
+
+namespace checkmate::lp {
+class DualSimplex;  // tableau source for the Gomory separator
+}
 
 namespace checkmate::milp {
 
@@ -75,14 +80,19 @@ struct FormulationStructure {
 };
 
 // A globally valid inequality terms . x <= rhs (terms sorted by variable,
-// integer coefficients for the families above). `violation` is the
-// normalized violation at the LP point that separated the cut (selection
-// score); `hash` is a content hash over terms and rhs (dedup key).
+// integer coefficients for the knapsack families above, fractional for
+// Gomory cuts). `violation` is the normalized violation at the LP point
+// that separated the cut (selection score); `hash` is a content hash over
+// terms and rhs (dedup key). `source` tags the separator family for the
+// observability counters only -- it is NOT part of the content hash, so a
+// Gomory cut that reproduces a knapsack inequality still deduplicates.
 struct Cut {
   std::vector<std::pair<int, double>> terms;
   double rhs = 0.0;
   double violation = 0.0;
   uint64_t hash = 0;
+  enum Source : int8_t { kKnapsack = 0, kGomory = 1 };
+  int8_t source = kKnapsack;
 };
 
 // Content hash (FNV-1a over quantized terms and rhs); also recomputed by
@@ -120,6 +130,24 @@ void separate_knapsack_cuts(const FormulationStructure& structure,
                             const SeparationOptions& options,
                             std::vector<Cut>* out);
 
+// Gomory mixed-integer cuts read from the optimal simplex tableau of
+// `engine` (which must be at an optimal basis over `lp`; rows whose basis
+// is stale are skipped wholesale). For every basic structural integer
+// column with a usefully fractional value, the tableau row is shifted to
+// the nonbasics' bound frame, the GMI inequality is derived (integer
+// nonbasics use the fractional-part formula, continuous nonbasics -- and
+// ALL slacks, a valid if slightly weaker choice -- the linear one), and
+// slack terms are substituted out through one level of the LP's rows so
+// the emitted cut is purely structural. Cuts are only globally valid when
+// the engine's bounds ARE the LP's global bounds -- i.e. at the root of
+// the search -- which is the only place the branch & cut driver calls
+// this. Emitted cuts pass dynamic-ratio and density guards; `x` is the
+// fractional point used for the violation score.
+void separate_gomory_cuts(const lp::LinearProgram& lp,
+                          lp::DualSimplex& engine, std::span<const double> x,
+                          const SeparationOptions& options,
+                          std::vector<Cut>* out);
+
 struct CutPoolOptions {
   // Pool entries that keep losing the per-barrier selection are evicted
   // after this many age ticks without being re-separated.
@@ -151,6 +179,20 @@ class CutPool {
   // trimmed to max_entries keeping the best by the selection order.
   void age_tick();
 
+  // Binds just-appended LP rows to their pool entries (matched by content;
+  // `chosen` is the select() output and `row_ids` the per-cut stable row
+  // ids the caller's LP assigned). Enables age_in_lp below.
+  void bind_rows(std::span<const Cut> chosen,
+                 std::span<const int64_t> row_ids);
+
+  // Aging for the in-LP population: entries whose cut `loose` judges slack
+  // (not supporting the current relaxation point) age by one, tight ones
+  // rejuvenate. Entries loose for more than max_age consecutive calls are
+  // dropped from the pool and their bound row ids returned -- the caller
+  // physically deletes those rows from its LP (snapshot row-id remapping
+  // makes that safe) and rebuilds its engines.
+  std::vector<int64_t> age_in_lp(const std::function<bool(const Cut&)>& loose);
+
   int64_t cuts_selected() const { return selected_; }
   size_t size() const { return entries_.size(); }
 
@@ -159,6 +201,8 @@ class CutPool {
     Cut cut;
     int age = 0;
     bool in_lp = false;
+    int64_t row_id = -1;  // LP row backing an in_lp entry, -1 = unbound
+    int lp_age = 0;       // consecutive age_in_lp calls judged loose
   };
   static bool order_before(const Entry& a, const Entry& b);
   CutPoolOptions opt_;

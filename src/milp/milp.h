@@ -97,11 +97,20 @@ struct MilpOptions {
   // root separation after the root LP, node-local separation inside the
   // worker dives every cut_node_interval depths, and commits/ages the cut
   // pool at epoch barriers in slot order -- all deterministic for any
-  // num_threads. Cut rows are only ever APPENDED to the working LP (never
-  // deleted mid-search), so every parent basis snapshot restores cleanly
-  // into the grown LP (lp/simplex.h).
+  // num_threads. Cut rows are appended to the working LP as the pool
+  // selects them, and rows whose cut stays slack at the root point for
+  // cut_max_age consecutive barriers are physically DELETED again (the
+  // working LP carries stable row ids, so parent basis snapshots captured
+  // before a deletion remap onto the shrunken LP on restore --
+  // lp/simplex.h).
   const FormulationStructure* cut_structure = nullptr;
   bool cut_separation = true;
+  // Gomory mixed-integer cuts read from the root simplex tableau,
+  // interleaved with the knapsack separators during the root cut rounds
+  // (never at tree nodes: tableau cuts derived under branching bounds
+  // would only be locally valid). Shares the pool's dedup/aging/selection
+  // machinery and the max_cuts_total budget.
+  bool gomory_cuts = true;
   // Separation rounds at the root (each round re-solves the root LP on the
   // cut-tightened relaxation and re-separates).
   int max_root_cut_rounds = 8;
@@ -202,6 +211,20 @@ struct MilpResult {
   // deterministic search semantics: bit-identical for any num_threads.
   int64_t cuts_added = 0;
   int64_t strong_branches = 0;
+  // Of cuts_added: rows from the Gomory separator, and cut rows later
+  // deleted from the working LP by in-LP aging. Deterministic like
+  // cuts_added.
+  int64_t gomory_cuts = 0;
+  int64_t cuts_removed = 0;
+  // LP-engine observability (lp/simplex.h LpEngineStats), summed over
+  // every node/probe/root-round solve of the search. Deterministic for any
+  // num_threads: each slot's engine trajectory is a pure function of its
+  // (snapshot, working LP) inputs.
+  int64_t lp_refactorizations = 0;
+  int64_t lp_ft_updates = 0;
+  int64_t lp_ft_growth_refactors = 0;
+  int64_t lp_eta_pivots = 0;
+  int64_t lp_pricing_resets = 0;
   double seconds = 0.0;
   PresolveStats presolve;          // zeroed when presolve was disabled
 

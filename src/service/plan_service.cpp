@@ -361,6 +361,16 @@ ScheduleResult PlanService::solve_locked(CacheEntry& entry,
   }
 
   ScheduleResult res = solve_ilp_on_formulation(*entry.form, options, reuse);
+  {
+    std::lock_guard lock(stats_mu_);
+    stats_.lp_refactorizations += res.lp_refactorizations;
+    stats_.lp_ft_updates += res.lp_ft_updates;
+    stats_.lp_ft_growth_refactors += res.lp_ft_growth_refactors;
+    stats_.lp_eta_pivots += res.lp_eta_pivots;
+    stats_.lp_pricing_resets += res.lp_pricing_resets;
+    stats_.gomory_cuts += res.gomory_cuts;
+    stats_.cuts_removed += res.cuts_removed;
+  }
 
   if (opts_.chain_warm_starts && options.partitioned && res.feasible &&
       res.milp_status == milp::MilpStatus::kOptimal) {

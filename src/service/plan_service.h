@@ -125,6 +125,19 @@ struct ServiceStats {
   int64_t store_put_failures = 0;    // absorbed store write failures
   int64_t single_flight_shared = 0;  // followers served a leader's outcome
   int64_t shed_overload = 0;         // queries shed to the heuristic rung
+  // Cumulative LP-engine observability over every MILP solve the service
+  // ran (ScheduleResult pass-throughs summed): basis refactorizations,
+  // Forrest-Tomlin updates, spike/eta-growth-forced refactorizations,
+  // product-form eta pivots (nonzero only with FT disabled), partial-
+  // pricing candidate-list rebuilds, and Gomory cut rows added / cut rows
+  // later deleted by in-LP aging.
+  int64_t lp_refactorizations = 0;
+  int64_t lp_ft_updates = 0;
+  int64_t lp_ft_growth_refactors = 0;
+  int64_t lp_eta_pivots = 0;
+  int64_t lp_pricing_resets = 0;
+  int64_t gomory_cuts = 0;
+  int64_t cuts_removed = 0;
 };
 
 struct PlanQuery {

@@ -250,6 +250,72 @@ TEST(CutPool, InLpEntriesSurviveAging) {
   EXPECT_FALSE(pool.offer(make_cut({{0, 1.0}, {1, 1.0}}, 1.0, 0.9)));
 }
 
+// -------------------------------------------------- gomory mixed-integer
+
+// Oracle for the Gomory separator: every emitted cut must hold at every
+// integer-feasible point of a (pure-integer, bounded) instance. Points
+// are enumerated brute-force over the variable boxes and filtered through
+// the LP rows, exactly like the knapsack validity harness above.
+TEST(GomorySeparation, BruteForceValidityOnRandomIps) {
+  std::mt19937 rng(29);
+  std::uniform_real_distribution<double> cost(-3.0, 3.0);
+  int cuts_checked = 0;
+  int trials_with_cuts = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    const int n = 3 + static_cast<int>(rng() % 4);
+    LinearProgram lp;
+    std::vector<int> ub(n);
+    for (int j = 0; j < n; ++j) {
+      ub[j] = 1 + static_cast<int>(rng() % 2);
+      lp.add_var(0.0, ub[j], cost(rng), /*integer=*/true);
+    }
+    const int m = 1 + static_cast<int>(rng() % 3);
+    for (int r = 0; r < m; ++r) {
+      std::vector<std::pair<int, double>> t;
+      double mass = 0.0;
+      for (int j = 0; j < n; ++j) {
+        if (rng() % 3 == 0) continue;
+        const double w = 1.0 + static_cast<double>(rng() % 7);
+        t.emplace_back(j, w);
+        mass += w * ub[j];
+      }
+      if (t.empty()) t.emplace_back(static_cast<int>(rng() % n), 2.0);
+      lp.add_le(t, std::max(1.0, std::floor(mass * 0.45)));
+    }
+    lp::DualSimplex engine(lp);
+    auto res = engine.solve();
+    if (res.status != lp::LpStatus::kOptimal) continue;
+    std::vector<Cut> cuts;
+    separate_gomory_cuts(lp, engine, res.x, SeparationOptions{}, &cuts);
+    if (cuts.empty()) continue;
+    ++trials_with_cuts;
+    for (const Cut& cut : cuts) {
+      EXPECT_GT(cut.violation, 0.0) << "trial " << trial;
+      EXPECT_EQ(cut.source, Cut::kGomory) << "trial " << trial;
+    }
+    // Mixed-radix enumeration of the integer box.
+    std::vector<double> pt(n, 0.0);
+    for (;;) {
+      if (lp.max_violation(pt) <= 1e-9) {
+        for (const Cut& cut : cuts) {
+          double lhs = 0.0;
+          for (const auto& [var, coef] : cut.terms) lhs += coef * pt[var];
+          EXPECT_LE(lhs, cut.rhs + 1e-7)
+              << "trial " << trial << " cut invalid at integer point";
+          ++cuts_checked;
+        }
+      }
+      int j = 0;
+      while (j < n && pt[j] >= ub[j]) pt[j++] = 0.0;
+      if (j == n) break;
+      pt[j] += 1.0;
+    }
+  }
+  // The generator must actually exercise the separator.
+  EXPECT_GT(trials_with_cuts, 10);
+  EXPECT_GT(cuts_checked, 100);
+}
+
 // ------------------------------------------------------------ end to end
 
 TEST(BranchAndCut, CutsPreserveOptimumAndShrinkTree) {
@@ -265,6 +331,7 @@ TEST(BranchAndCut, CutsPreserveOptimumAndShrinkTree) {
   base.branch_priority = f.branch_priorities();
   base.node_selection = NodeSelection::kHybrid;
   base.reliability_branching = false;  // isolate the cut effect
+  base.gomory_cuts = false;  // knapsack separators only in both runs
 
   MilpOptions with_cuts = base;
   with_cuts.cut_structure = &structure;
@@ -335,8 +402,19 @@ TEST(BranchAndCut, WorkerCountInvariantWithCutsAndReliability) {
     EXPECT_EQ(reference->best_bound, res.best_bound) << threads;
     EXPECT_EQ(reference->root_relaxation, res.root_relaxation) << threads;
     EXPECT_EQ(reference->cuts_added, res.cuts_added) << threads;
+    EXPECT_EQ(reference->gomory_cuts, res.gomory_cuts) << threads;
+    EXPECT_EQ(reference->cuts_removed, res.cuts_removed) << threads;
     EXPECT_EQ(reference->strong_branches, res.strong_branches) << threads;
     EXPECT_EQ(reference->root_fixings, res.root_fixings) << threads;
+    // LP-engine observability counters are part of the deterministic
+    // contract too: slot trajectories are snapshot-pure.
+    EXPECT_EQ(reference->lp_refactorizations, res.lp_refactorizations)
+        << threads;
+    EXPECT_EQ(reference->lp_ft_updates, res.lp_ft_updates) << threads;
+    EXPECT_EQ(reference->lp_ft_growth_refactors, res.lp_ft_growth_refactors)
+        << threads;
+    EXPECT_EQ(reference->lp_eta_pivots, res.lp_eta_pivots) << threads;
+    EXPECT_EQ(reference->lp_pricing_resets, res.lp_pricing_resets) << threads;
     ASSERT_EQ(reference->x.size(), res.x.size());
     for (size_t j = 0; j < res.x.size(); ++j)
       EXPECT_EQ(reference->x[j], res.x[j]) << "x[" << j << "]";

@@ -163,6 +163,153 @@ TEST(LuFactorization, RandomDenseRoundTrip) {
   }
 }
 
+// Shared driver for the Forrest-Tomlin corpus: factorize a random basis,
+// replace random columns via ftran_spike + update, and after every step
+// check FTRAN/BTRAN against a fresh factorization of the updated column set.
+void run_ft_trials(std::mt19937& rng, int trials, int max_m, int updates) {
+  std::uniform_real_distribution<double> val(-3.0, 3.0);
+  auto random_column = [&](int m, int diag) {
+    std::vector<int> rows;
+    std::vector<double> vals;
+    for (int r = 0; r < m; ++r) {
+      if (rng() % 3 != 0) continue;
+      rows.push_back(r);
+      vals.push_back(val(rng));
+    }
+    bool has_diag = false;
+    for (size_t k = 0; k < rows.size(); ++k)
+      if (rows[k] == diag) {
+        vals[k] += 5.0;
+        has_diag = true;
+      }
+    if (!has_diag) {
+      rows.push_back(diag);
+      vals.push_back(5.0 + val(rng));
+    }
+    return std::make_pair(std::move(rows), std::move(vals));
+  };
+  for (int trial = 0; trial < trials; ++trial) {
+    const int m = 2 + static_cast<int>(rng() % (max_m - 1));
+    ColumnSet cs;
+    for (int j = 0; j < m; ++j) {
+      auto [rows, vals] = random_column(m, j);
+      cs.add(std::move(rows), std::move(vals));
+    }
+    LuFactorization lu;
+    ASSERT_TRUE(lu.factorize(m, cs.view())) << "trial " << trial;
+
+    int applied = 0;
+    for (int step = 0; step < updates; ++step) {
+      const int pos = static_cast<int>(rng() % m);
+      auto [rows, vals] = random_column(m, pos);
+
+      // Candidate column through the partial solve; update consumes the
+      // stashed spike. An unstable rejection leaves the factors usable.
+      std::vector<double> w(m, 0.0);
+      for (size_t k = 0; k < rows.size(); ++k) w[rows[k]] = vals[k];
+      lu.ftran_spike(w);
+      if (!lu.update(pos)) continue;
+      ++applied;
+      cs.rows[pos] = rows;
+      cs.vals[pos] = vals;
+
+      // Reference: a fresh factorization of the same updated column set.
+      LuFactorization fresh;
+      ASSERT_TRUE(fresh.factorize(m, cs.view()))
+          << "trial " << trial << " step " << step;
+
+      std::vector<double> b(m), x1(m), x2(m);
+      for (double& v : b) v = val(rng);
+      x1 = b;
+      x2 = b;
+      lu.ftran(x1);
+      fresh.ftran(x2);
+      for (int j = 0; j < m; ++j)
+        EXPECT_NEAR(x1[j], x2[j], 1e-7)
+            << "ftran trial " << trial << " step " << step;
+
+      std::vector<double> c(m), y1(m), y2(m);
+      for (double& v : c) v = val(rng);
+      y1 = c;
+      y2 = c;
+      lu.btran(y1);
+      fresh.btran(y2);
+      for (int r = 0; r < m; ++r)
+        EXPECT_NEAR(y1[r], y2[r], 1e-7)
+            << "btran trial " << trial << " step " << step;
+
+      // ftran_spike + ftran_finish must compose to exactly ftran (the
+      // engine relies on this to reuse the entering column's solve).
+      std::vector<double> x3 = b;
+      lu.ftran_spike(x3);
+      lu.ftran_finish(x3);
+      for (int j = 0; j < m; ++j)
+        EXPECT_NEAR(x3[j], x1[j], 1e-12)
+            << "spike/finish trial " << trial << " step " << step;
+    }
+    EXPECT_EQ(lu.updates(), applied);
+  }
+}
+
+TEST(LuFactorization, ForrestTomlinRandomReplacements) {
+  std::mt19937 rng(7);
+  run_ft_trials(rng, 20, 10, 12);
+}
+
+TEST(LuFactorization, ForrestTomlinLongSequences) {
+  // More updates than dimensions: every slot gets respiked repeatedly, so
+  // the logical order churns and the eta list grows past m.
+  std::mt19937 rng(11);
+  run_ft_trials(rng, 8, 6, 24);
+}
+
+TEST(LuFactorization, ForrestTomlinUnstableUpdateRejected) {
+  // Replacing column 1 of the identity with a column that has a zero in the
+  // pivot position and no way to eliminate it must be rejected, and the
+  // factors must remain the (unchanged) identity.
+  ColumnSet cs;
+  for (int j = 0; j < 3; ++j) cs.add({j}, {1.0});
+  LuFactorization lu;
+  ASSERT_TRUE(lu.factorize(3, cs.view()));
+  std::vector<double> w{1.0, 0.0, 0.0};  // new column 1 == old column 0
+  lu.ftran_spike(w);
+  EXPECT_FALSE(lu.update(1));
+  EXPECT_EQ(lu.updates(), 0);
+  std::vector<double> x{2.0, 3.0, 4.0};
+  lu.ftran(x);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(LuFactorization, UpdateWithoutSpikeIsRejected) {
+  ColumnSet cs;
+  for (int j = 0; j < 2; ++j) cs.add({j}, {1.0});
+  LuFactorization lu;
+  ASSERT_TRUE(lu.factorize(2, cs.view()));
+  EXPECT_FALSE(lu.update(0));  // no pending spike
+  std::vector<double> w{0.5, 0.25};
+  lu.ftran_spike(w);
+  EXPECT_TRUE(lu.update(0));
+  EXPECT_FALSE(lu.update(0));  // spike already consumed
+}
+
+TEST(LuFactorization, RefactorizeDiscardsUpdates) {
+  std::mt19937 rng(13);
+  std::uniform_real_distribution<double> val(-3.0, 3.0);
+  ColumnSet cs;
+  for (int j = 0; j < 4; ++j) cs.add({j}, {2.0});
+  LuFactorization lu;
+  ASSERT_TRUE(lu.factorize(4, cs.view()));
+  std::vector<double> w{1.0, 1.0, 1.0, 1.0};
+  lu.ftran_spike(w);
+  ASSERT_TRUE(lu.update(2));
+  EXPECT_EQ(lu.updates(), 1);
+  ASSERT_TRUE(lu.factorize(4, cs.view()));
+  EXPECT_EQ(lu.updates(), 0);
+  std::vector<double> x{2.0, 4.0, 6.0, 8.0};
+  lu.ftran(x);
+  EXPECT_NEAR(x[2], 3.0, 1e-12);
+}
+
 TEST(LuFactorization, LargeSparseSystem) {
   // Tridiagonal-ish system of size 500: verifies scalability and fill
   // handling.

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <random>
 
 #include "lp/dense_simplex.h"
@@ -563,17 +564,29 @@ TEST(DualSimplex, CrossRowCountRestoreIsBitIdenticalAndCarriesWeights) {
   for (size_t j = 0; j < ra.x.size(); ++j) EXPECT_EQ(ra.x[j], rb.x[j]);
 }
 
-TEST(DualSimplex, RestoreRejectsSnapshotWithMoreRowsThanLp) {
-  // Rows only ever grow; a snapshot from a bigger LP is a caller bug and
-  // must fail loudly instead of corrupting the basis.
+TEST(DualSimplex, RestoreRemapsSnapshotWithRemovedRows) {
+  // Cut-row garbage collection can shrink the LP between capture and
+  // restore: the snapshot's extra row is matched away by id and the
+  // surviving rows keep their basis state.
   LinearProgram big = clone_test_lp(10, 41u);
-  LinearProgram small = big;
-  big.add_ge(std::vector<std::pair<int, double>>{{0, 1.0}}, 1.0);
+  LinearProgram small = big;  // ids 0..9 in both
+  big.add_ge(std::vector<std::pair<int, double>>{{0, 1.0}}, 1.0);  // id 10
   DualSimplex big_engine(big);
+  big_engine.set_var_bounds(1, 0.5, 2.0);
   ASSERT_EQ(big_engine.solve().status, LpStatus::kOptimal);
   const BasisSnapshot snap = big_engine.snapshot();
   DualSimplex small_engine(small);
-  EXPECT_THROW(small_engine.restore(snap), std::logic_error);
+  small_engine.restore(snap);
+  const LpResult warm = small_engine.solve();
+  ASSERT_EQ(warm.status, LpStatus::kOptimal);
+  // The override survived and the warm solve agrees with a cold one.
+  DualSimplex fresh(small);
+  fresh.set_var_bounds(1, 0.5, 2.0);
+  const LpResult cold = fresh.solve();
+  ASSERT_EQ(cold.status, LpStatus::kOptimal);
+  EXPECT_NEAR(warm.objective, cold.objective, 1e-6);
+  EXPECT_GE(warm.x[1], 0.5 - 1e-9);
+  EXPECT_LE(warm.x[1], 2.0 + 1e-9);
 }
 
 TEST(DualSimplex, ModeratelyLargeStructuredLp) {
@@ -594,6 +607,125 @@ TEST(DualSimplex, ModeratelyLargeStructuredLp) {
   auto dense = solve_dense_reference(lp);
   ASSERT_EQ(dense.status, LpStatus::kOptimal);
   EXPECT_NEAR(res.objective, dense.objective, 1e-4);
+}
+
+// ---------------------------------------------------------------------
+// Forrest-Tomlin updates and Curtis-Reid scaling (the PR-10 engine work).
+
+TEST(DualSimplex, ForrestTomlinMatchesEtaAccumulation) {
+  // The FT update path must reach the same optimum as the product-form
+  // eta path on a pivot-heavy instance, and the observability counters
+  // must show which path actually ran.
+  LinearProgram lp;
+  const int n = 200;
+  for (int j = 0; j < n; ++j) lp.add_var(0.0, 10.0, 1.0 + (j % 3));
+  for (int r = 0; r < n; ++r) {
+    std::vector<std::pair<int, double>> t{{r, 1.0}};
+    if (r + 1 < n) t.emplace_back(r + 1, 0.5);
+    if (r + 7 < n) t.emplace_back(r + 7, 0.25);
+    lp.add_ge(t, 2.0 + (r % 3));
+  }
+  SimplexOptions ft_on;
+  ft_on.forrest_tomlin = true;
+  SimplexOptions ft_off;
+  ft_off.forrest_tomlin = false;
+  DualSimplex a(lp, ft_on);
+  DualSimplex b(lp, ft_off);
+  auto ra = a.solve();
+  auto rb = b.solve();
+  ASSERT_EQ(ra.status, LpStatus::kOptimal);
+  ASSERT_EQ(rb.status, LpStatus::kOptimal);
+  EXPECT_NEAR(ra.objective, rb.objective, 1e-6);
+  EXPECT_LE(lp.max_violation(ra.x), 1e-6);
+  EXPECT_GT(a.stats().ft_updates, 0);
+  EXPECT_EQ(a.stats().eta_pivots, 0);
+  EXPECT_EQ(b.stats().ft_updates, 0);
+  EXPECT_GT(b.stats().eta_pivots, 0);
+}
+
+TEST(DualSimplex, ForrestTomlinAgreesOnRandomCorpus) {
+  // Status and objective agreement between the two basis-update paths
+  // across a random corpus (same generator family as the dense-reference
+  // corpus, skewed a little larger so updates actually accumulate).
+  std::mt19937 rng(41);
+  std::uniform_real_distribution<double> coef(-3.0, 3.0);
+  std::uniform_real_distribution<double> cost(-2.0, 2.0);
+  int optimal_count = 0;
+  for (int trial = 0; trial < 60; ++trial) {
+    const int n = 4 + static_cast<int>(rng() % 12);
+    const int m = 4 + static_cast<int>(rng() % 12);
+    LinearProgram lp;
+    for (int j = 0; j < n; ++j) {
+      double lo = (rng() % 4 == 0) ? -static_cast<double>(rng() % 3) : 0.0;
+      lp.add_var(lo, lo + 1.0 + static_cast<double>(rng() % 5), cost(rng));
+    }
+    for (int r = 0; r < m; ++r) {
+      std::vector<std::pair<int, double>> t;
+      for (int j = 0; j < n; ++j)
+        if (rng() % 2) t.emplace_back(j, coef(rng));
+      const double rhs = coef(rng) * 2.0;
+      if (rng() % 2) {
+        lp.add_le(t, rhs);
+      } else {
+        lp.add_ge(t, rhs);
+      }
+    }
+    SimplexOptions ft_on;
+    ft_on.forrest_tomlin = true;
+    SimplexOptions ft_off;
+    ft_off.forrest_tomlin = false;
+    auto ra = solve_lp(lp, ft_on);
+    auto rb = solve_lp(lp, ft_off);
+    ASSERT_EQ(ra.status, rb.status) << "trial " << trial;
+    if (ra.status == LpStatus::kOptimal) {
+      ++optimal_count;
+      EXPECT_NEAR(ra.objective, rb.objective, 1e-5) << "trial " << trial;
+    }
+  }
+  EXPECT_GT(optimal_count, 10);
+}
+
+TEST(DualSimplex, ScalingSolvesBadlyRangedLp) {
+  // Columns spanning ~12 orders of magnitude. Curtis-Reid scaling keeps
+  // the factorization well-conditioned; the solution must come back in
+  // the ORIGINAL frame (bounds/violations checked unscaled) and agree
+  // with the unscaled solve and the dense reference.
+  LinearProgram lp;
+  const int n = 30;
+  for (int j = 0; j < n; ++j) {
+    const double s = std::pow(10.0, static_cast<double>(j % 13) - 6.0);
+    lp.add_var(0.0, 10.0 / s, s);
+  }
+  for (int r = 0; r + 1 < n; ++r) {
+    const double sr = std::pow(10.0, static_cast<double>(r % 7) - 3.0);
+    const double cr = std::pow(10.0, static_cast<double>(r % 13) - 6.0);
+    const double cn = std::pow(10.0, static_cast<double>((r + 1) % 13) - 6.0);
+    lp.add_ge(terms({{r, sr * cr}, {r + 1, 0.5 * sr * cn}}), 2.0 * sr);
+  }
+  // The equivalent unit-frame LP (y_j = col_scale_j * x_j) is what the
+  // dense reference can solve reliably -- running it on the badly-ranged
+  // original makes it pick degenerate pivots and report an infeasible
+  // "optimum", which is exactly the failure mode scaling exists to avoid.
+  LinearProgram unit;
+  for (int j = 0; j < n; ++j) unit.add_var(0.0, 10.0, 1.0);
+  for (int r = 0; r + 1 < n; ++r)
+    unit.add_ge(terms({{r, 1.0}, {r + 1, 0.5}}), 2.0);
+  SimplexOptions on;
+  on.scaling = true;
+  SimplexOptions off;
+  off.scaling = false;
+  auto ra = solve_lp(lp, on);
+  auto rb = solve_lp(lp, off);
+  auto dense = solve_dense_reference(unit);
+  ASSERT_EQ(ra.status, LpStatus::kOptimal);
+  ASSERT_EQ(rb.status, LpStatus::kOptimal);
+  ASSERT_EQ(dense.status, LpStatus::kOptimal);
+  const double rel = std::max(1.0, std::abs(dense.objective));
+  EXPECT_NEAR(ra.objective, dense.objective, 1e-6 * rel);
+  // The unscaled engine is allowed to drift on this instance (that drift
+  // is why scaling exists) but must never beat the true optimum.
+  EXPECT_GE(rb.objective, dense.objective - 1e-6 * rel);
+  EXPECT_LE(lp.max_violation(ra.x), 1e-6);
 }
 
 }  // namespace
